@@ -1,0 +1,33 @@
+//! Figure 10: benefits of QCC in performance gain over Fixed Assignment 1
+//! (the registration-time routing QT1,QT3→S1, QT2→S2, QT4→S3).
+//!
+//! Shapes to verify: QCC wins in every phase; the average gain is large
+//! (the paper reports ≈50%), and the gain stays high (paper: ≈60%) even
+//! when all three servers are loaded (phase 8).
+
+use qcc_bench::{print_gains, BenchScale};
+use qcc_workload::{run_phases, PhaseSchedule, Routing};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let schedule = PhaseSchedule::paper_table1();
+    let fixed1 = run_phases(
+        Routing::Fixed1,
+        &scale.config,
+        &schedule,
+        scale.instances,
+        scale.warmup,
+    );
+    let qcc = run_phases(
+        Routing::Qcc,
+        &scale.config,
+        &schedule,
+        scale.instances,
+        scale.warmup,
+    );
+    print_gains(
+        "Figure 10 — QCC performance gain over Fixed Assignment 1",
+        &qcc,
+        &fixed1,
+    );
+}

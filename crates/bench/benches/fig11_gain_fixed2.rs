@@ -1,0 +1,34 @@
+//! Figure 11: benefits of QCC in performance gain over Fixed Assignment 2
+//! (everything to S3, the most powerful machine).
+//!
+//! Shapes to verify: the all-to-S3 default "performs well most of the
+//! time" — gains are ≈0 in phases where S3 is unloaded — but QCC wins
+//! meaningfully in the phase combinations where S3 carries the update
+//! load and alternatives are free (phases 2, 4 and 6).
+
+use qcc_bench::{print_gains, BenchScale};
+use qcc_workload::{run_phases, PhaseSchedule, Routing};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let schedule = PhaseSchedule::paper_table1();
+    let fixed2 = run_phases(
+        Routing::Fixed2,
+        &scale.config,
+        &schedule,
+        scale.instances,
+        scale.warmup,
+    );
+    let qcc = run_phases(
+        Routing::Qcc,
+        &scale.config,
+        &schedule,
+        scale.instances,
+        scale.warmup,
+    );
+    print_gains(
+        "Figure 11 — QCC performance gain over Fixed Assignment 2 (all → S3)",
+        &qcc,
+        &fixed2,
+    );
+}

@@ -1,0 +1,100 @@
+//! Figure 9 (a–d): sensitivity of each query type's response time, per
+//! server, to system load.
+//!
+//! The paper's four panels plot, for each query type, the response time of
+//! the three remote servers under low and high load across several query
+//! instances. The shapes to verify:
+//!
+//! * S3 functions best overall in most situations (it would be the naive
+//!   default);
+//! * for QT2, S3 is much more sensitive to load than the others;
+//! * for QT3, a loaded S3 loses to the unloaded S1/S2 — yet remains
+//!   competitive when everyone is loaded;
+//! * for QT1 and QT4, S3 stays best even under load.
+
+use qcc_bench::{print_table, BenchScale};
+use qcc_workload::{sensitivity_sweep, QueryType, ALL_QUERY_TYPES};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let points = sensitivity_sweep(&scale.config, scale.instances);
+
+    for qt in ALL_QUERY_TYPES {
+        let header: Vec<String> = std::iter::once("instance".to_string())
+            .chain(
+                ["S1", "S2", "S3"].iter().flat_map(|s| {
+                    [format!("{s} base"), format!("{s} load")]
+                }),
+            )
+            .collect();
+        let mut rows = Vec::new();
+        for i in 0..scale.instances {
+            let mut row = vec![format!("{i}")];
+            for server in ["S1", "S2", "S3"] {
+                for loaded in [false, true] {
+                    let v = points
+                        .iter()
+                        .find(|p| {
+                            p.qt == qt && p.server == server && p.loaded == loaded && p.instance == i
+                        })
+                        .map(|p| p.response_ms)
+                        .unwrap_or(f64::NAN);
+                    row.push(format!("{v:.2}"));
+                }
+            }
+            rows.push(row);
+        }
+        // Averages row.
+        let mut avg_row = vec!["avg".to_string()];
+        for server in ["S1", "S2", "S3"] {
+            for loaded in [false, true] {
+                let xs: Vec<f64> = points
+                    .iter()
+                    .filter(|p| p.qt == qt && p.server == server && p.loaded == loaded)
+                    .map(|p| p.response_ms)
+                    .collect();
+                avg_row.push(format!("{:.2}", xs.iter().sum::<f64>() / xs.len() as f64));
+            }
+        }
+        rows.push(avg_row);
+        let panel = match qt {
+            QueryType::QT1 => "(a) QT1: large ⋈ large, mild selection, aggregation",
+            QueryType::QT2 => "(b) QT2: large ⋈ small selection table",
+            QueryType::QT3 => "(c) QT3: large ⋈ large, highly selective",
+            QueryType::QT4 => "(d) QT4: three-way join, highly selective",
+        };
+        print_table(
+            &format!("Figure 9 {panel} — response time (ms)"),
+            &header,
+            &rows,
+        );
+    }
+
+    // Load-sensitivity summary (the ratios the paper's prose discusses).
+    let mut rows = Vec::new();
+    for qt in ALL_QUERY_TYPES {
+        let mut row = vec![qt.to_string()];
+        for server in ["S1", "S2", "S3"] {
+            let avg = |loaded: bool| {
+                let xs: Vec<f64> = points
+                    .iter()
+                    .filter(|p| p.qt == qt && p.server == server && p.loaded == loaded)
+                    .map(|p| p.response_ms)
+                    .collect();
+                xs.iter().sum::<f64>() / xs.len() as f64
+            };
+            row.push(format!("{:.2}x", avg(true) / avg(false)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 9 summary — load slowdown ratio (loaded / base)",
+        &[
+            "type".into(),
+            "S1".into(),
+            "S2".into(),
+            "S3".into(),
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks of the hot mechanism paths: what does QCC
+//! cost *the integrator*? The paper argues the approach has no ongoing
+//! runtime overhead beyond bookkeeping; these benches quantify the
+//! bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qcc_common::{Cost, ServerId};
+use qcc_core::{Qcc, QccConfig};
+use qcc_federation::decompose;
+use qcc_sql::parse_select;
+use qcc_workload::{QueryType, Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    let sql = QueryType::QT4.sql(3);
+    c.bench_function("parse_qt4", |b| {
+        b.iter(|| parse_select(black_box(&sql)).expect("parses"))
+    });
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let scenario = Scenario::build_with(
+        qcc_workload::Routing::Baseline,
+        ScenarioConfig::tiny(),
+    );
+    let sql = QueryType::QT1.sql(0);
+    c.bench_function("decompose_qt1", |b| {
+        b.iter(|| decompose(black_box(&sql), scenario.federation.nicknames()).expect("decomposes"))
+    });
+}
+
+fn bench_calibration_update(c: &mut Criterion) {
+    let qcc = Qcc::new(QccConfig::default());
+    let server = ServerId::new("S1");
+    c.bench_function("calibration_record_and_lookup", |b| {
+        b.iter(|| {
+            qcc.calibration
+                .record_fragment(&server, "sig", black_box(10.0), black_box(14.0));
+            black_box(qcc.calibration.fragment_factor(&server, "sig"))
+        })
+    });
+}
+
+fn bench_remote_explain(c: &mut Criterion) {
+    let scenario = Scenario::build_with(
+        qcc_workload::Routing::Baseline,
+        ScenarioConfig::tiny(),
+    );
+    let server = scenario.server("S1").clone();
+    let sql = QueryType::QT1.sql(0);
+    c.bench_function("remote_explain_qt1", |b| {
+        b.iter(|| {
+            server
+                .explain(black_box(&sql), qcc_common::SimTime::ZERO)
+                .expect("plans")
+        })
+    });
+}
+
+fn bench_cost_calibrate(c: &mut Criterion) {
+    let cost = Cost::new(5.0, 0.02, 10_000.0);
+    c.bench_function("cost_calibrate", |b| {
+        b.iter(|| black_box(cost).calibrate(black_box(1.4)).total())
+    });
+}
+
+fn bench_global_choice(c: &mut Criterion) {
+    // Full compile path: decompose + explain + candidate enumeration +
+    // choice, without execution.
+    let scenario = Scenario::tiny_for_tests();
+    let sql = QueryType::QT2.sql(0);
+    c.bench_function("explain_global_qt2", |b| {
+        b.iter_batched(
+            || sql.clone(),
+            |s| scenario.federation.explain_global(black_box(&s)).expect("compiles"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_decompose,
+    bench_calibration_update,
+    bench_remote_explain,
+    bench_cost_calibrate,
+    bench_global_choice
+);
+criterion_main!(benches);

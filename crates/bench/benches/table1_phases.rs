@@ -1,0 +1,28 @@
+//! Table 1: the eight combinations of server load conditions.
+
+use qcc_bench::print_table;
+use qcc_common::ServerId;
+use qcc_workload::PhaseSchedule;
+
+fn main() {
+    let schedule = PhaseSchedule::paper_table1();
+    let header: Vec<String> = std::iter::once("Server".to_string())
+        .chain(schedule.phases.iter().map(|p| format!("Phase{}", p.number)))
+        .collect();
+    let rows: Vec<Vec<String>> = ["S1", "S2", "S3"]
+        .iter()
+        .map(|s| {
+            let id = ServerId::new(s);
+            std::iter::once(s.to_string())
+                .chain(schedule.phases.iter().map(|p| {
+                    if p.is_loaded(&id) { "Load" } else { "Base" }.to_string()
+                }))
+                .collect()
+        })
+        .collect();
+    print_table(
+        "Table 1 — Combinations of Server Load Conditions",
+        &header,
+        &rows,
+    );
+}

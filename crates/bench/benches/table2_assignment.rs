@@ -1,0 +1,65 @@
+//! Table 2: fixed registration-time server assignment vs the dynamic
+//! per-phase assignment QCC produces.
+//!
+//! Shapes to verify against the paper:
+//! * QT1 and QT4 stay on S3 in every phase;
+//! * QT2 and QT3 follow S3 except when S3 is loaded, detouring to the
+//!   least-loaded alternative (S2 preferred over S1), and returning to S3
+//!   when everything is loaded (phase 8).
+
+use qcc_bench::{print_table, BenchScale};
+use qcc_workload::{
+    run_phases, PhaseSchedule, Routing, ALL_QUERY_TYPES, FIXED_ASSIGNMENT_1,
+};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let schedule = PhaseSchedule::paper_table1();
+    let result = run_phases(
+        Routing::Qcc,
+        &scale.config,
+        &schedule,
+        scale.instances,
+        scale.warmup,
+    );
+
+    let fixed = FIXED_ASSIGNMENT_1();
+    let header: Vec<String> = ["Query Type".to_string(), "Fixed".to_string()]
+        .into_iter()
+        .chain(schedule.phases.iter().map(|p| format!("Phase{}", p.number)))
+        .collect();
+    let rows: Vec<Vec<String>> = ALL_QUERY_TYPES
+        .iter()
+        .map(|qt| {
+            let mut row = vec![qt.to_string(), fixed[qt].to_string()];
+            for phase in &result.phases {
+                row.push(phase.per_type_server[qt.index()].clone());
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Table 2 — Fixed Server Assignment vs Dynamic Assignment (per phase)",
+        &header,
+        &rows,
+    );
+
+    // Companion: the measured per-type response times behind the choices.
+    let header: Vec<String> = std::iter::once("Query Type".to_string())
+        .chain(schedule.phases.iter().map(|p| format!("Phase{}", p.number)))
+        .collect();
+    let rows: Vec<Vec<String>> = ALL_QUERY_TYPES
+        .iter()
+        .map(|qt| {
+            std::iter::once(qt.to_string())
+                .chain(
+                    result
+                        .phases
+                        .iter()
+                        .map(|p| format!("{:.1}", p.per_type_ms[qt.index()])),
+                )
+                .collect()
+        })
+        .collect();
+    print_table("QCC per-type mean response time (ms)", &header, &rows);
+}

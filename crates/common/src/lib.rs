@@ -1,0 +1,27 @@
+//! Shared foundation types for the load-aware federated query routing system.
+//!
+//! This crate holds everything that more than one subsystem needs to agree
+//! on: SQL values and rows, schemas, identifiers, the cost model of the
+//! federated optimizer (first-tuple / next-tuple / cardinality, per the
+//! paper's §3), virtual simulation time, a deterministic PRNG, and small
+//! statistics helpers used by the calibrator.
+//!
+//! Nothing in here depends on any other crate in the workspace.
+
+pub mod cost;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod row;
+pub mod stats;
+pub mod time;
+pub mod value;
+
+pub use cost::Cost;
+pub use error::{QccError, Result};
+pub use ids::{FragmentId, QueryId, ServerId};
+pub use rng::Pcg32;
+pub use row::{Column, Row, Schema};
+pub use stats::{Ema, RunningStats, SlidingWindow};
+pub use time::{SimDuration, SimTime};
+pub use value::{DataType, Value};

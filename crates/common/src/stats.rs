@@ -1,0 +1,287 @@
+//! Small statistics helpers used by the Query Cost Calibrator.
+//!
+//! The paper (§3.4) says QCC "maintains aggregated histories of the various
+//! dynamic values associated with the remote source access costs to compute
+//! and maintain running averages", and adjusts the calibration cycle from
+//! them. These are the history containers.
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ); 0 when the mean is 0.
+    pub fn coeff_of_variation(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+}
+
+/// Fixed-capacity sliding window of recent observations.
+///
+/// The QCC's calibration factor is "the ratio of the average runtime cost
+/// vs. the average estimated cost" over recent history; bounding the window
+/// lets the factor track load *changes* instead of averaging them away.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    buf: Vec<f64>,
+    capacity: usize,
+    next: usize,
+    filled: bool,
+}
+
+impl SlidingWindow {
+    /// A window holding at most `capacity` observations. Panics when
+    /// `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            filled: false,
+        }
+    }
+
+    /// Add an observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(x);
+            if self.buf.len() == self.capacity {
+                self.filled = true;
+            }
+        } else {
+            self.buf[self.next] = x;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True once the window has wrapped at least once.
+    pub fn is_full(&self) -> bool {
+        self.filled
+    }
+
+    /// Mean of held observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+        }
+    }
+
+    /// Population variance of held observations (`None` with < 2).
+    pub fn variance(&self) -> Option<f64> {
+        if self.buf.len() < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        Some(self.buf.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.buf.len() as f64)
+    }
+
+    /// Coefficient of variation of held observations (`None` with < 2).
+    pub fn coeff_of_variation(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.variance()?;
+        if mean.abs() < f64::EPSILON {
+            Some(0.0)
+        } else {
+            Some(var.sqrt() / mean.abs())
+        }
+    }
+
+    /// Drop all held observations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.filled = false;
+    }
+}
+
+/// Exponential moving average.
+#[derive(Debug, Clone)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    /// An EMA with smoothing factor `alpha` in `(0, 1]`; larger alpha reacts
+    /// faster. Panics on out-of-range alpha.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Ema { alpha, value: None }
+    }
+
+    /// Feed an observation and return the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, if any observation has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Reset to the unseeded state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_match_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &data {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        assert!((rs.variance() - 4.0).abs() < 1e-12);
+        assert!((rs.std_dev() - 2.0).abs() < 1e-12);
+        assert!((rs.coeff_of_variation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let mut rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        rs.push(3.0);
+        assert_eq!(rs.mean(), 3.0);
+        assert_eq!(rs.variance(), 0.0);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = SlidingWindow::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        // 1.0 evicted; mean of {2,3,4} = 3.
+        assert_eq!(w.mean(), Some(3.0));
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn window_mean_tracks_shift() {
+        let mut w = SlidingWindow::new(4);
+        for _ in 0..4 {
+            w.push(1.0);
+        }
+        assert_eq!(w.mean(), Some(1.0));
+        for _ in 0..4 {
+            w.push(10.0);
+        }
+        assert_eq!(w.mean(), Some(10.0), "window forgets the old regime");
+    }
+
+    #[test]
+    fn window_variance_and_cov() {
+        let mut w = SlidingWindow::new(8);
+        assert_eq!(w.variance(), None);
+        w.push(5.0);
+        assert_eq!(w.variance(), None);
+        w.push(5.0);
+        assert_eq!(w.variance(), Some(0.0));
+        assert_eq!(w.coeff_of_variation(), Some(0.0));
+        w.push(11.0);
+        assert!(w.variance().unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn window_zero_capacity_panics() {
+        SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn ema_seeds_with_first_value() {
+        let mut e = Ema::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.push(10.0), 10.0);
+        assert_eq!(e.push(20.0), 15.0);
+        assert_eq!(e.push(20.0), 17.5);
+    }
+
+    #[test]
+    fn ema_alpha_one_tracks_exactly() {
+        let mut e = Ema::new(1.0);
+        e.push(1.0);
+        assert_eq!(e.push(42.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ema_rejects_bad_alpha() {
+        Ema::new(0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Virtual simulation time.
+//!
+//! All response times in this workspace are *simulated*: the remote engines
+//! compute how much work a query did (rows scanned, tuples joined, bytes
+//! shipped) and the load/network models translate that work into virtual
+//! milliseconds. Nothing sleeps; experiments are deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point on the virtual timeline, in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+/// A span of virtual time, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn as_millis(self) -> f64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`; clamped at zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Construct from milliseconds. Negative inputs clamp to zero.
+    pub fn from_millis(ms: f64) -> Self {
+        SimDuration(ms.max(0.0))
+    }
+
+    /// Construct from seconds. Negative inputs clamp to zero.
+    pub fn from_secs(s: f64) -> Self {
+        SimDuration((s * 1000.0).max(0.0))
+    }
+
+    /// The duration in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0
+    }
+
+    /// The duration in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration((self.0 * rhs).max(0.0))
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration((self.0 / rhs).max(0.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.3}s", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.3}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5.0) + SimDuration::from_secs(1.0);
+        assert!((t.as_millis() - 1005.0).abs() < 1e-9);
+        assert!((t.since(SimTime::ZERO).as_secs() - 1.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_clamps_to_zero() {
+        let a = SimTime::from_millis(10.0);
+        let b = SimTime::from_millis(20.0);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!((b - a).as_millis(), 10.0);
+    }
+
+    #[test]
+    fn negative_durations_clamp() {
+        assert_eq!(SimDuration::from_millis(-5.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis(4.0) * -1.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration::from_millis(12.5).to_string(), "12.500ms");
+        assert_eq!(SimDuration::from_secs(2.0).to_string(), "2.000s");
+    }
+}

@@ -1,0 +1,359 @@
+//! SQL values and data types.
+//!
+//! The engines in this workspace operate over a deliberately small scalar
+//! type system — 64-bit integers, 64-bit floats, UTF-8 strings, and NULL —
+//! which is all the paper's experimental workload (§5) requires.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Scalar data types supported by the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "VARCHAR"),
+        }
+    }
+}
+
+/// A single SQL scalar value.
+///
+/// `Value` implements a *total* order (needed for sorting and grouping):
+/// NULL sorts first, then integers and floats (compared numerically across
+/// the two types), then strings. `NaN` floats compare equal to each other
+/// and greater than every other float so that ordering stays total.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for NULL (which is untyped).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True iff this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued-logic equality: NULL = anything is unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// SQL three-valued-logic comparison: `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Total order over all values (NULLs first). Used for ORDER BY and for
+    /// grouping keys; distinct from [`Value::sql_cmp`], which is three-valued.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => f64_total_cmp(*a, *b),
+            (Int(a), Float(b)) => f64_total_cmp(*a as f64, *b),
+            (Float(a), Int(b)) => f64_total_cmp(*a, *b as f64),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Numbers sort before strings.
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+        }
+    }
+
+    /// Arithmetic addition with SQL NULL propagation.
+    pub fn add(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a + b, |a, b| a.checked_add(b))
+    }
+
+    /// Arithmetic subtraction with SQL NULL propagation.
+    pub fn sub(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a - b, |a, b| a.checked_sub(b))
+    }
+
+    /// Arithmetic multiplication with SQL NULL propagation.
+    pub fn mul(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a * b, |a, b| a.checked_mul(b))
+    }
+
+    /// Arithmetic division. Division by zero yields NULL (matching the
+    /// permissive behaviour expected by the workload generators).
+    pub fn div(&self, other: &Value) -> Value {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(_), Some(0.0)) => Value::Null,
+            (Some(a), Some(b)) => match (self, other) {
+                (Value::Int(x), Value::Int(y)) => Value::Int(x / y),
+                _ => Value::Float(a / b),
+            },
+            _ => Value::Null,
+        }
+    }
+
+    /// Approximate in-memory width of the value in bytes, used by the
+    /// network model to charge transfer time for shipped tuples.
+    pub fn byte_width(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => s.len(),
+        }
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    f_float: impl Fn(f64, f64) -> f64,
+    f_int: impl Fn(i64, i64) -> Option<i64>,
+) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match f_int(*x, *y) {
+            Some(v) => Value::Int(v),
+            None => Value::Float(f_float(*x as f64, *y as f64)),
+        },
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Value::Float(f_float(x, y)),
+            _ => Value::Null,
+        },
+    }
+}
+
+fn f64_total_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash must be consistent with the total order, where
+                // Int(i) == Float(i as f64). Hash integral floats as ints.
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    1u8.hash(state);
+                    (*f as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+    }
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn numbers_sort_before_strings() {
+        assert!(Value::Int(999) < Value::Str("0".into()));
+        assert!(Value::Float(1e300) < Value::Str("a".into()));
+    }
+
+    #[test]
+    fn sql_eq_is_three_valued() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_across_types() {
+        let a = Value::Int(42);
+        let b = Value::Float(42.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn arithmetic_null_propagation() {
+        assert!(Value::Null.add(&Value::Int(1)).is_null());
+        assert!(Value::Int(1).mul(&Value::Null).is_null());
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)), Value::Float(3.0));
+    }
+
+    #[test]
+    fn integer_overflow_widens_to_float() {
+        let v = Value::Int(i64::MAX).add(&Value::Int(1));
+        assert!(matches!(v, Value::Float(_)));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_null());
+        assert!(Value::Float(1.0).div(&Value::Float(0.0)).is_null());
+    }
+
+    #[test]
+    fn integer_division_truncates() {
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Value::Int(3));
+    }
+
+    #[test]
+    fn display_escapes_quotes() {
+        assert_eq!(Value::Str("o'neil".into()).to_string(), "'o''neil'");
+    }
+
+    #[test]
+    fn nan_ordering_is_total() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Value::Int(1).byte_width(), 8);
+        assert_eq!(Value::Str("abcd".into()).byte_width(), 4);
+        assert_eq!(Value::Null.byte_width(), 1);
+    }
+}

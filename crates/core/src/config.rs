@@ -1,0 +1,98 @@
+//! QCC configuration.
+
+/// Where load distribution operates (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBalanceMode {
+    /// No rotation: always the cheapest calibrated plan (§3 behaviour).
+    Disabled,
+    /// Rotate only among plans that execute the *identical* fragment plan
+    /// on different servers (§4.1).
+    FragmentLevel,
+    /// Rotate among near-equal global plans on different server sets,
+    /// after dominance elimination (§4.2).
+    GlobalLevel,
+}
+
+/// Tuning knobs for the calibrator.
+#[derive(Debug, Clone)]
+pub struct QccConfig {
+    /// Sliding-window length for calibration ratio histories.
+    pub calibration_window: usize,
+    /// Observations required before a per-(server, fragment-signature)
+    /// factor overrides the per-server factor. The paper's worked example
+    /// (Figure 5) calibrates from a single observation, so the default is
+    /// 1; raise it to smooth noisy environments.
+    pub min_fragment_observations: usize,
+    /// Cost band for plan clustering: plans within this relative distance
+    /// of the cheapest are interchangeable (the paper uses 20 %).
+    pub cost_band: f64,
+    /// Load distribution mode.
+    pub load_balance: LoadBalanceMode,
+    /// Minimum workload (calibrated cost × observed frequency) before a
+    /// query template is considered for round-robin distribution.
+    pub workload_threshold: f64,
+    /// Base interval between availability-daemon probes (virtual ms).
+    pub probe_interval_ms: f64,
+    /// Bounds for the adaptive probe interval (§3.4).
+    pub probe_interval_bounds_ms: (f64, f64),
+    /// Expected ping latency of a healthy unloaded server; the daemon
+    /// seeds calibration factors from the ratio of measured to expected.
+    pub expected_ping_ms: f64,
+    /// Cost inflation per observed recent error (reliability factor):
+    /// `factor = 1 + reliability_penalty × error_rate`.
+    pub reliability_penalty: f64,
+    /// Window length for reliability error-rate tracking.
+    pub reliability_window: usize,
+    /// Cache wrapper EXPLAIN responses per (server, fragment SQL), so
+    /// repeated fragments skip the network round trip (Figure 5's "MW can
+    /// compute the calibrated runtime cost without having to consult the
+    /// wrapper").
+    pub plan_cache: bool,
+    /// Re-calibration exploration: every Nth query of a template is
+    /// routed to the best *alternative* server so its factor stays fresh
+    /// (0 disables). Without this, a server the router abandons can never
+    /// clear its stale factor — §3.4's periodic re-calibration, realized
+    /// as lightweight in-band exploration.
+    pub exploration_interval: u64,
+}
+
+impl Default for QccConfig {
+    fn default() -> Self {
+        QccConfig {
+            calibration_window: 8,
+            min_fragment_observations: 1,
+            cost_band: 0.2,
+            load_balance: LoadBalanceMode::Disabled,
+            workload_threshold: 0.0,
+            probe_interval_ms: 1_000.0,
+            probe_interval_bounds_ms: (100.0, 10_000.0),
+            expected_ping_ms: 1.0,
+            reliability_penalty: 4.0,
+            reliability_window: 16,
+            plan_cache: true,
+            exploration_interval: 8,
+        }
+    }
+}
+
+impl QccConfig {
+    /// Config with load distribution enabled at the given level.
+    pub fn with_load_balance(mode: LoadBalanceMode) -> Self {
+        QccConfig {
+            load_balance: mode,
+            ..QccConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = QccConfig::default();
+        assert_eq!(c.cost_band, 0.2, "the paper's 20% band");
+        assert_eq!(c.load_balance, LoadBalanceMode::Disabled);
+    }
+}

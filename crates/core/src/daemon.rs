@@ -1,0 +1,269 @@
+//! The availability daemon (§3.3) with adaptive calibration cycles (§3.4).
+//!
+//! *"QCC also uses daemon programs that periodically access remote
+//! sources, through MW, to ensure their availability. The daemon programs
+//! are also used to derive initial query cost calibration factors by
+//! exploring the network latency and processing latency at remote
+//! sources."*
+//!
+//! Probe cadence adapts per server: the higher the variability of the
+//! server's observed costs, the more often it is probed, within
+//! configurable bounds.
+
+use crate::Qcc;
+use parking_lot::Mutex;
+use qcc_common::{ServerId, SimTime};
+use qcc_wrapper::Wrapper;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How strongly variability shortens the probe interval.
+const ADAPT_GAIN: f64 = 4.0;
+
+#[derive(Debug, Clone, Copy)]
+struct ProbeState {
+    next_due: SimTime,
+    interval_ms: f64,
+    /// Fastest ping ever observed: the server's personal baseline. Seeding
+    /// from `current / baseline` self-normalizes link latency, which a
+    /// fixed expectation cannot (a far-away healthy server is not slow).
+    baseline_ping_ms: f64,
+}
+
+/// Periodically probes every wrapped source.
+pub struct AvailabilityDaemon {
+    qcc: Arc<Qcc>,
+    wrappers: Vec<Arc<dyn Wrapper>>,
+    state: Mutex<HashMap<ServerId, ProbeState>>,
+}
+
+impl AvailabilityDaemon {
+    /// A daemon probing `wrappers` on behalf of `qcc`.
+    pub fn new(qcc: Arc<Qcc>, wrappers: Vec<Arc<dyn Wrapper>>) -> Self {
+        AvailabilityDaemon {
+            qcc,
+            wrappers,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Probe every source whose interval has elapsed. Returns the servers
+    /// probed. Call this from the experiment driver as virtual time
+    /// advances (nothing sleeps).
+    pub fn run_due_probes(&self, at: SimTime) -> Vec<ServerId> {
+        let mut probed = Vec::new();
+        for w in &self.wrappers {
+            let id = w.server_id().clone();
+            let due = {
+                let st = self.state.lock();
+                st.get(&id).map(|p| p.next_due).unwrap_or(SimTime::ZERO)
+            };
+            if at < due {
+                continue;
+            }
+            self.probe_one(w.as_ref(), at);
+            probed.push(id);
+        }
+        probed
+    }
+
+    /// Probe every source unconditionally (used at startup to seed
+    /// calibration factors before any query runs).
+    pub fn probe_all(&self, at: SimTime) {
+        for w in &self.wrappers {
+            self.probe_one(w.as_ref(), at);
+        }
+    }
+
+    fn probe_one(&self, wrapper: &dyn Wrapper, at: SimTime) {
+        let id = wrapper.server_id().clone();
+        let prev_baseline = self
+            .state
+            .lock()
+            .get(&id)
+            .map(|p| p.baseline_ping_ms)
+            .unwrap_or(f64::INFINITY);
+        let mut baseline = prev_baseline;
+        match wrapper.ping(at) {
+            Ok(latency) => {
+                self.qcc.reliability.record_probe(&id, true, at);
+                // Seed the calibration factor from the ratio of this ping
+                // to the server's own best-ever ping. A server probing 3×
+                // slower than its baseline likely serves fragments ~3×
+                // slower too; the baseline cancels out the (constant)
+                // network latency of the link, which a fixed expectation
+                // would misattribute to server slowness. The configured
+                // `expected_ping_ms` only floors the baseline so that a
+                // first-ever probe of a loaded server isn't taken as its
+                // healthy self. Real observations override seeds at once.
+                let ms = latency.as_millis();
+                baseline = baseline.min(ms).max(self.qcc.config.expected_ping_ms);
+                let ratio = ms / baseline;
+                self.qcc.calibration.seed_server(&id, ratio.max(1.0));
+            }
+            Err(_) => {
+                self.qcc.reliability.record_probe(&id, false, at);
+            }
+        }
+        // Adaptive cycle: base interval shortened by observed variability.
+        let cov = self.qcc.calibration.server_cov(&id).unwrap_or(0.0);
+        let (lo, hi) = self.qcc.config.probe_interval_bounds_ms;
+        let interval = (self.qcc.config.probe_interval_ms / (1.0 + ADAPT_GAIN * cov))
+            .clamp(lo, hi);
+        self.state.lock().insert(
+            id,
+            ProbeState {
+                next_due: at + qcc_common::SimDuration::from_millis(interval),
+                interval_ms: interval,
+                baseline_ping_ms: baseline,
+            },
+        );
+    }
+
+    /// The current probe interval for a server (after its last probe).
+    pub fn probe_interval_ms(&self, server: &ServerId) -> Option<f64> {
+        self.state.lock().get(server).map(|p| p.interval_ms)
+    }
+}
+
+impl std::fmt::Debug for AvailabilityDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AvailabilityDaemon")
+            .field("sources", &self.wrappers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QccConfig;
+    use qcc_common::{Column, DataType, Row, Schema, SimDuration, Value};
+    use qcc_netsim::{Link, Network};
+    use qcc_remote::{RemoteServer, ServerProfile};
+    use qcc_storage::{Catalog, Table};
+    use qcc_wrapper::RelationalWrapper;
+
+    fn build(server_id: &str) -> (Arc<RemoteServer>, Arc<dyn Wrapper>) {
+        let mut t = Table::new("t", Schema::new(vec![Column::new("a", DataType::Int)]));
+        for i in 0..100i64 {
+            t.insert(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register(t);
+        let server = RemoteServer::new(ServerProfile::new(ServerId::new(server_id)), c);
+        let mut net = Network::new();
+        net.add_link(ServerId::new(server_id), Link::lan());
+        let wrapper: Arc<dyn Wrapper> =
+            Arc::new(RelationalWrapper::new(Arc::clone(&server), Arc::new(net)));
+        (server, wrapper)
+    }
+
+    #[test]
+    fn probe_detects_outage_and_recovery() {
+        let (server, wrapper) = build("S1");
+        let qcc = Qcc::new(QccConfig::default());
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+        let s1 = ServerId::new("S1");
+
+        daemon.probe_all(SimTime::ZERO);
+        assert!(!qcc.reliability.is_down(&s1));
+
+        server
+            .availability()
+            .add_outage(SimTime::from_millis(10.0), SimTime::from_millis(20.0));
+        daemon.probe_all(SimTime::from_millis(15.0));
+        assert!(qcc.reliability.is_down(&s1));
+        assert_eq!(qcc.reliability.factor(&s1), f64::INFINITY);
+
+        daemon.probe_all(SimTime::from_millis(25.0));
+        assert!(!qcc.reliability.is_down(&s1), "recovery observed");
+    }
+
+    #[test]
+    fn probe_seeds_calibration_factor() {
+        let (server, wrapper) = build("S1");
+        let qcc = Qcc::new(QccConfig {
+            // Keep the baseline floor below the healthy ping of this setup.
+            expected_ping_ms: 0.05,
+            ..QccConfig::default()
+        });
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+        // First probe while healthy establishes the baseline...
+        daemon.probe_all(SimTime::ZERO);
+        let healthy = qcc.calibration.server_factor(&ServerId::new("S1"));
+        assert!((healthy - 1.0).abs() < 0.2, "healthy seed ≈ 1, got {healthy}");
+        // ...then load the server: the next probe seeds a factor > 1.
+        server
+            .load()
+            .set_background(qcc_netsim::LoadProfile::Constant(0.9));
+        daemon.probe_all(SimTime::from_millis(1.0));
+        let f = qcc.calibration.server_factor(&ServerId::new("S1"));
+        assert!(f > 1.5, "loaded server seeds factor > 1, got {f}");
+    }
+
+    #[test]
+    fn seeds_normalize_out_link_latency() {
+        // A healthy server behind a slow link must NOT be seeded as slow:
+        // the ratio-to-own-baseline cancels the constant RTT.
+        let mut t = Table::new("t", Schema::new(vec![Column::new("a", DataType::Int)]));
+        t.insert(Row::new(vec![Value::Int(1)])).unwrap();
+        let mut c = Catalog::new();
+        c.register(t);
+        let server = RemoteServer::new(ServerProfile::new(ServerId::new("far")), c);
+        let mut net = Network::new();
+        net.add_link(
+            ServerId::new("far"),
+            qcc_netsim::Link::new(25.0, 1000.0, qcc_netsim::LoadProfile::Constant(0.0)),
+        );
+        let wrapper: Arc<dyn Wrapper> =
+            Arc::new(RelationalWrapper::new(server, Arc::new(net)));
+        let qcc = Qcc::new(QccConfig::default());
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+        daemon.probe_all(SimTime::ZERO);
+        daemon.probe_all(SimTime::from_millis(1.0));
+        let f = qcc.calibration.server_factor(&ServerId::new("far"));
+        assert!((f - 1.0).abs() < 0.1, "distant healthy server seed ≈ 1, got {f}");
+    }
+
+    #[test]
+    fn due_probes_respect_interval() {
+        let (_server, wrapper) = build("S1");
+        let qcc = Qcc::new(QccConfig::default());
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+        assert_eq!(daemon.run_due_probes(SimTime::ZERO).len(), 1);
+        // Immediately after, nothing is due.
+        assert!(daemon
+            .run_due_probes(SimTime::ZERO + SimDuration::from_millis(1.0))
+            .is_empty());
+        // After the base interval it is due again.
+        assert_eq!(
+            daemon
+                .run_due_probes(SimTime::ZERO + SimDuration::from_millis(2000.0))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn variability_shortens_cycle() {
+        let (_server, wrapper) = build("S1");
+        let qcc = Qcc::new(QccConfig::default());
+        let s1 = ServerId::new("S1");
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+
+        daemon.probe_all(SimTime::ZERO);
+        let stable = daemon.probe_interval_ms(&s1).unwrap();
+
+        // Inject highly variable observations.
+        for (est, obs) in [(10.0, 10.0), (10.0, 80.0), (10.0, 5.0), (10.0, 120.0)] {
+            qcc.calibration.record_fragment(&s1, "sig", est, obs);
+        }
+        daemon.probe_all(SimTime::from_millis(1.0));
+        let volatile = daemon.probe_interval_ms(&s1).unwrap();
+        assert!(
+            volatile < stable / 2.0,
+            "volatile {volatile} vs stable {stable}"
+        );
+    }
+}

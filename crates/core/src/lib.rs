@@ -1,0 +1,90 @@
+//! The Query Cost Calibrator (QCC) and meta-wrapper — the paper's
+//! contribution.
+//!
+//! The QCC attaches to the federation layer through the [`Middleware`]
+//! seam and, without modifying the optimizer, makes it load- and
+//! network-aware:
+//!
+//! * **Recording** ([`records`]): the meta-wrapper records every fragment
+//!   statement, its estimated cost, its server mapping, and its observed
+//!   runtime response time (paper §2, items a–e).
+//! * **Calibration** ([`calibration`]): per-server (and, with enough
+//!   observations, per-fragment-signature) calibration factors — the ratio
+//!   of average observed to average estimated cost — scale all future
+//!   estimates (§3.1); a workload factor calibrates the integrator's own
+//!   merge costs (§3.2).
+//! * **Availability & reliability** ([`reliability`], [`daemon`]): error
+//!   records and periodic daemon probes pin down servers' costs to
+//!   infinity while they are down and inflate costs of flaky servers
+//!   (§3.3); probe cadence adapts to the variance of each server's
+//!   history (§3.4).
+//! * **Load distribution** ([`loadbalance`]): dominance elimination over
+//!   global plans, clustering of plans within a cost band, and
+//!   round-robin rotation — at fragment or global level (§4).
+//! * **What-if planning** ([`whatif`]): a simulated federated system over
+//!   virtual (data-less) catalogs enumerates alternative global plans by
+//!   pinning server subsets, the paper's "execute Q6 in explain mode only
+//!   four times" trick (§4.2).
+
+pub mod calibration;
+pub mod config;
+pub mod daemon;
+pub mod loadbalance;
+pub mod metawrapper;
+pub mod placement;
+pub mod records;
+pub mod reliability;
+pub mod whatif;
+
+pub use calibration::CalibrationTable;
+pub use config::{LoadBalanceMode, QccConfig};
+pub use daemon::AvailabilityDaemon;
+pub use loadbalance::LoadBalancer;
+pub use metawrapper::MetaWrapper;
+pub use placement::{PlacementAdvisor, PlacementRecommendation};
+pub use qcc_federation::PlanCache;
+pub use records::{ErrorRecord, FragmentCompileRecord, FragmentRunRecord, RecordStore, ServerSummary};
+pub use reliability::ReliabilityTracker;
+pub use whatif::SimulatedFederation;
+
+pub use qcc_federation::Middleware;
+
+use std::sync::Arc;
+
+/// The assembled QCC: recording + calibration + reliability + load
+/// distribution, exposed to the federation as a [`Middleware`].
+#[derive(Debug)]
+pub struct Qcc {
+    /// Tuning knobs.
+    pub config: QccConfig,
+    /// The meta-wrapper's record store.
+    pub records: RecordStore,
+    /// Calibration factors.
+    pub calibration: CalibrationTable,
+    /// Availability / reliability state.
+    pub reliability: ReliabilityTracker,
+    /// Round-robin load distribution state.
+    pub load_balancer: LoadBalancer,
+    /// Compile-time plan cache (Figure 5: MW answers repeated fragments
+    /// without consulting the wrapper).
+    pub plan_cache: PlanCache,
+}
+
+impl Qcc {
+    /// Build a QCC with the given configuration.
+    pub fn new(config: QccConfig) -> Arc<Self> {
+        Arc::new(Qcc {
+            records: RecordStore::new(),
+            calibration: CalibrationTable::new(&config),
+            reliability: ReliabilityTracker::new(&config),
+            load_balancer: LoadBalancer::new(&config),
+            plan_cache: PlanCache::new(),
+            config,
+        })
+    }
+
+    /// The middleware to hand to [`qcc_federation::Federation::new`].
+    pub fn middleware(self: &Arc<Self>) -> Arc<MetaWrapper> {
+        Arc::new(MetaWrapper::new(Arc::clone(self)))
+    }
+}

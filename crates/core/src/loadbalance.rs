@@ -1,0 +1,362 @@
+//! Round-robin load distribution (§4).
+//!
+//! Implements both levels the paper describes:
+//!
+//! * **Global level** (§4.2): among the enumerated global plans, (1) for
+//!   plans executing on the *same set of servers* keep only the cheapest
+//!   (dominance elimination), (2) cluster the survivors whose calibrated
+//!   costs are within the band (20 %) of the cheapest, and (3) rotate the
+//!   cluster round-robin across repeated queries of the same template —
+//!   provided the template's workload (cost × frequency) exceeds the
+//!   threshold.
+//! * **Fragment level** (§4.1): like the above, but a plan may only join
+//!   the cluster if every fragment runs the *identical* plan shape as in
+//!   the cheapest plan (only the server differs) — "exchangeable query
+//!   fragment processing plans need to be identical".
+
+use crate::config::{LoadBalanceMode, QccConfig};
+use parking_lot::Mutex;
+use qcc_federation::GlobalCandidate;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct TemplateState {
+    /// Queries of this template seen so far in the current period.
+    frequency: u64,
+    /// Round-robin cursor.
+    cursor: usize,
+}
+
+/// Round-robin plan rotation state.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    mode: LoadBalanceMode,
+    band: f64,
+    threshold: f64,
+    exploration_interval: u64,
+    state: Mutex<HashMap<String, TemplateState>>,
+}
+
+impl LoadBalancer {
+    /// Fresh balancer.
+    pub fn new(config: &QccConfig) -> Self {
+        LoadBalancer {
+            mode: config.load_balance,
+            band: config.cost_band,
+            threshold: config.workload_threshold,
+            exploration_interval: config.exploration_interval,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> LoadBalanceMode {
+        self.mode
+    }
+
+    /// Reset per-template frequencies (the paper re-evaluates distribution
+    /// periodically as calibrated costs change).
+    pub fn reset_period(&self) {
+        let mut st = self.state.lock();
+        for t in st.values_mut() {
+            t.frequency = 0;
+        }
+    }
+
+    /// Choose a candidate index for this query. `candidates` must be
+    /// non-empty.
+    pub fn choose(&self, template: &str, candidates: &[GlobalCandidate]) -> usize {
+        debug_assert!(!candidates.is_empty());
+        let cheapest_idx = argmin(candidates);
+
+        // Track template frequency.
+        let frequency = {
+            let mut st = self.state.lock();
+            let t = st.entry(template.to_owned()).or_default();
+            t.frequency += 1;
+            t.frequency
+        };
+
+        // Re-calibration exploration: every Nth query of a template goes
+        // to the best plan on a *different* server set, so abandoned
+        // servers keep producing fresh observations and stale factors
+        // clear on their own (§3.4). Runs in every mode; in the rotating
+        // modes it simply adds one extra off-cluster sample per period.
+        if self.exploration_interval > 0
+            && frequency % self.exploration_interval == 0
+            && candidates.len() > 1
+        {
+            if let Some(alt) = best_alternative(candidates, cheapest_idx) {
+                return alt;
+            }
+        }
+
+        if self.mode == LoadBalanceMode::Disabled || candidates.len() == 1 {
+            return cheapest_idx;
+        }
+
+        // Dominance elimination: cheapest plan per server set.
+        let mut best_per_set: HashMap<String, usize> = HashMap::new();
+        for (i, c) in candidates.iter().enumerate() {
+            let key = server_set_key(c);
+            match best_per_set.get(&key) {
+                Some(&j) if candidates[j].total_cost() <= c.total_cost() => {}
+                _ => {
+                    best_per_set.insert(key, i);
+                }
+            }
+        }
+        let mut survivors: Vec<usize> = best_per_set.into_values().collect();
+        // Deterministic order: cost, then candidate index as a tiebreak
+        // (HashMap iteration order must not leak into routing decisions).
+        survivors.sort_by(|&a, &b| {
+            candidates[a]
+                .total_cost()
+                .total_cmp(&candidates[b].total_cost())
+                .then(a.cmp(&b))
+        });
+
+        let cheapest = survivors[0];
+        let cheapest_cost = candidates[cheapest].total_cost();
+        if !cheapest_cost.is_finite() || cheapest_cost <= 0.0 {
+            return cheapest;
+        }
+
+        // Workload threshold: only rotate heavy templates.
+        if cheapest_cost * frequency as f64 <= self.threshold {
+            return cheapest;
+        }
+
+        // Cluster within the band (and, at fragment level, with identical
+        // per-fragment plan shapes).
+        let cluster: Vec<usize> = survivors
+            .into_iter()
+            .filter(|&i| {
+                let c = &candidates[i];
+                if (c.total_cost() - cheapest_cost) / cheapest_cost > self.band {
+                    return false;
+                }
+                if self.mode == LoadBalanceMode::FragmentLevel {
+                    fragments_identical(c, &candidates[cheapest])
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if cluster.len() <= 1 {
+            return cheapest;
+        }
+
+        // Round-robin over the cluster.
+        let mut st = self.state.lock();
+        let t = st.entry(template.to_owned()).or_default();
+        let pick = cluster[t.cursor % cluster.len()];
+        t.cursor = (t.cursor + 1) % cluster.len();
+        pick
+    }
+}
+
+/// The cheapest candidate whose server set differs from `cheapest`'s.
+fn best_alternative(candidates: &[GlobalCandidate], cheapest: usize) -> Option<usize> {
+    let base_set = candidates[cheapest].server_set();
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| *i != cheapest && c.server_set() != base_set)
+        .filter(|(_, c)| c.total_cost().is_finite())
+        .min_by(|(i, a), (j, b)| a.total_cost().total_cmp(&b.total_cost()).then(i.cmp(j)))
+        .map(|(i, _)| i)
+}
+
+fn argmin(candidates: &[GlobalCandidate]) -> usize {
+    candidates
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.total_cost().total_cmp(&b.total_cost()))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn server_set_key(c: &GlobalCandidate) -> String {
+    let set = c.server_set();
+    let mut parts: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
+    parts.sort_unstable();
+    parts.join(",")
+}
+
+/// True when both plans run identical fragment plan shapes (the servers
+/// may differ).
+fn fragments_identical(a: &GlobalCandidate, b: &GlobalCandidate) -> bool {
+    a.fragments.len() == b.fragments.len()
+        && a.fragments
+            .iter()
+            .zip(&b.fragments)
+            .all(|(x, y)| x.plan.signature == y.plan.signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::{Cost, FragmentId, QueryId, ServerId};
+    use qcc_federation::FragmentCandidate;
+    use qcc_wrapper::FragmentPlan;
+
+    fn candidate(servers: &[(&str, f64, &str)], integration: f64) -> GlobalCandidate {
+        GlobalCandidate {
+            fragments: servers
+                .iter()
+                .enumerate()
+                .map(|(i, (srv, cost, sig))| FragmentCandidate {
+                    fragment: FragmentId::new(QueryId(0), i as u32),
+                    plan: FragmentPlan {
+                        server: ServerId::new(srv),
+                        sql: "SELECT 1".into(),
+                        descriptor: None,
+                        cost: Some(Cost::fixed(*cost)),
+                        signature: (*sig).to_owned(),
+                    },
+                    effective_cost: Cost::fixed(*cost),
+                })
+                .collect(),
+            integration_cost: Cost::fixed(integration),
+        }
+    }
+
+    fn balancer(mode: LoadBalanceMode, threshold: f64) -> LoadBalancer {
+        LoadBalancer::new(&QccConfig {
+            load_balance: mode,
+            workload_threshold: threshold,
+            ..QccConfig::default()
+        })
+    }
+
+    #[test]
+    fn disabled_mode_always_cheapest() {
+        let lb = balancer(LoadBalanceMode::Disabled, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "p")], 0.0),
+            candidate(&[("S2", 9.0, "p")], 0.0),
+        ];
+        for _ in 0..5 {
+            assert_eq!(lb.choose("q", &cands), 1);
+        }
+    }
+
+    #[test]
+    fn paper_q6_scenario_global_level() {
+        // §4.2: nine plans over {S1,S2,R1,R2}. Dominated plans (same server
+        // set, higher cost) are eliminated; p5, p6, p8 survive and rotate.
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 50.0, "a"), ("S2", 50.0, "b")], 0.0), // p1 dominated by p5
+            candidate(&[("S1", 48.0, "a2"), ("S2", 49.0, "b")], 0.0), // p2 dominated
+            candidate(&[("R1", 47.0, "a"), ("S2", 46.0, "b")], 0.0), // p3 dominated by p6
+            candidate(&[("S1", 52.0, "a"), ("S2", 41.0, "b2")], 0.0), // p4 dominated
+            candidate(&[("S1", 40.0, "a"), ("S2", 40.0, "b")], 0.0), // p5 survivor
+            candidate(&[("R1", 42.0, "a"), ("S2", 41.0, "b")], 0.0), // p6 survivor
+            candidate(&[("S1", 49.0, "a"), ("R2", 48.0, "b")], 0.0), // p7 dominated by p8
+            candidate(&[("S1", 43.0, "a"), ("R2", 44.0, "b")], 0.0), // p8 survivor
+            candidate(&[("R1", 60.0, "a"), ("R2", 60.0, "b")], 0.0), // p9 survivor but out of band
+        ];
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            picks.push(lb.choose("q6", &cands));
+        }
+        // Rotation among exactly {4, 5, 7} (p5, p6, p8).
+        let unique: std::collections::BTreeSet<usize> = picks.iter().copied().collect();
+        assert_eq!(unique, [4usize, 5, 7].into_iter().collect());
+        // Perfect round-robin: each appears twice in 6 picks.
+        for &i in &[4usize, 5, 7] {
+            assert_eq!(picks.iter().filter(|&&p| p == i).count(), 2);
+        }
+    }
+
+    #[test]
+    fn out_of_band_plans_excluded() {
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 100.0, "a")], 0.0),
+            candidate(&[("S2", 125.0, "a")], 0.0), // 25% worse: out of 20% band
+        ];
+        for _ in 0..4 {
+            assert_eq!(lb.choose("q", &cands), 0);
+        }
+    }
+
+    #[test]
+    fn threshold_gates_rotation() {
+        // cost 10 × frequency must exceed 35 → rotation starts at the 4th
+        // query of the template.
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 35.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "a")], 0.0),
+            candidate(&[("S2", 10.5, "a")], 0.0),
+        ];
+        let picks: Vec<usize> = (0..6).map(|_| lb.choose("q", &cands)).collect();
+        assert_eq!(picks[0], 0, "below threshold: cheapest");
+        assert_eq!(picks[1], 0);
+        assert_eq!(picks[2], 0);
+        let later: std::collections::BTreeSet<usize> = picks[3..].iter().copied().collect();
+        assert_eq!(later.len(), 2, "rotation engaged after threshold");
+    }
+
+    #[test]
+    fn fragment_level_requires_identical_shapes() {
+        let lb = balancer(LoadBalanceMode::FragmentLevel, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "idxscan(t.a = 5)")], 0.0),
+            // Same cost band, same shape, different server: exchangeable.
+            candidate(&[("R1", 10.5, "idxscan(t.a = 5)")], 0.0),
+            // Same cost band but different shape: NOT exchangeable.
+            candidate(&[("S2", 10.2, "seqscan(t,pred)")], 0.0),
+        ];
+        let picks: std::collections::BTreeSet<usize> =
+            (0..6).map(|_| lb.choose("q", &cands)).collect();
+        assert_eq!(picks, [0usize, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn global_level_allows_shape_substitution() {
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "idxscan(t.a = 5)")], 0.0),
+            candidate(&[("S2", 10.2, "seqscan(t,pred)")], 0.0),
+        ];
+        let picks: std::collections::BTreeSet<usize> =
+            (0..4).map(|_| lb.choose("q", &cands)).collect();
+        assert_eq!(picks.len(), 2, "different shapes may rotate globally");
+    }
+
+    #[test]
+    fn templates_rotate_independently() {
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "a")], 0.0),
+            candidate(&[("S2", 10.0, "a")], 0.0),
+        ];
+        let a1 = lb.choose("qa", &cands);
+        let b1 = lb.choose("qb", &cands);
+        assert_eq!(a1, b1, "each template starts at cursor 0");
+    }
+
+    #[test]
+    fn reset_period_clears_frequency() {
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 15.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "a")], 0.0),
+            candidate(&[("S2", 10.0, "a")], 0.0),
+        ];
+        lb.choose("q", &cands); // freq 1: 10 ≤ 15, no rotation
+        lb.choose("q", &cands); // freq 2: 20 > 15, rotation active
+        lb.reset_period();
+        // Frequency reset: back below the threshold.
+        assert_eq!(lb.choose("q", &cands), 0);
+    }
+
+    #[test]
+    fn infinite_cheapest_short_circuits() {
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 0.0);
+        let cands = vec![candidate(&[("S1", f64::INFINITY, "a")], 0.0)];
+        assert_eq!(lb.choose("q", &cands), 0);
+    }
+}

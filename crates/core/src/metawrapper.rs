@@ -1,0 +1,195 @@
+//! The meta-wrapper: the middleware that records everything and calibrates
+//! costs on the way through (paper §2, Figures 3–5).
+
+use crate::records::{ErrorRecord, FragmentCompileRecord, FragmentRunRecord};
+use crate::Qcc;
+use qcc_common::{Cost, FragmentId, QccError, QueryId, Result, SimDuration, SimTime};
+use qcc_federation::{FragmentCandidate, GlobalCandidate, Middleware, DEFAULT_UNCOSTED};
+use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
+use std::sync::Arc;
+
+/// Middleware implementation binding a [`Qcc`] into the federation.
+#[derive(Debug)]
+pub struct MetaWrapper {
+    qcc: Arc<Qcc>,
+}
+
+impl MetaWrapper {
+    /// Wrap a QCC.
+    pub fn new(qcc: Arc<Qcc>) -> Self {
+        MetaWrapper { qcc }
+    }
+
+    /// The underlying QCC.
+    pub fn qcc(&self) -> &Arc<Qcc> {
+        &self.qcc
+    }
+}
+
+impl Middleware for MetaWrapper {
+    fn plan_fragment(
+        &self,
+        wrapper: &dyn Wrapper,
+        query: QueryId,
+        fragment: FragmentId,
+        sql: &str,
+        at: SimTime,
+    ) -> Result<(Vec<FragmentCandidate>, SimDuration)> {
+        let server = wrapper.server_id().clone();
+
+        // A server the QCC believes is down is not even consulted; its
+        // cost is "infinity" until a daemon probe revives it (§3.3).
+        if self.qcc.reliability.is_down(&server) {
+            return Err(QccError::ServerUnavailable(server));
+        }
+
+        // Plan-cache hit: reuse the wrapper's earlier EXPLAIN response and
+        // skip the round trip — calibration below still applies the
+        // *current* factors (Figure 5's walkthrough).
+        let cached = if self.qcc.config.plan_cache {
+            self.qcc.plan_cache.get(&server, sql)
+        } else {
+            None
+        };
+        let (plans, took) = match cached {
+            Some(plans) => (plans, SimDuration::ZERO),
+            None => match wrapper.plan(sql, at) {
+                Ok((plans, took)) => {
+                    if self.qcc.config.plan_cache {
+                        self.qcc.plan_cache.put(&server, sql, plans.clone());
+                    }
+                    self.qcc.reliability.record_success(&server);
+                    (plans, took)
+                }
+                Err(e) => {
+                    self.record_failure(&server, &e, at);
+                    return Err(e);
+                }
+            },
+        };
+
+        let reliability = self.qcc.reliability.factor(&server);
+        let candidates = plans
+            .into_iter()
+            .map(|plan| {
+                // Record item (c)+(d): outgoing fragments and mappings.
+                self.qcc.records.record_compile(FragmentCompileRecord {
+                    query,
+                    fragment,
+                    server: server.clone(),
+                    sql: sql.to_owned(),
+                    signature: plan.signature.clone(),
+                    estimated: plan.cost,
+                    at,
+                });
+                // Calibrate: raw estimate × fragment factor × reliability.
+                let raw = plan.cost.unwrap_or(Cost::fixed(DEFAULT_UNCOSTED));
+                let factor = self
+                    .qcc
+                    .calibration
+                    .fragment_factor(&server, &plan.signature);
+                let effective_cost = raw.calibrate(factor * reliability);
+                FragmentCandidate {
+                    fragment,
+                    plan,
+                    effective_cost,
+                }
+            })
+            .collect();
+        Ok((candidates, took))
+    }
+
+    fn execute_fragment(
+        &self,
+        wrapper: &dyn Wrapper,
+        query: QueryId,
+        fragment: FragmentId,
+        plan: &FragmentPlan,
+        at: SimTime,
+    ) -> Result<WrapperResult> {
+        let server = wrapper.server_id().clone();
+        match wrapper.execute(plan, at) {
+            Ok(result) => {
+                self.qcc.reliability.record_success(&server);
+                let observed = result.response_time.as_millis();
+                // Record item (e): the fragment's observed response time,
+                // and feed the calibration window with the observed ÷
+                // raw-estimate pair.
+                // Uncosted fragments (file sources) calibrate against the
+                // DEFAULT_UNCOSTED baseline — the only way such sources
+                // ever become cost-comparable (§2: "when wrappers do not
+                // provide cost estimation").
+                let est = plan
+                    .cost
+                    .map(|c| c.total())
+                    .unwrap_or(DEFAULT_UNCOSTED);
+                self.qcc.records.record_run(FragmentRunRecord {
+                    query,
+                    fragment,
+                    server: server.clone(),
+                    signature: plan.signature.clone(),
+                    estimated_total: Some(est),
+                    observed_ms: observed,
+                    at,
+                });
+                self.qcc
+                    .calibration
+                    .record_fragment(&server, &plan.signature, est, observed);
+                Ok(result)
+            }
+            Err(e) => {
+                self.record_failure(&server, &e, at);
+                Err(e)
+            }
+        }
+    }
+
+    fn calibrate_integration(&self, cost: Cost) -> Cost {
+        // The workload factor is tracked per template; as the template is
+        // not known at this call site, the global fallback ("") applies
+        // here and per-template refinement happens in observe_query.
+        cost.calibrate(self.qcc.calibration.ii_factor(""))
+    }
+
+    fn choose_global(&self, query_sig: &str, candidates: &[GlobalCandidate]) -> usize {
+        if candidates.is_empty() {
+            return 0;
+        }
+        self.qcc.load_balancer.choose(query_sig, candidates)
+    }
+
+    fn observe_query(
+        &self,
+        _query: QueryId,
+        query_sig: &str,
+        estimated_total: f64,
+        observed_ms: f64,
+    ) {
+        self.qcc
+            .calibration
+            .record_ii(query_sig, estimated_total, observed_ms);
+        self.qcc.calibration.record_ii("", estimated_total, observed_ms);
+    }
+}
+
+impl MetaWrapper {
+    fn record_failure(&self, server: &qcc_common::ServerId, e: &QccError, at: SimTime) {
+        self.qcc.records.record_error(ErrorRecord {
+            server: server.clone(),
+            message: e.to_string(),
+            at,
+        });
+        match e {
+            QccError::ServerUnavailable(_) => {
+                self.qcc.reliability.record_unreachable(server, at);
+                // While unreachable the server's catalog may change;
+                // cached plans for it are no longer trustworthy.
+                self.qcc.plan_cache.invalidate_server(server);
+            }
+            QccError::ServerFault { .. } => {
+                self.qcc.reliability.record_fault(server);
+            }
+            _ => {}
+        }
+    }
+}

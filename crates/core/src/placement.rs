@@ -1,0 +1,358 @@
+//! Data placement advisor — the paper's stated future work (§7):
+//! *"incorporation of data placement strategies in conjunction with QCC
+//! into the proposed architecture."*
+//!
+//! The advisor combines the two assets the QCC already owns:
+//!
+//! * the meta-wrapper's runtime records, which say *which nicknames are
+//!   hot and where their fragments actually ran*, and
+//! * the simulated federated system (§2), which can answer *"what would
+//!   the best plan cost if a copy of nickname N also lived on server S?"*
+//!   without moving any data — a virtual table with the origin's
+//!   statistics is registered on the candidate host's virtual catalog.
+//!
+//! For every (hot nickname × candidate host) pair the advisor compares
+//! the current best calibrated plan cost of the nickname's observed query
+//! templates against the what-if best cost with the extra replica, scores
+//! the pair by projected workload savings (cost delta × observed
+//! frequency), and returns a ranked list of [`PlacementRecommendation`]s.
+
+use crate::whatif::SimulatedFederation;
+use crate::Qcc;
+use qcc_common::{QccError, Result, ServerId};
+use qcc_federation::NicknameCatalog;
+use qcc_remote::RemoteServer;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One suggested replica placement.
+#[derive(Debug, Clone)]
+pub struct PlacementRecommendation {
+    /// The nickname to replicate.
+    pub nickname: String,
+    /// The server that should receive the new replica.
+    pub target: ServerId,
+    /// Best current cost of the affected templates (sum over templates of
+    /// best plan cost × observed frequency).
+    pub current_workload_cost: f64,
+    /// The same workload costed with the replica in place.
+    pub projected_workload_cost: f64,
+}
+
+impl PlacementRecommendation {
+    /// Projected saving as a fraction of the current cost.
+    pub fn saving(&self) -> f64 {
+        if self.current_workload_cost <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.projected_workload_cost / self.current_workload_cost
+    }
+}
+
+/// The advisor. Works entirely on virtual catalogs — nothing moves.
+pub struct PlacementAdvisor<'a> {
+    qcc: &'a Qcc,
+    nicknames: NicknameCatalog,
+    servers: Vec<Arc<RemoteServer>>,
+    /// Only recommend placements saving at least this fraction.
+    pub min_saving: f64,
+}
+
+impl<'a> PlacementAdvisor<'a> {
+    /// Build an advisor over the production servers and nickname catalog.
+    pub fn new(
+        qcc: &'a Qcc,
+        nicknames: NicknameCatalog,
+        servers: Vec<Arc<RemoteServer>>,
+    ) -> Self {
+        PlacementAdvisor {
+            qcc,
+            nicknames,
+            servers,
+            min_saving: 0.05,
+        }
+    }
+
+    /// Evaluate candidate placements for the given query templates
+    /// (typically: the templates observed by the patroller, weighted by
+    /// frequency). Returns recommendations sorted by absolute projected
+    /// saving, best first.
+    pub fn recommend(
+        &self,
+        workload: &[(String, u64)], // (federated SQL template instance, frequency)
+    ) -> Result<Vec<PlacementRecommendation>> {
+        if workload.is_empty() {
+            return Ok(vec![]);
+        }
+        let baseline = SimulatedFederation::from_servers(self.nicknames.clone(), &self.servers);
+
+        // Current best cost per query (calibrated per-server factors are
+        // applied on top of the virtual estimates).
+        let mut current_total: BTreeMap<&str, f64> = BTreeMap::new();
+        for (sql, freq) in workload {
+            let plans = baseline.enumerate_plans(sql)?;
+            let best = self.best_calibrated(&plans).ok_or_else(|| {
+                QccError::NoViablePlan(format!("no plan for workload query: {sql}"))
+            })?;
+            current_total.insert(sql.as_str(), best * *freq as f64);
+        }
+
+        // Candidate (nickname, target) pairs: every server that does not
+        // already host the nickname.
+        let mut recommendations = Vec::new();
+        for nickname in self.nicknames.names() {
+            let def = self.nicknames.get(nickname)?;
+            let hosts: BTreeSet<&ServerId> = def.sources.iter().map(|s| &s.server).collect();
+            for server in &self.servers {
+                if hosts.contains(server.id()) {
+                    continue;
+                }
+                // What-if: same world plus a virtual replica of `nickname`
+                // (origin statistics, no data) on `server`.
+                let mut nick2 = self.nicknames.clone();
+                nick2.add_source(nickname, server.id().clone(), nickname)?;
+                let servers2: Vec<Arc<RemoteServer>> = self
+                    .servers
+                    .iter()
+                    .map(|s| {
+                        if s.id() == server.id() {
+                            self.with_virtual_replica(s, nickname)
+                        } else {
+                            Arc::clone(s)
+                        }
+                    })
+                    .collect();
+                let whatif = SimulatedFederation::from_servers(nick2, &servers2);
+
+                let mut current = 0.0;
+                let mut projected = 0.0;
+                let mut affected = false;
+                for (sql, freq) in workload {
+                    let cur = current_total[sql.as_str()];
+                    let plans = whatif.enumerate_plans(sql)?;
+                    let best = match self.best_calibrated(&plans) {
+                        Some(b) => b * *freq as f64,
+                        None => cur,
+                    };
+                    if (cur - best).abs() > 1e-9 {
+                        affected = true;
+                    }
+                    current += cur;
+                    projected += best.min(cur);
+                }
+                if !affected {
+                    continue;
+                }
+                let rec = PlacementRecommendation {
+                    nickname: nickname.to_owned(),
+                    target: server.id().clone(),
+                    current_workload_cost: current,
+                    projected_workload_cost: projected,
+                };
+                if rec.saving() >= self.min_saving {
+                    recommendations.push(rec);
+                }
+            }
+        }
+        recommendations.sort_by(|a, b| {
+            let sa = a.current_workload_cost - a.projected_workload_cost;
+            let sb = b.current_workload_cost - b.projected_workload_cost;
+            sb.total_cmp(&sa)
+        });
+        Ok(recommendations)
+    }
+
+    /// Best plan cost with the QCC's per-server calibration factors and
+    /// reliability factors applied (the virtual estimates are load-blind;
+    /// the factors carry what the QCC has learned about each host).
+    fn best_calibrated(&self, plans: &[qcc_federation::GlobalCandidate]) -> Option<f64> {
+        plans
+            .iter()
+            .map(|p| {
+                let remote = p
+                    .fragments
+                    .iter()
+                    .map(|f| {
+                        let factor = self
+                            .qcc
+                            .calibration
+                            .fragment_factor(&f.plan.server, &f.plan.signature)
+                            * self.qcc.reliability.factor(&f.plan.server);
+                        f.effective_cost.total() * factor
+                    })
+                    .fold(0.0_f64, f64::max);
+                remote + p.integration_cost.total()
+            })
+            .filter(|c| c.is_finite())
+            .min_by(f64::total_cmp)
+    }
+
+    /// A twin of `server` whose catalog additionally carries a *virtual*
+    /// copy of `nickname` (schema + statistics from the current origin).
+    fn with_virtual_replica(
+        &self,
+        server: &Arc<RemoteServer>,
+        nickname: &str,
+    ) -> Arc<RemoteServer> {
+        let def = self
+            .nicknames
+            .get(nickname)
+            .expect("nickname exists by construction");
+        let origin = def
+            .sources
+            .first()
+            .expect("nickname has at least one source");
+        let origin_server = self
+            .servers
+            .iter()
+            .find(|s| s.id() == &origin.server)
+            .expect("origin server registered");
+        let origin_entry = origin_server
+            .engine()
+            .catalog()
+            .entry(&origin.remote_table)
+            .expect("origin hosts the table");
+
+        let mut catalog = server.engine().catalog().clone();
+        catalog.register_virtual(
+            qcc_storage::Table::new(nickname, origin_entry.table.schema().clone()),
+            origin_entry.stats.clone(),
+        );
+        let profile = qcc_remote::ServerProfile {
+            id: server.id().clone(),
+            ..server.profile().clone()
+        };
+        RemoteServer::new(profile, catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QccConfig;
+    use qcc_common::{Column, DataType, Row, Schema, Value};
+    use qcc_remote::ServerProfile;
+    use qcc_storage::{Catalog, Table};
+
+    /// `facts` (large) lives only on the slow S1; `dims` (small) lives on
+    /// both S1 and the fast S2. Queries joining the two must run on S1
+    /// (the only common host) — until a replica of `facts` on S2 unlocks
+    /// the faster server.
+    fn world() -> (NicknameCatalog, Vec<Arc<RemoteServer>>) {
+        let facts_schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("dim_id", DataType::Int),
+        ]);
+        let dims_schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+        ]);
+        let mut facts = Table::new("facts", facts_schema);
+        for i in 0..20_000i64 {
+            facts
+                .insert(Row::new(vec![Value::Int(i), Value::Int(i % 50)]))
+                .unwrap();
+        }
+        let mut dims = Table::new("dims", dims_schema);
+        for i in 0..50i64 {
+            dims.insert(Row::new(vec![Value::Int(i), Value::Str(format!("d{i}"))]))
+                .unwrap();
+        }
+
+        let mut cat1 = Catalog::new();
+        cat1.register(facts);
+        cat1.register(dims.clone());
+        let mut s1_profile = ServerProfile::new(ServerId::new("S1"));
+        s1_profile.speed = 1.0;
+        let s1 = RemoteServer::new(s1_profile, cat1);
+
+        let mut cat2 = Catalog::new();
+        cat2.register(dims);
+        let mut s2_profile = ServerProfile::new(ServerId::new("S2"));
+        s2_profile.speed = 3.0;
+        let s2 = RemoteServer::new(s2_profile, cat2);
+
+        let mut nicknames = NicknameCatalog::new();
+        nicknames.define(
+            "facts",
+            s1.engine().catalog().entry("facts").unwrap().table.schema().clone(),
+        );
+        nicknames.define(
+            "dims",
+            s1.engine().catalog().entry("dims").unwrap().table.schema().clone(),
+        );
+        nicknames
+            .add_source("facts", ServerId::new("S1"), "facts")
+            .unwrap();
+        nicknames
+            .add_source("dims", ServerId::new("S1"), "dims")
+            .unwrap();
+        nicknames
+            .add_source("dims", ServerId::new("S2"), "dims")
+            .unwrap();
+        (nicknames, vec![s1, s2])
+    }
+
+    const WORKLOAD_SQL: &str = "SELECT d.name, COUNT(*) AS n FROM facts f \
+                                JOIN dims d ON f.dim_id = d.id GROUP BY d.name";
+
+    #[test]
+    fn recommends_replicating_the_hot_table_to_the_fast_server() {
+        let (nicknames, servers) = world();
+        let qcc = Qcc::new(QccConfig::default());
+        let advisor = PlacementAdvisor::new(&qcc, nicknames, servers);
+        let recs = advisor
+            .recommend(&[(WORKLOAD_SQL.to_string(), 100)])
+            .unwrap();
+        assert!(!recs.is_empty(), "a beneficial placement exists");
+        let top = &recs[0];
+        assert_eq!(top.nickname, "facts");
+        assert_eq!(top.target, ServerId::new("S2"));
+        assert!(
+            top.saving() > 0.3,
+            "moving facts to the 3x server saves a lot, got {:.2}",
+            top.saving()
+        );
+    }
+
+    #[test]
+    fn no_recommendation_for_irrelevant_workload() {
+        let (nicknames, servers) = world();
+        let qcc = Qcc::new(QccConfig::default());
+        let advisor = PlacementAdvisor::new(&qcc, nicknames, servers);
+        // dims-only queries already run on the fast server; replicating
+        // facts would not help them.
+        let recs = advisor
+            .recommend(&[("SELECT COUNT(*) FROM dims".to_string(), 100)])
+            .unwrap();
+        assert!(
+            recs.iter().all(|r| r.saving() < 0.05),
+            "no meaningful saving expected, got {recs:?}"
+        );
+    }
+
+    #[test]
+    fn calibration_factors_steer_recommendations() {
+        // If the QCC has learned that S2 is (currently) 10x slower than
+        // its estimates claim, replicating onto S2 stops looking good.
+        let (nicknames, servers) = world();
+        let qcc = Qcc::new(QccConfig::default());
+        qcc.calibration.seed_server(&ServerId::new("S2"), 10.0);
+        let advisor = PlacementAdvisor::new(&qcc, nicknames, servers);
+        let recs = advisor
+            .recommend(&[(WORKLOAD_SQL.to_string(), 100)])
+            .unwrap();
+        assert!(
+            recs.iter().all(|r| r.target != ServerId::new("S2") || r.saving() < 0.05),
+            "a poorly-calibrated host should not attract replicas: {recs:?}"
+        );
+    }
+
+    #[test]
+    fn empty_workload_yields_nothing() {
+        let (nicknames, servers) = world();
+        let qcc = Qcc::new(QccConfig::default());
+        let advisor = PlacementAdvisor::new(&qcc, nicknames, servers);
+        assert!(advisor.recommend(&[]).unwrap().is_empty());
+    }
+}

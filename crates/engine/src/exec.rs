@@ -1,0 +1,515 @@
+//! Materializing executor with CPU-work accounting.
+//!
+//! Execution returns both the result rows and a [`Work`] record describing
+//! how much CPU work was actually done, in the same optimizer units the
+//! cost model estimates. The remote-server simulation divides work by the
+//! server's speed and multiplies by its load slowdown to produce the
+//! virtual response time the meta-wrapper observes.
+
+use crate::cost::CostModel;
+use crate::expr::{AggAccumulator, CompiledExpr};
+use crate::plan::{AggSpec, IndexPredicate, PlanNode};
+use qcc_common::{QccError, Result, Row, Value};
+use qcc_storage::Catalog;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Actual work performed by an execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Work {
+    /// CPU work in optimizer units.
+    pub cpu_units: f64,
+    /// Rows read from base tables.
+    pub rows_scanned: u64,
+    /// Rows produced at the plan root.
+    pub rows_output: u64,
+    /// Approximate bytes of the produced result (for transfer costing).
+    pub result_bytes: u64,
+}
+
+impl Work {
+    /// Merge another work record into this one.
+    pub fn absorb(&mut self, other: Work) {
+        self.cpu_units += other.cpu_units;
+        self.rows_scanned += other.rows_scanned;
+        // rows_output / result_bytes describe the root and are set last.
+    }
+}
+
+/// Execute a plan against a catalog.
+pub fn execute(plan: &PlanNode, catalog: &Catalog, m: &CostModel) -> Result<(Vec<Row>, Work)> {
+    let mut work = Work {
+        cpu_units: m.startup,
+        ..Work::default()
+    };
+    let rows = exec_node(plan, catalog, m, &mut work)?;
+    work.rows_output = rows.len() as u64;
+    work.result_bytes = rows.iter().map(|r| r.byte_width() as u64).sum();
+    Ok((rows, work))
+}
+
+fn exec_node(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    m: &CostModel,
+    work: &mut Work,
+) -> Result<Vec<Row>> {
+    match plan {
+        PlanNode::SeqScan {
+            table, predicate, ..
+        } => {
+            let entry = catalog.entry(table)?;
+            let base = entry.table.rows();
+            work.rows_scanned += base.len() as u64;
+            work.cpu_units += base.len() as f64 * m.scan_row;
+            let out: Vec<Row> = match predicate {
+                None => base.to_vec(),
+                Some(p) => {
+                    work.cpu_units += base.len() as f64 * p.node_count() as f64 * m.pred_node;
+                    base.iter().filter(|r| p.eval_predicate(r)).cloned().collect()
+                }
+            };
+            work.cpu_units += out.len() as f64 * m.output_row;
+            Ok(out)
+        }
+        PlanNode::IndexScan {
+            table,
+            column,
+            pred,
+            residual,
+            ..
+        } => {
+            let entry = catalog.entry(table)?;
+            let index = entry
+                .indexes
+                .iter()
+                .find(|i| i.column_name().eq_ignore_ascii_case(column))
+                .ok_or_else(|| {
+                    QccError::Execution(format!("index on {table}.{column} disappeared"))
+                })?;
+            work.cpu_units += m.index_probe;
+            let positions: Vec<u32> = match pred {
+                IndexPredicate::Eq(v) => index.lookup_eq(v).to_vec(),
+                IndexPredicate::Range { lo, hi } => {
+                    let lo_b = match lo {
+                        Some((v, true)) => Bound::Included(v),
+                        Some((v, false)) => Bound::Excluded(v),
+                        None => Bound::Unbounded,
+                    };
+                    let hi_b = match hi {
+                        Some((v, true)) => Bound::Included(v),
+                        Some((v, false)) => Bound::Excluded(v),
+                        None => Bound::Unbounded,
+                    };
+                    index.lookup_range(lo_b, hi_b)
+                }
+            };
+            work.rows_scanned += positions.len() as u64;
+            work.cpu_units += positions.len() as f64 * m.index_match_row;
+            let base = entry.table.rows();
+            let mut out = Vec::with_capacity(positions.len());
+            for pos in positions {
+                let row = &base[pos as usize];
+                if let Some(p) = residual {
+                    work.cpu_units += p.node_count() as f64 * m.pred_node;
+                    if !p.eval_predicate(row) {
+                        continue;
+                    }
+                }
+                out.push(row.clone());
+            }
+            work.cpu_units += out.len() as f64 * m.output_row;
+            Ok(out)
+        }
+        PlanNode::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            ..
+        } => {
+            let build = exec_node(left, catalog, m, work)?;
+            let probe = exec_node(right, catalog, m, work)?;
+            work.cpu_units += build.len() as f64 * m.hash_build_row;
+            work.cpu_units += probe.len() as f64 * m.hash_probe_row;
+            let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            for row in &build {
+                let key: Vec<Value> = left_keys.iter().map(|k| k.eval(row)).collect();
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL keys never join.
+                }
+                table.entry(key).or_default().push(row);
+            }
+            let mut out = Vec::new();
+            for row in &probe {
+                let key: Vec<Value> = right_keys.iter().map(|k| k.eval(row)).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for b in matches {
+                        let joined = b.join(row);
+                        if let Some(p) = residual {
+                            work.cpu_units += p.node_count() as f64 * m.pred_node;
+                            if !p.eval_predicate(&joined) {
+                                continue;
+                            }
+                        }
+                        work.cpu_units += m.output_row;
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            let outer = exec_node(left, catalog, m, work)?;
+            let inner = exec_node(right, catalog, m, work)?;
+            let pairs = outer.len() as f64 * inner.len() as f64;
+            work.cpu_units += pairs
+                * (m.hash_probe_row
+                    + predicate
+                        .as_ref()
+                        .map_or(0.0, |p| p.node_count() as f64 * m.pred_node));
+            let mut out = Vec::new();
+            for l in &outer {
+                for r in &inner {
+                    let joined = l.join(r);
+                    let keep = predicate.as_ref().is_none_or(|p| p.eval_predicate(&joined));
+                    if keep {
+                        work.cpu_units += m.output_row;
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Filter {
+            input, predicate, ..
+        } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            work.cpu_units += rows.len() as f64 * predicate.node_count() as f64 * m.pred_node;
+            Ok(rows
+                .into_iter()
+                .filter(|r| predicate.eval_predicate(r))
+                .collect())
+        }
+        PlanNode::Project { input, exprs, .. } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            let nodes: usize = exprs.iter().map(CompiledExpr::node_count).sum();
+            work.cpu_units += rows.len() as f64 * nodes as f64 * m.pred_node;
+            Ok(rows
+                .iter()
+                .map(|r| Row::new(exprs.iter().map(|e| e.eval(r)).collect()))
+                .collect())
+        }
+        PlanNode::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            work.cpu_units += rows.len() as f64 * (1 + aggs.len()) as f64 * m.agg_row;
+            exec_aggregate(&rows, group_by, aggs, m, work)
+        }
+        PlanNode::Sort { input, keys } => {
+            let mut rows = exec_node(input, catalog, m, work)?;
+            let n = rows.len().max(2) as f64;
+            work.cpu_units += m.sort_row_log * n * n.log2();
+            rows.sort_by(|a, b| {
+                for (k, desc) in keys {
+                    let va = k.eval(a);
+                    let vb = k.eval(b);
+                    let ord = va.total_cmp(&vb);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        PlanNode::Limit { input, n } => {
+            let mut rows = exec_node(input, catalog, m, work)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+        PlanNode::Distinct { input, .. } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            work.cpu_units += rows.len() as f64 * m.hash_build_row;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for r in rows {
+                if seen.insert(r.clone()) {
+                    out.push(r); // Order-preserving: first occurrence wins.
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn exec_aggregate(
+    rows: &[Row],
+    group_by: &[CompiledExpr],
+    aggs: &[AggSpec],
+    m: &CostModel,
+    work: &mut Work,
+) -> Result<Vec<Row>> {
+    // Group rows preserving first-seen key order for determinism.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<AggAccumulator>> = HashMap::new();
+    let make_accs =
+        || -> Vec<AggAccumulator> { aggs.iter().map(|a| AggAccumulator::new(a.func, a.distinct)).collect() };
+
+    if group_by.is_empty() {
+        // Global aggregation always yields exactly one row.
+        let mut accs = make_accs();
+        for row in rows {
+            feed(&mut accs, aggs, row);
+        }
+        let values: Vec<Value> = accs.iter().map(AggAccumulator::finish).collect();
+        work.cpu_units += m.output_row;
+        return Ok(vec![Row::new(values)]);
+    }
+
+    for row in rows {
+        let key: Vec<Value> = group_by.iter().map(|k| k.eval(row)).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            make_accs()
+        });
+        feed(accs, aggs, row);
+    }
+    work.cpu_units += order.len() as f64 * m.output_row;
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.get(&key).expect("group exists");
+        let mut values = key;
+        values.extend(accs.iter().map(AggAccumulator::finish));
+        out.push(Row::new(values));
+    }
+    Ok(out)
+}
+
+fn feed(accs: &mut [AggAccumulator], aggs: &[AggSpec], row: &Row) {
+    for (acc, spec) in accs.iter_mut().zip(aggs) {
+        match &spec.arg {
+            None => acc.push(None),
+            Some(e) => {
+                let v = e.eval(row);
+                acc.push(Some(&v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use qcc_common::{Column, DataType, Schema};
+    use qcc_storage::Table;
+
+    fn engine() -> Engine {
+        let mut c = Catalog::new();
+        let mut t = Table::new(
+            "sales",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("region", DataType::Str),
+                Column::new("amount", DataType::Int),
+            ]),
+        );
+        let regions = ["east", "west", "north"];
+        for i in 0..300i64 {
+            t.insert(Row::new(vec![
+                Value::Int(i),
+                Value::from(regions[(i % 3) as usize]),
+                Value::Int(i % 10),
+            ]))
+            .unwrap();
+        }
+        c.register(t);
+        c.create_index("sales", "id").unwrap();
+        let mut r = Table::new(
+            "regions",
+            Schema::new(vec![
+                Column::new("name", DataType::Str),
+                Column::new("manager", DataType::Str),
+            ]),
+        );
+        for (n, mgr) in [("east", "alice"), ("west", "bob"), ("north", "carol")] {
+            r.insert(Row::new(vec![Value::from(n), Value::from(mgr)]))
+                .unwrap();
+        }
+        c.register(r);
+        Engine::new(c)
+    }
+
+    #[test]
+    fn simple_filter_scan() {
+        let (rows, work) = engine().execute_sql("SELECT * FROM sales WHERE amount >= 8").unwrap();
+        assert_eq!(rows.len(), 60);
+        assert_eq!(work.rows_scanned, 300);
+        assert!(work.cpu_units > 0.0);
+    }
+
+    #[test]
+    fn index_scan_reads_fewer_rows() {
+        let e = engine();
+        let plans = e.explain("SELECT * FROM sales WHERE id = 42").unwrap();
+        let idx_plan = plans
+            .iter()
+            .find(|p| matches!(p.plan, PlanNode::IndexScan { .. }))
+            .expect("index plan offered");
+        let (rows, work) = e.execute_plan(&idx_plan.plan).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(work.rows_scanned, 1, "index probe touches one row");
+    }
+
+    #[test]
+    fn hash_join_matches() {
+        let (rows, _) = engine()
+            .execute_sql(
+                "SELECT s.id, r.manager FROM sales s JOIN regions r ON s.region = r.name \
+                 WHERE s.amount = 9",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 30);
+        // Every row must carry a manager.
+        assert!(rows.iter().all(|r| !r.get(1).is_null()));
+    }
+
+    #[test]
+    fn aggregation_group_by() {
+        let (rows, _) = engine()
+            .execute_sql(
+                "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM sales GROUP BY region",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.get(1), &Value::Int(100));
+            assert_eq!(r.get(2), &Value::Int(100 / 10 * 45));
+        }
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let (rows, _) = engine()
+            .execute_sql("SELECT COUNT(*), SUM(amount) FROM sales WHERE amount > 100")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int(0));
+        assert_eq!(rows[0].get(1), &Value::Null, "SUM of nothing is NULL");
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let (rows, _) = engine()
+            .execute_sql("SELECT region, COUNT(*) FROM sales WHERE amount > 100 GROUP BY region")
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let (rows, _) = engine()
+            .execute_sql(
+                "SELECT amount, COUNT(*) AS n FROM sales GROUP BY amount HAVING amount >= 5",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let (rows, _) = engine()
+            .execute_sql("SELECT id FROM sales ORDER BY id DESC LIMIT 3")
+            .unwrap();
+        let ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![299, 298, 297]);
+    }
+
+    #[test]
+    fn order_by_on_aggregate_alias() {
+        let (rows, _) = engine()
+            .execute_sql(
+                "SELECT region, SUM(amount) AS t FROM sales GROUP BY region ORDER BY t DESC, region",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        // All sums are equal, so ties break on region ascending.
+        assert_eq!(rows[0].get(0), &Value::from("east"));
+    }
+
+    #[test]
+    fn distinct_dedups_preserving_order() {
+        let (rows, _) = engine()
+            .execute_sql("SELECT DISTINCT region FROM sales")
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(0), &Value::from("east"), "first-seen order");
+    }
+
+    #[test]
+    fn projection_expressions() {
+        let (rows, _) = engine()
+            .execute_sql("SELECT id * 2 + 1 AS x FROM sales WHERE id < 3 ORDER BY id")
+            .unwrap();
+        let xs: Vec<i64> = rows.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        assert_eq!(xs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn null_keys_do_not_join() {
+        let mut c = Catalog::new();
+        let mut a = Table::new("a", Schema::new(vec![Column::new("k", DataType::Int)]));
+        a.insert(Row::new(vec![Value::Null])).unwrap();
+        a.insert(Row::new(vec![Value::Int(1)])).unwrap();
+        c.register(a);
+        let mut b = Table::new("b", Schema::new(vec![Column::new("k", DataType::Int)]));
+        b.insert(Row::new(vec![Value::Null])).unwrap();
+        b.insert(Row::new(vec![Value::Int(1)])).unwrap();
+        c.register(b);
+        let e = Engine::new(c);
+        let (rows, _) = e
+            .execute_sql("SELECT * FROM a, b WHERE a.k = b.k")
+            .unwrap();
+        assert_eq!(rows.len(), 1, "NULL = NULL must not match");
+    }
+
+    #[test]
+    fn work_scales_with_data() {
+        let e = engine();
+        let (_, w1) = e.execute_sql("SELECT * FROM sales WHERE id < 10").unwrap();
+        let (_, w2) = e.execute_sql("SELECT * FROM sales").unwrap();
+        assert!(w2.cpu_units > w1.cpu_units);
+        assert!(w2.result_bytes > w1.result_bytes);
+    }
+
+    #[test]
+    fn estimated_vs_actual_same_ballpark() {
+        // On a query with sane statistics the estimate should be within an
+        // order of magnitude of the actual work (no load, no network).
+        let e = engine();
+        let plans = e.explain("SELECT * FROM sales WHERE amount >= 5").unwrap();
+        let best = &plans[0];
+        let (_, work) = e.execute_plan(&best.plan).unwrap();
+        let est = best.cost.total();
+        let actual = work.cpu_units;
+        assert!(
+            est / actual < 10.0 && actual / est < 10.0,
+            "estimate {est} vs actual {actual}"
+        );
+    }
+}

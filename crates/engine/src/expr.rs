@@ -1,0 +1,572 @@
+//! Compiled scalar expressions.
+//!
+//! Column references are resolved to positional indices once, at plan
+//! build time, so row-at-a-time evaluation does no name lookups. Booleans
+//! are represented as `Value::Int(0 | 1)` with `Value::Null` as SQL's
+//! *unknown*; [`CompiledExpr::eval_predicate`] maps unknown to `false` (WHERE semantics).
+
+use qcc_common::{QccError, Result, Row, Schema, Value};
+use qcc_sql::{AggFunc, BinaryOp, Expr, UnaryOp};
+
+/// An expression with all column references resolved to row positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// Value at a row position.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<CompiledExpr>,
+        /// Right operand.
+        right: Box<CompiledExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<CompiledExpr>,
+    },
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<CompiledExpr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `[NOT] IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<CompiledExpr>,
+        /// Members.
+        list: Vec<CompiledExpr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `[NOT] BETWEEN`.
+    Between {
+        /// Tested expression.
+        expr: Box<CompiledExpr>,
+        /// Lower bound.
+        low: Box<CompiledExpr>,
+        /// Upper bound.
+        high: Box<CompiledExpr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `[NOT] LIKE`.
+    Like {
+        /// Tested expression.
+        expr: Box<CompiledExpr>,
+        /// SQL pattern (`%`, `_`).
+        pattern: String,
+        /// Negated form.
+        negated: bool,
+    },
+}
+
+/// Compile an AST expression against a schema. Aggregate calls are
+/// rejected — the planner routes them through [`crate::plan::AggSpec`]
+/// before compilation.
+pub fn compile(expr: &Expr, schema: &Schema) -> Result<CompiledExpr> {
+    match expr {
+        Expr::Column { table, name } => {
+            let idx = schema.resolve(table.as_deref(), name)?;
+            Ok(CompiledExpr::Column(idx))
+        }
+        Expr::Literal(v) => Ok(CompiledExpr::Literal(v.clone())),
+        Expr::Binary { op, left, right } => Ok(CompiledExpr::Binary {
+            op: *op,
+            left: Box::new(compile(left, schema)?),
+            right: Box::new(compile(right, schema)?),
+        }),
+        Expr::Unary { op, expr } => Ok(CompiledExpr::Unary {
+            op: *op,
+            expr: Box::new(compile(expr, schema)?),
+        }),
+        Expr::Agg { .. } => Err(QccError::Planning(
+            "aggregate expression in scalar context".into(),
+        )),
+        Expr::IsNull { expr, negated } => Ok(CompiledExpr::IsNull {
+            expr: Box::new(compile(expr, schema)?),
+            negated: *negated,
+        }),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(CompiledExpr::InList {
+            expr: Box::new(compile(expr, schema)?),
+            list: list
+                .iter()
+                .map(|e| compile(e, schema))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        }),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Ok(CompiledExpr::Between {
+            expr: Box::new(compile(expr, schema)?),
+            low: Box::new(compile(low, schema)?),
+            high: Box::new(compile(high, schema)?),
+            negated: *negated,
+        }),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Ok(CompiledExpr::Like {
+            expr: Box::new(compile(expr, schema)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }),
+    }
+}
+
+impl CompiledExpr {
+    /// Evaluate against a row. Booleans come back as `Int(0|1)`, unknown
+    /// as `Null`.
+    pub fn eval(&self, row: &Row) -> Value {
+        match self {
+            CompiledExpr::Column(i) => row.get(*i).clone(),
+            CompiledExpr::Literal(v) => v.clone(),
+            CompiledExpr::Binary { op, left, right } => {
+                eval_binary(*op, &left.eval(row), &right.eval(row))
+            }
+            CompiledExpr::Unary { op, expr } => {
+                let v = expr.eval(row);
+                match op {
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        _ => Value::Null,
+                    },
+                    UnaryOp::Not => match truth(&v) {
+                        Some(b) => bool_value(!b),
+                        None => Value::Null,
+                    },
+                }
+            }
+            CompiledExpr::IsNull { expr, negated } => {
+                let isnull = expr.eval(row).is_null();
+                bool_value(isnull != *negated)
+            }
+            CompiledExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row);
+                if v.is_null() {
+                    return Value::Null;
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let member = item.eval(row);
+                    match v.sql_eq(&member) {
+                        Some(true) => return bool_value(!*negated),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    bool_value(*negated)
+                }
+            }
+            CompiledExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row);
+                let lo = low.eval(row);
+                let hi = high.eval(row);
+                let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+                match (ge, le) {
+                    (Some(a), Some(b)) => bool_value((a && b) != *negated),
+                    // Short-circuit definite falsity even with one NULL bound.
+                    (Some(false), _) | (_, Some(false)) => bool_value(*negated),
+                    _ => Value::Null,
+                }
+            }
+            CompiledExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row);
+                match v.as_str() {
+                    Some(s) => bool_value(like_match(s, pattern) != *negated),
+                    None => Value::Null,
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a WHERE predicate: unknown (`NULL`) rejects the row.
+    pub fn eval_predicate(&self, row: &Row) -> bool {
+        truth(&self.eval(row)).unwrap_or(false)
+    }
+
+    /// Number of nodes (used for per-tuple CPU accounting).
+    pub fn node_count(&self) -> usize {
+        match self {
+            CompiledExpr::Column(_) | CompiledExpr::Literal(_) => 1,
+            CompiledExpr::Binary { left, right, .. } => 1 + left.node_count() + right.node_count(),
+            CompiledExpr::Unary { expr, .. } | CompiledExpr::IsNull { expr, .. } => {
+                1 + expr.node_count()
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                1 + expr.node_count() + list.iter().map(CompiledExpr::node_count).sum::<usize>()
+            }
+            CompiledExpr::Between {
+                expr, low, high, ..
+            } => 1 + expr.node_count() + low.node_count() + high.node_count(),
+            CompiledExpr::Like { expr, .. } => 1 + expr.node_count(),
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Value {
+    use BinaryOp::*;
+    match op {
+        And => match (truth(l), truth(r)) {
+            (Some(false), _) | (_, Some(false)) => bool_value(false),
+            (Some(true), Some(true)) => bool_value(true),
+            _ => Value::Null,
+        },
+        Or => match (truth(l), truth(r)) {
+            (Some(true), _) | (_, Some(true)) => bool_value(true),
+            (Some(false), Some(false)) => bool_value(false),
+            _ => Value::Null,
+        },
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => match l.sql_cmp(r) {
+            None => Value::Null,
+            Some(ord) => {
+                let b = match op {
+                    Eq => ord == std::cmp::Ordering::Equal,
+                    NotEq => ord != std::cmp::Ordering::Equal,
+                    Lt => ord == std::cmp::Ordering::Less,
+                    LtEq => ord != std::cmp::Ordering::Greater,
+                    Gt => ord == std::cmp::Ordering::Greater,
+                    GtEq => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                };
+                bool_value(b)
+            }
+        },
+        Add => l.add(r),
+        Sub => l.sub(r),
+        Mul => l.mul(r),
+        Div => l.div(r),
+    }
+}
+
+/// SQL truthiness of a value: nonzero numbers are true, NULL is unknown.
+pub fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(*i != 0),
+        Value::Float(f) => Some(*f != 0.0),
+        Value::Str(_) => Some(false),
+    }
+}
+
+/// Boolean as a `Value`.
+pub fn bool_value(b: bool) -> Value {
+    Value::Int(if b { 1 } else { 0 })
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (any single char).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %.
+                let rest = &p[1..];
+                (0..=s.len()).any(|skip| rec(&s[skip..], rest))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+/// Aggregate accumulator used by the hash-aggregate operator and by the
+/// federation-level merge aggregation.
+#[derive(Debug, Clone)]
+pub struct AggAccumulator {
+    func: AggFunc,
+    distinct: bool,
+    seen: std::collections::HashSet<Value>,
+    count: u64,
+    sum: f64,
+    sum_is_int: bool,
+    int_sum: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggAccumulator {
+    /// Fresh accumulator for a function.
+    pub fn new(func: AggFunc, distinct: bool) -> Self {
+        AggAccumulator {
+            func,
+            distinct,
+            seen: std::collections::HashSet::new(),
+            count: 0,
+            sum: 0.0,
+            sum_is_int: true,
+            int_sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Feed one input value (`None` means `COUNT(*)`'s row marker).
+    pub fn push(&mut self, v: Option<&Value>) {
+        let v = match v {
+            None => {
+                // COUNT(*) counts rows regardless of content.
+                self.count += 1;
+                return;
+            }
+            Some(v) => v,
+        };
+        if v.is_null() {
+            return; // Aggregates skip NULLs.
+        }
+        if self.distinct && !self.seen.insert(v.clone()) {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+            match v {
+                Value::Int(i) => {
+                    if let Some(s) = self.int_sum.checked_add(*i) {
+                        self.int_sum = s;
+                    } else {
+                        self.sum_is_int = false;
+                    }
+                }
+                _ => self.sum_is_int = false,
+            }
+        }
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v < m => self.min = Some(v.clone()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v > m => self.max = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    /// Final aggregate value.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.sum_is_int {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::{Column, DataType};
+    use qcc_sql::parse_select;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::qualified("t", "a", DataType::Int),
+            Column::qualified("t", "b", DataType::Str),
+            Column::qualified("t", "c", DataType::Float),
+        ])
+    }
+
+    fn compile_where(sql_where: &str) -> CompiledExpr {
+        let stmt = parse_select(&format!("SELECT * FROM t WHERE {sql_where}")).unwrap();
+        compile(stmt.where_clause.as_ref().unwrap(), &schema()).unwrap()
+    }
+
+    fn row(a: Value, b: Value, c: Value) -> Row {
+        Row::new(vec![a, b, c])
+    }
+
+    #[test]
+    fn comparison_and_arithmetic() {
+        let e = compile_where("a + 1 > 10");
+        assert!(e.eval_predicate(&row(Value::Int(10), Value::Null, Value::Null)));
+        assert!(!e.eval_predicate(&row(Value::Int(9), Value::Null, Value::Null)));
+    }
+
+    #[test]
+    fn null_comparison_rejects() {
+        let e = compile_where("a > 10");
+        assert!(!e.eval_predicate(&row(Value::Null, Value::Null, Value::Null)));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        // NULL OR TRUE = TRUE; NULL AND TRUE = NULL (rejected).
+        let e = compile_where("a > 0 OR c > 0.0");
+        assert!(e.eval_predicate(&row(Value::Null, Value::Null, Value::Float(1.0))));
+        let e = compile_where("a > 0 AND c > 0.0");
+        assert!(!e.eval_predicate(&row(Value::Null, Value::Null, Value::Float(1.0))));
+        // FALSE AND NULL = FALSE, definite.
+        let e = compile_where("NOT (a > 0 AND c > 0.0)");
+        assert!(e.eval_predicate(&row(Value::Int(0), Value::Null, Value::Null)));
+    }
+
+    #[test]
+    fn in_list_with_null_semantics() {
+        let e = compile_where("a IN (1, 2, 3)");
+        assert!(e.eval_predicate(&row(Value::Int(2), Value::Null, Value::Null)));
+        assert!(!e.eval_predicate(&row(Value::Int(9), Value::Null, Value::Null)));
+        // NULL NOT IN (...) is unknown → rejected.
+        let e = compile_where("a NOT IN (1, 2)");
+        assert!(!e.eval_predicate(&row(Value::Null, Value::Null, Value::Null)));
+        assert!(e.eval_predicate(&row(Value::Int(5), Value::Null, Value::Null)));
+        // x IN (NULL) where x doesn't match any non-null: unknown → rejected,
+        // and NOT IN with a NULL member is also unknown.
+        let e = compile_where("a IN (1, NULL)");
+        assert!(!e.eval_predicate(&row(Value::Int(5), Value::Null, Value::Null)));
+        assert!(e.eval_predicate(&row(Value::Int(1), Value::Null, Value::Null)));
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let e = compile_where("a BETWEEN 2 AND 4");
+        assert!(e.eval_predicate(&row(Value::Int(2), Value::Null, Value::Null)));
+        assert!(e.eval_predicate(&row(Value::Int(4), Value::Null, Value::Null)));
+        assert!(!e.eval_predicate(&row(Value::Int(5), Value::Null, Value::Null)));
+        let e = compile_where("a NOT BETWEEN 2 AND 4");
+        assert!(e.eval_predicate(&row(Value::Int(5), Value::Null, Value::Null)));
+    }
+
+    #[test]
+    fn is_null_forms() {
+        let e = compile_where("b IS NULL");
+        assert!(e.eval_predicate(&row(Value::Int(0), Value::Null, Value::Null)));
+        let e = compile_where("b IS NOT NULL");
+        assert!(e.eval_predicate(&row(Value::Int(0), Value::from("x"), Value::Null)));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(!like_match("hello", "h_llx"));
+        assert!(like_match("abcabc", "%abc"));
+        assert!(like_match("a%b", "a%b"));
+        assert!(!like_match("hello", "HELLO"), "LIKE is case sensitive");
+    }
+
+    #[test]
+    fn like_on_non_string_is_unknown() {
+        let e = compile_where("a LIKE 'x%'");
+        assert!(!e.eval_predicate(&row(Value::Int(1), Value::Null, Value::Null)));
+    }
+
+    #[test]
+    fn unknown_column_fails_compile() {
+        let stmt = parse_select("SELECT * FROM t WHERE nope > 1").unwrap();
+        assert!(compile(stmt.where_clause.as_ref().unwrap(), &schema()).is_err());
+    }
+
+    #[test]
+    fn aggregate_rejected_in_scalar_context() {
+        let stmt = parse_select("SELECT * FROM t WHERE SUM(a) > 1").unwrap();
+        assert!(compile(stmt.where_clause.as_ref().unwrap(), &schema()).is_err());
+    }
+
+    #[test]
+    fn accumulator_count_sum_avg() {
+        let mut count_star = AggAccumulator::new(AggFunc::Count, false);
+        let mut sum = AggAccumulator::new(AggFunc::Sum, false);
+        let mut avg = AggAccumulator::new(AggFunc::Avg, false);
+        for v in [Value::Int(1), Value::Int(2), Value::Null, Value::Int(3)] {
+            count_star.push(None);
+            sum.push(Some(&v));
+            avg.push(Some(&v));
+        }
+        assert_eq!(count_star.finish(), Value::Int(4), "COUNT(*) counts NULLs");
+        assert_eq!(sum.finish(), Value::Int(6), "SUM skips NULLs");
+        assert_eq!(avg.finish(), Value::Float(2.0), "AVG skips NULLs");
+    }
+
+    #[test]
+    fn accumulator_distinct() {
+        let mut c = AggAccumulator::new(AggFunc::Count, true);
+        for v in [Value::Int(1), Value::Int(1), Value::Int(2)] {
+            c.push(Some(&v));
+        }
+        assert_eq!(c.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn accumulator_min_max_empty() {
+        let acc = AggAccumulator::new(AggFunc::Min, false);
+        assert_eq!(acc.finish(), Value::Null);
+        let mut acc = AggAccumulator::new(AggFunc::Max, false);
+        acc.push(Some(&Value::Int(5)));
+        acc.push(Some(&Value::Int(9)));
+        acc.push(Some(&Value::Int(7)));
+        assert_eq!(acc.finish(), Value::Int(9));
+    }
+
+    #[test]
+    fn sum_overflow_widens() {
+        let mut s = AggAccumulator::new(AggFunc::Sum, false);
+        s.push(Some(&Value::Int(i64::MAX)));
+        s.push(Some(&Value::Int(i64::MAX)));
+        assert!(matches!(s.finish(), Value::Float(_)));
+    }
+
+    #[test]
+    fn node_count_counts() {
+        let e = compile_where("a + 1 > 10 AND b IS NULL");
+        assert!(e.node_count() >= 6);
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-server relational engine.
+//!
+//! Each simulated remote server hosts one `Engine` over its catalog. The
+//! engine provides the two entry points the paper's wrappers need:
+//!
+//! * **EXPLAIN** ([`Engine::explain`]): parse + plan a query and return one
+//!   or more candidate physical plans, each with an estimated cost in the
+//!   paper's first-tuple / next-tuple / cardinality model. Multiple plans
+//!   are returned when alternative access paths exist (the paper's
+//!   `QF1_p1`, `QF1_p2`, ...).
+//! * **EXECUTE** ([`Engine::execute_plan`]): run a chosen plan over the
+//!   real data, returning the result rows and a [`Work`] record of how much
+//!   CPU work the execution actually performed. The simulation layers
+//!   translate work into virtual response time under load.
+
+pub mod cost;
+pub mod exec;
+pub mod expr;
+pub mod naive;
+pub mod plan;
+pub mod planner;
+
+pub use cost::{estimate_plan, CostModel};
+pub use exec::{execute, Work};
+pub use expr::{compile, CompiledExpr};
+pub use plan::{AggSpec, IndexPredicate, PlanNode};
+pub use planner::{plan_query, PlannerConfig};
+
+use qcc_common::{Cost, Result, Row};
+use qcc_storage::Catalog;
+
+/// A candidate physical plan with its estimated cost.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The physical plan.
+    pub plan: PlanNode,
+    /// Estimated cost (first tuple, next tuple, cardinality).
+    pub cost: Cost,
+}
+
+/// A relational engine bound to a catalog.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    catalog: Catalog,
+    cost_model: CostModel,
+    planner: PlannerConfig,
+}
+
+impl Engine {
+    /// Create an engine over a catalog with default cost model and planner
+    /// settings.
+    pub fn new(catalog: Catalog) -> Self {
+        Engine {
+            catalog,
+            cost_model: CostModel::default(),
+            planner: PlannerConfig::default(),
+        }
+    }
+
+    /// The engine's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (used by the load driver to apply
+    /// updates and re-analyze).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// EXPLAIN: candidate plans with estimated costs, cheapest first.
+    pub fn explain(&self, sql: &str) -> Result<Vec<PlannedQuery>> {
+        let stmt = qcc_sql::parse_select(sql)?;
+        let plans = plan_query(&stmt, &self.catalog, &self.planner)?;
+        let mut out: Vec<PlannedQuery> = plans
+            .into_iter()
+            .map(|plan| {
+                let cost = estimate_plan(&plan, &self.catalog, &self.cost_model);
+                PlannedQuery { plan, cost }
+            })
+            .collect();
+        out.sort_by(|a, b| a.cost.total().total_cmp(&b.cost.total()));
+        Ok(out)
+    }
+
+    /// Execute a previously planned query against the real data.
+    pub fn execute_plan(&self, plan: &PlanNode) -> Result<(Vec<Row>, Work)> {
+        execute(plan, &self.catalog, &self.cost_model)
+    }
+
+    /// Convenience: plan with the default (cheapest) plan and execute.
+    pub fn execute_sql(&self, sql: &str) -> Result<(Vec<Row>, Work)> {
+        let plans = self.explain(sql)?;
+        let best = plans
+            .first()
+            .ok_or_else(|| qcc_common::QccError::Planning("no plan produced".into()))?;
+        self.execute_plan(&best.plan)
+    }
+}

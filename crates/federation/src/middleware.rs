@@ -1,0 +1,256 @@
+//! The middleware seam between the integrator and the wrappers.
+//!
+//! In the paper's architecture (Figure 2), the meta-wrapper (MW) sits
+//! between II and the wrappers: it forwards EXPLAIN and EXECUTE requests,
+//! records statements / estimated costs / fragment-to-server mappings /
+//! response times, and — together with the QCC — *calibrates* the costs it
+//! passes back so the II optimizer makes load- and network-aware choices
+//! without being modified.
+//!
+//! The [`Middleware`] trait is that seam. [`PassthroughMiddleware`] is the
+//! baseline II behaviour (no recording, no calibration); the QCC crate
+//! provides the calibrating implementation.
+
+use qcc_common::{Cost, FragmentId, QueryId, Result, ServerId, SimDuration, SimTime};
+use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
+use std::collections::BTreeSet;
+
+/// Cost assigned to fragment plans whose wrapper reports none (file
+/// wrappers). The value is deliberately arbitrary — the paper's point is
+/// that only calibration can make such sources comparable.
+pub const DEFAULT_UNCOSTED: f64 = 10.0;
+
+/// One candidate execution of one fragment: a server, a concrete plan, and
+/// the (possibly calibrated) cost the optimizer will use.
+#[derive(Debug, Clone)]
+pub struct FragmentCandidate {
+    /// Which fragment of the decomposed query this is.
+    pub fragment: FragmentId,
+    /// The wrapper-provided plan.
+    pub plan: FragmentPlan,
+    /// The cost used for global optimization (calibrated when a QCC is
+    /// attached; otherwise the wrapper's raw estimate).
+    pub effective_cost: Cost,
+}
+
+/// A fully specified global plan: one candidate per fragment plus the
+/// estimated integration cost at the II.
+#[derive(Debug, Clone)]
+pub struct GlobalCandidate {
+    /// Chosen candidate per fragment, in fragment order.
+    pub fragments: Vec<FragmentCandidate>,
+    /// Estimated (calibrated) cost of merging at the integrator.
+    pub integration_cost: Cost,
+}
+
+impl GlobalCandidate {
+    /// Total estimated cost. Remote fragments run in parallel, so the
+    /// remote contribution is the slowest fragment; integration follows.
+    pub fn total_cost(&self) -> f64 {
+        let remote = self
+            .fragments
+            .iter()
+            .map(|f| f.effective_cost.total())
+            .fold(0.0_f64, f64::max);
+        remote + self.integration_cost.total()
+    }
+
+    /// The set of servers this plan touches.
+    pub fn server_set(&self) -> BTreeSet<ServerId> {
+        self.fragments
+            .iter()
+            .map(|f| f.plan.server.clone())
+            .collect()
+    }
+
+    /// A canonical signature of the plan: per-fragment server + plan shape.
+    pub fn signature(&self) -> String {
+        let parts: Vec<String> = self
+            .fragments
+            .iter()
+            .map(|f| format!("{}@{}", f.plan.signature, f.plan.server))
+            .collect();
+        parts.join("|")
+    }
+}
+
+/// The seam between II and the wrappers.
+pub trait Middleware: Send + Sync {
+    /// Compile time: forward an EXPLAIN to a wrapper. Implementations may
+    /// record the request and calibrate the returned costs.
+    fn plan_fragment(
+        &self,
+        wrapper: &dyn Wrapper,
+        query: QueryId,
+        fragment: FragmentId,
+        sql: &str,
+        at: SimTime,
+    ) -> Result<(Vec<FragmentCandidate>, SimDuration)>;
+
+    /// Runtime: forward an EXECUTE to a wrapper. Implementations record
+    /// the observed response time (and errors, for the reliability factor).
+    fn execute_fragment(
+        &self,
+        wrapper: &dyn Wrapper,
+        query: QueryId,
+        fragment: FragmentId,
+        plan: &FragmentPlan,
+        at: SimTime,
+    ) -> Result<WrapperResult>;
+
+    /// Calibrate the integrator-side merge cost (the paper's workload cost
+    /// calibration factor, §3.2). Identity by default.
+    fn calibrate_integration(&self, cost: Cost) -> Cost {
+        cost
+    }
+
+    /// Choose among the enumerated global candidates for a query. The
+    /// default picks the lowest total cost — classic cost-based II. A QCC
+    /// may instead rotate among near-equal plans for load distribution
+    /// (§4.2). `query_sig` identifies the *query template* so rotation
+    /// state survives across repeated similar queries.
+    fn choose_global(&self, _query_sig: &str, candidates: &[GlobalCandidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cost().total_cmp(&b.total_cost()))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Record the end-to-end outcome of a federated query (submit-to-merge
+    /// response time vs. the chosen plan's estimate). Feeds the II workload
+    /// calibration factor. No-op by default.
+    fn observe_query(
+        &self,
+        _query: QueryId,
+        _query_sig: &str,
+        _estimated_total: f64,
+        _observed_ms: f64,
+    ) {
+    }
+}
+
+/// Baseline middleware: forwards requests untouched. This is the paper's
+/// "prototype version of DB2 Information Integrator" without QCC.
+///
+/// An optional [`crate::PlanCache`] makes repeated fragments skip the
+/// EXPLAIN round trip — plan caching is integrator infrastructure shared
+/// by every routing configuration, so comparisons against calibrated
+/// middlewares isolate *routing* effects (see `qcc-workload`).
+#[derive(Debug, Default, Clone)]
+pub struct PassthroughMiddleware {
+    cache: Option<std::sync::Arc<crate::PlanCache>>,
+}
+
+impl PassthroughMiddleware {
+    /// Baseline with a plan cache attached.
+    pub fn with_cache() -> Self {
+        PassthroughMiddleware {
+            cache: Some(std::sync::Arc::new(crate::PlanCache::new())),
+        }
+    }
+}
+
+impl Middleware for PassthroughMiddleware {
+    fn plan_fragment(
+        &self,
+        wrapper: &dyn Wrapper,
+        _query: QueryId,
+        fragment: FragmentId,
+        sql: &str,
+        at: SimTime,
+    ) -> Result<(Vec<FragmentCandidate>, SimDuration)> {
+        let server = wrapper.server_id();
+        let cached = self.cache.as_deref().and_then(|c| c.get(server, sql));
+        let (plans, took) = match cached {
+            Some(plans) => (plans, SimDuration::ZERO),
+            None => {
+                let (plans, took) = wrapper.plan(sql, at)?;
+                if let Some(c) = self.cache.as_deref() {
+                    c.put(server, sql, plans.clone());
+                }
+                (plans, took)
+            }
+        };
+        Ok((
+            plans
+                .into_iter()
+                .map(|plan| FragmentCandidate {
+                    fragment,
+                    effective_cost: plan.cost.unwrap_or(Cost::fixed(DEFAULT_UNCOSTED)),
+                    plan,
+                })
+                .collect(),
+            took,
+        ))
+    }
+
+    fn execute_fragment(
+        &self,
+        wrapper: &dyn Wrapper,
+        _query: QueryId,
+        _fragment: FragmentId,
+        plan: &FragmentPlan,
+        at: SimTime,
+    ) -> Result<WrapperResult> {
+        wrapper.execute(plan, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(server: &str, cost: f64, sig: &str) -> FragmentCandidate {
+        FragmentCandidate {
+            fragment: FragmentId::new(QueryId(0), 0),
+            plan: FragmentPlan {
+                server: ServerId::new(server),
+                sql: "SELECT 1".into(),
+                descriptor: None,
+                cost: Some(Cost::fixed(cost)),
+                signature: sig.into(),
+            },
+            effective_cost: Cost::fixed(cost),
+        }
+    }
+
+    #[test]
+    fn total_cost_takes_slowest_fragment_plus_integration() {
+        let g = GlobalCandidate {
+            fragments: vec![candidate("S1", 10.0, "a"), candidate("S2", 30.0, "b")],
+            integration_cost: Cost::fixed(5.0),
+        };
+        assert_eq!(g.total_cost(), 35.0);
+    }
+
+    #[test]
+    fn server_set_dedups() {
+        let g = GlobalCandidate {
+            fragments: vec![candidate("S1", 1.0, "a"), candidate("S1", 2.0, "b")],
+            integration_cost: Cost::ZERO,
+        };
+        assert_eq!(g.server_set().len(), 1);
+    }
+
+    #[test]
+    fn default_choice_is_cheapest() {
+        let mk = |c: f64| GlobalCandidate {
+            fragments: vec![candidate("S1", c, "a")],
+            integration_cost: Cost::ZERO,
+        };
+        let cands = vec![mk(10.0), mk(3.0), mk(7.0)];
+        let mw = PassthroughMiddleware::default();
+        assert_eq!(mw.choose_global("q", &cands), 1);
+    }
+
+    #[test]
+    fn signature_includes_server_and_shape() {
+        let g = GlobalCandidate {
+            fragments: vec![candidate("S1", 1.0, "seqscan(t)")],
+            integration_cost: Cost::ZERO,
+        };
+        assert_eq!(g.signature(), "seqscan(t)@S1");
+    }
+}

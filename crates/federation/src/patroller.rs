@@ -1,0 +1,146 @@
+//! The query patroller.
+//!
+//! Per the paper (§1): the patroller intercepts every user query, records
+//! the statement and submission time, and after execution records the
+//! completion time "in the log for future use" — the QCC mines this log.
+
+use parking_lot::Mutex;
+use qcc_common::{QueryId, SimTime};
+use std::sync::Arc;
+
+/// Terminal status of a logged query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Still executing.
+    Running,
+    /// Completed successfully.
+    Completed,
+    /// Failed with an error message.
+    Failed(String),
+}
+
+/// One log entry.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    /// Assigned query id.
+    pub id: QueryId,
+    /// The federated SQL text.
+    pub sql: String,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time (when finished).
+    pub completed: Option<SimTime>,
+    /// Status.
+    pub status: QueryStatus,
+}
+
+/// The patroller: id assignment plus an append-only log. Clones share
+/// the log.
+#[derive(Debug, Clone, Default)]
+pub struct QueryPatroller {
+    inner: Arc<Mutex<PatrollerState>>,
+}
+
+#[derive(Debug, Default)]
+struct PatrollerState {
+    next_id: u64,
+    log: Vec<QueryLogEntry>,
+}
+
+impl QueryPatroller {
+    /// A fresh patroller.
+    pub fn new() -> Self {
+        QueryPatroller::default()
+    }
+
+    /// Record a submission; returns the assigned id.
+    pub fn record_submit(&self, sql: &str, at: SimTime) -> QueryId {
+        let mut st = self.inner.lock();
+        let id = QueryId(st.next_id);
+        st.next_id += 1;
+        st.log.push(QueryLogEntry {
+            id,
+            sql: sql.to_owned(),
+            submitted: at,
+            completed: None,
+            status: QueryStatus::Running,
+        });
+        id
+    }
+
+    /// Record successful completion.
+    pub fn record_complete(&self, id: QueryId, at: SimTime) {
+        self.finish(id, at, QueryStatus::Completed);
+    }
+
+    /// Record failure.
+    pub fn record_failure(&self, id: QueryId, at: SimTime, error: String) {
+        self.finish(id, at, QueryStatus::Failed(error));
+    }
+
+    fn finish(&self, id: QueryId, at: SimTime, status: QueryStatus) {
+        let mut st = self.inner.lock();
+        if let Some(e) = st.log.iter_mut().find(|e| e.id == id) {
+            e.completed = Some(at);
+            e.status = status;
+        }
+    }
+
+    /// Snapshot of the log.
+    pub fn log(&self) -> Vec<QueryLogEntry> {
+        self.inner.lock().log.clone()
+    }
+
+    /// Number of logged queries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().log.len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::SimDuration;
+
+    #[test]
+    fn submit_complete_cycle() {
+        let p = QueryPatroller::new();
+        let t0 = SimTime::ZERO;
+        let id = p.record_submit("SELECT 1", t0);
+        let t1 = t0 + SimDuration::from_millis(42.0);
+        p.record_complete(id, t1);
+        let log = p.log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].status, QueryStatus::Completed);
+        assert_eq!(log[0].completed.unwrap().since(log[0].submitted).as_millis(), 42.0);
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let p = QueryPatroller::new();
+        let a = p.record_submit("a", SimTime::ZERO);
+        let b = p.record_submit("b", SimTime::ZERO);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn failures_recorded() {
+        let p = QueryPatroller::new();
+        let id = p.record_submit("bad", SimTime::ZERO);
+        p.record_failure(id, SimTime::ZERO, "server down".into());
+        assert!(matches!(p.log()[0].status, QueryStatus::Failed(_)));
+    }
+
+    #[test]
+    fn clones_share_log() {
+        let p = QueryPatroller::new();
+        let q = p.clone();
+        p.record_submit("x", SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+}

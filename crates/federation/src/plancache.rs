@@ -1,0 +1,122 @@
+//! The meta-wrapper's plan cache.
+//!
+//! Figure 5's walkthrough: *"since we already have a plan and an estimated
+//! cost for QF1, MW can compute the calibrated runtime cost without
+//! having to consult the wrapper."* The cache stores each wrapper's raw
+//! EXPLAIN response keyed by (server, exact fragment SQL); on a hit the
+//! meta-wrapper re-applies the *current* calibration factors to the
+//! cached raw estimates and skips the network round trip entirely.
+
+use parking_lot::Mutex;
+use qcc_common::ServerId;
+use qcc_wrapper::FragmentPlan;
+use std::collections::HashMap;
+
+/// Shared compile-time plan cache.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: Mutex<HashMap<(ServerId, String), Vec<FragmentPlan>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Cached wrapper plans for this (server, fragment SQL), if any.
+    pub fn get(&self, server: &ServerId, sql: &str) -> Option<Vec<FragmentPlan>> {
+        let found = self
+            .entries
+            .lock()
+            .get(&(server.clone(), sql.to_owned()))
+            .cloned();
+        if found.is_some() {
+            *self.hits.lock() += 1;
+        } else {
+            *self.misses.lock() += 1;
+        }
+        found
+    }
+
+    /// Store a wrapper's EXPLAIN response.
+    pub fn put(&self, server: &ServerId, sql: &str, plans: Vec<FragmentPlan>) {
+        self.entries
+            .lock()
+            .insert((server.clone(), sql.to_owned()), plans);
+    }
+
+    /// Drop every cached plan for one server (e.g. after it was down —
+    /// its catalog may have changed while unreachable).
+    pub fn invalidate_server(&self, server: &ServerId) {
+        self.entries.lock().retain(|(s, _), _| s != server);
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::Cost;
+
+    fn plan(server: &str) -> FragmentPlan {
+        FragmentPlan {
+            server: ServerId::new(server),
+            sql: "SELECT 1".into(),
+            descriptor: None,
+            cost: Some(Cost::fixed(3.0)),
+            signature: "sig".into(),
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let c = PlanCache::new();
+        let s = ServerId::new("S1");
+        assert!(c.get(&s, "q").is_none());
+        c.put(&s, "q", vec![plan("S1")]);
+        assert_eq!(c.get(&s, "q").unwrap().len(), 1);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn keys_are_per_server_and_sql() {
+        let c = PlanCache::new();
+        c.put(&ServerId::new("S1"), "q", vec![plan("S1")]);
+        assert!(c.get(&ServerId::new("S2"), "q").is_none());
+        assert!(c.get(&ServerId::new("S1"), "other").is_none());
+    }
+
+    #[test]
+    fn invalidate_server_is_selective() {
+        let c = PlanCache::new();
+        c.put(&ServerId::new("S1"), "q", vec![plan("S1")]);
+        c.put(&ServerId::new("S2"), "q", vec![plan("S2")]);
+        c.invalidate_server(&ServerId::new("S1"));
+        assert!(c.get(&ServerId::new("S1"), "q").is_none());
+        assert!(c.get(&ServerId::new("S2"), "q").is_some());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Decomposition shape tests over richer placements: three-way splits,
+//! partial co-location, and merge-statement structure.
+
+use qcc_common::{Column, DataType, Schema, ServerId};
+use qcc_federation::{decompose, MergeSpec, NicknameCatalog};
+
+fn schema(cols: &[(&str, DataType)]) -> Schema {
+    Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+}
+
+/// Five nicknames spread over four servers:
+///   H0: a, b      (co-located pair)
+///   H1: c
+///   H2: d
+///   H3: e, a      (replica of a)
+fn catalog() -> NicknameCatalog {
+    let mut cat = NicknameCatalog::new();
+    cat.define("a", schema(&[("id", DataType::Int), ("x", DataType::Int)]));
+    cat.define("b", schema(&[("id", DataType::Int), ("a_id", DataType::Int)]));
+    cat.define("c", schema(&[("id", DataType::Int), ("b_id", DataType::Int)]));
+    cat.define("d", schema(&[("id", DataType::Int), ("c_id", DataType::Int)]));
+    cat.define("e", schema(&[("id", DataType::Int), ("tag", DataType::Str)]));
+    for (nick, srv) in [
+        ("a", "H0"),
+        ("b", "H0"),
+        ("c", "H1"),
+        ("d", "H2"),
+        ("e", "H3"),
+        ("a", "H3"),
+    ] {
+        cat.add_source(nick, ServerId::new(srv), nick).unwrap();
+    }
+    cat
+}
+
+#[test]
+fn three_way_split_produces_three_fragments() {
+    let d = decompose(
+        "SELECT COUNT(*) FROM b JOIN c ON c.b_id = b.id JOIN d ON d.c_id = c.id",
+        &catalog(),
+    )
+    .unwrap();
+    assert_eq!(d.fragments.len(), 3, "b@H0, c@H1, d@H2");
+    match &d.merge {
+        MergeSpec::Merge { stmt } => {
+            let sql = stmt.to_string();
+            assert!(sql.contains("__frag0") && sql.contains("__frag1") && sql.contains("__frag2"));
+            assert!(sql.contains("COUNT(*)"), "aggregation stays at II: {sql}");
+        }
+        MergeSpec::Passthrough => panic!("expected a merge"),
+    }
+}
+
+#[test]
+fn colocated_pair_stays_one_fragment_in_a_split_query() {
+    let d = decompose(
+        "SELECT a.x, c.id FROM a JOIN b ON b.a_id = a.id JOIN c ON c.b_id = b.id",
+        &catalog(),
+    )
+    .unwrap();
+    // a and b share H0 → one fragment; c is alone.
+    assert_eq!(d.fragments.len(), 2);
+    let f0 = &d.fragments[0];
+    assert_eq!(f0.nicknames, vec!["a", "b"]);
+    // The a⋈b join executes remotely: its conjunct is in the fragment.
+    let sql = f0.stmt.to_string();
+    assert!(sql.contains("a_id"), "intra-group join pushed down: {sql}");
+}
+
+#[test]
+fn replica_does_not_merge_unrelated_groups() {
+    // a is on H0 and H3; e only on H3. A query over a and e CAN co-locate
+    // on H3 — grouping should discover that.
+    let d = decompose(
+        "SELECT COUNT(*) FROM a JOIN e ON e.id = a.id",
+        &catalog(),
+    )
+    .unwrap();
+    assert_eq!(d.fragments.len(), 1, "H3 hosts both");
+    assert_eq!(
+        d.fragments[0].candidate_servers,
+        vec![ServerId::new("H3")]
+    );
+    assert!(d.fragments[0].full_pushdown);
+}
+
+#[test]
+fn cross_fragment_predicates_stay_at_the_integrator() {
+    let d = decompose(
+        "SELECT b.id FROM b JOIN c ON c.b_id = b.id WHERE b.a_id > 5 AND c.id < b.id",
+        &catalog(),
+    )
+    .unwrap();
+    assert_eq!(d.fragments.len(), 2);
+    // Local conjunct pushed, cross-fragment non-equi conjunct kept.
+    let frag_b = d
+        .fragments
+        .iter()
+        .find(|f| f.nicknames.contains(&"b".to_string()))
+        .unwrap();
+    assert!(
+        frag_b.stmt.to_string().contains("a_id > 5"),
+        "{}",
+        frag_b.stmt
+    );
+    match &d.merge {
+        MergeSpec::Merge { stmt } => {
+            let sql = stmt.to_string();
+            assert!(sql.contains('<'), "non-equi cross predicate at II: {sql}");
+        }
+        MergeSpec::Passthrough => panic!(),
+    }
+}
+
+#[test]
+fn fragment_ships_only_needed_columns() {
+    let d = decompose(
+        "SELECT b.id FROM b JOIN c ON c.b_id = b.id",
+        &catalog(),
+    )
+    .unwrap();
+    let frag_c = d
+        .fragments
+        .iter()
+        .find(|f| f.nicknames.contains(&"c".to_string()))
+        .unwrap();
+    // c contributes only its join key; its id column is not referenced.
+    assert_eq!(frag_c.output.len(), 1);
+    assert_eq!(frag_c.output[0].column, "b_id");
+}
+
+#[test]
+fn order_and_limit_stay_at_the_integrator_for_splits() {
+    let d = decompose(
+        "SELECT b.id FROM b JOIN c ON c.b_id = b.id ORDER BY b.id DESC LIMIT 7",
+        &catalog(),
+    )
+    .unwrap();
+    for f in &d.fragments {
+        assert!(f.stmt.order_by.is_empty());
+        assert!(f.stmt.limit.is_none());
+    }
+    match &d.merge {
+        MergeSpec::Merge { stmt } => {
+            assert_eq!(stmt.limit, Some(7));
+            assert_eq!(stmt.order_by.len(), 1);
+            assert!(stmt.order_by[0].desc);
+        }
+        MergeSpec::Passthrough => panic!(),
+    }
+}

@@ -1,0 +1,93 @@
+//! Server availability schedules.
+//!
+//! The QCC's daemon programs probe remote sources and pin the cost of
+//! unavailable servers to infinity (paper §3.3). This module supplies the
+//! ground truth those daemons observe: planned outage windows on the
+//! virtual timeline.
+
+use parking_lot::Mutex;
+use qcc_common::SimTime;
+use std::sync::Arc;
+
+/// Outage windows for one server. Shared: clones see the same schedule.
+#[derive(Debug, Clone, Default)]
+pub struct AvailabilitySchedule {
+    /// `(down_from, up_again)` half-open windows, kept sorted.
+    windows: Arc<Mutex<Vec<(SimTime, SimTime)>>>,
+}
+
+impl AvailabilitySchedule {
+    /// An always-up schedule.
+    pub fn always_up() -> Self {
+        AvailabilitySchedule::default()
+    }
+
+    /// Schedule an outage in `[from, until)`.
+    pub fn add_outage(&self, from: SimTime, until: SimTime) {
+        let mut w = self.windows.lock();
+        w.push((from, until));
+        w.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+    }
+
+    /// Is the server up at `t`?
+    pub fn is_up(&self, t: SimTime) -> bool {
+        !self
+            .windows
+            .lock()
+            .iter()
+            .any(|(from, until)| t >= *from && t < *until)
+    }
+
+    /// The next time at or after `t` when the server is up (useful for
+    /// retry logic in tests and examples).
+    pub fn next_up(&self, t: SimTime) -> SimTime {
+        let w = self.windows.lock();
+        let mut cur = t;
+        // Windows are sorted; walk through any that cover `cur`.
+        for (from, until) in w.iter() {
+            if cur >= *from && cur < *until {
+                cur = *until;
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_up_by_default() {
+        let a = AvailabilitySchedule::always_up();
+        assert!(a.is_up(SimTime::ZERO));
+        assert!(a.is_up(SimTime::from_millis(1e9)));
+    }
+
+    #[test]
+    fn outage_window_half_open() {
+        let a = AvailabilitySchedule::always_up();
+        a.add_outage(SimTime::from_millis(100.0), SimTime::from_millis(200.0));
+        assert!(a.is_up(SimTime::from_millis(99.9)));
+        assert!(!a.is_up(SimTime::from_millis(100.0)));
+        assert!(!a.is_up(SimTime::from_millis(199.9)));
+        assert!(a.is_up(SimTime::from_millis(200.0)));
+    }
+
+    #[test]
+    fn next_up_walks_adjacent_windows() {
+        let a = AvailabilitySchedule::always_up();
+        a.add_outage(SimTime::from_millis(100.0), SimTime::from_millis(200.0));
+        a.add_outage(SimTime::from_millis(200.0), SimTime::from_millis(300.0));
+        assert_eq!(a.next_up(SimTime::from_millis(150.0)).as_millis(), 300.0);
+        assert_eq!(a.next_up(SimTime::from_millis(50.0)).as_millis(), 50.0);
+    }
+
+    #[test]
+    fn clones_share_schedule() {
+        let a = AvailabilitySchedule::always_up();
+        let b = a.clone();
+        a.add_outage(SimTime::ZERO, SimTime::from_millis(10.0));
+        assert!(!b.is_up(SimTime::from_millis(5.0)));
+    }
+}

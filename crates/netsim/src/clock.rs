@@ -1,0 +1,65 @@
+//! The shared virtual clock.
+
+use parking_lot::Mutex;
+use qcc_common::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// A shareable virtual clock. Cloning yields a handle onto the same
+/// timeline. Nothing in the workspace sleeps: components *advance* the
+/// clock by the durations their models compute.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    inner: Arc<Mutex<SimTime>>,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        *self.inner.lock()
+    }
+
+    /// Advance the clock by `d`, returning the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let mut t = self.inner.lock();
+        *t += d;
+        *t
+    }
+
+    /// Jump directly to `t` if it is in the future (no-op otherwise —
+    /// virtual time never goes backwards). Returns the current time.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut cur = self.inner.lock();
+        if t > *cur {
+            *cur = t;
+        }
+        *cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_millis(10.0));
+        assert_eq!(b.now().as_millis(), 10.0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_millis(50.0));
+        c.advance_to(SimTime::from_millis(20.0));
+        assert_eq!(c.now().as_millis(), 50.0);
+        c.advance_to(SimTime::from_millis(80.0));
+        assert_eq!(c.now().as_millis(), 80.0);
+    }
+}

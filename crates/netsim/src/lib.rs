@@ -1,0 +1,28 @@
+//! Deterministic simulation of the runtime environment.
+//!
+//! The paper's whole premise is that *"the system load of remote sources
+//! and the dynamic nature of the network latency in wide area networks are
+//! not considered"* by classical federated cost models. This crate provides
+//! those two dynamic phenomena — plus server availability — as deterministic,
+//! seedable models over a shared virtual clock:
+//!
+//! * [`SimClock`] — the virtual timeline every component shares.
+//! * [`LoadProfile`] / [`ServerLoad`] — time-varying background load and a
+//!   processor-sharing slowdown curve, including self-inflicted load from
+//!   in-flight queries (so routing every query to one server creates the
+//!   hot spots §4 warns about).
+//! * [`Link`] / [`Network`] — per-server base latency, bandwidth, and
+//!   congestion profiles.
+//! * [`AvailabilitySchedule`] — planned outage windows.
+
+pub mod availability;
+pub mod clock;
+pub mod link;
+pub mod load;
+pub mod profile;
+
+pub use availability::AvailabilitySchedule;
+pub use clock::SimClock;
+pub use link::{Link, Network};
+pub use load::{slowdown, ServerLoad};
+pub use profile::LoadProfile;

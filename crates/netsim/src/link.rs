@@ -1,0 +1,156 @@
+//! Wide-area network links between the integrator and remote servers.
+
+use crate::profile::LoadProfile;
+use parking_lot::Mutex;
+use qcc_common::{QccError, Result, ServerId, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One direction-agnostic link. Congestion is a level in `[0, 1]`; at level
+/// `c` the round-trip latency inflates by `1 / (1 − c)` (queueing at the
+/// bottleneck router) and usable bandwidth shrinks by `(1 − c)`.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Base round-trip latency in virtual ms.
+    pub base_rtt_ms: f64,
+    /// Nominal bandwidth in bytes per virtual ms.
+    pub bandwidth_bytes_per_ms: f64,
+    /// Congestion over time.
+    congestion: Arc<Mutex<LoadProfile>>,
+}
+
+/// Congestion is capped so the inflation factor stays finite.
+const MAX_CONGESTION: f64 = 0.95;
+
+impl Link {
+    /// A link with fixed characteristics and a congestion profile.
+    pub fn new(base_rtt_ms: f64, bandwidth_bytes_per_ms: f64, congestion: LoadProfile) -> Self {
+        Link {
+            base_rtt_ms,
+            bandwidth_bytes_per_ms,
+            congestion: Arc::new(Mutex::new(congestion)),
+        }
+    }
+
+    /// A fast LAN-ish link with no congestion.
+    pub fn lan() -> Self {
+        Link::new(0.5, 100_000.0, LoadProfile::Constant(0.0))
+    }
+
+    /// Replace the congestion profile.
+    pub fn set_congestion(&self, profile: LoadProfile) {
+        *self.congestion.lock() = profile;
+    }
+
+    /// Congestion level at `t`.
+    pub fn congestion_level(&self, t: SimTime) -> f64 {
+        self.congestion.lock().level(t).min(MAX_CONGESTION)
+    }
+
+    /// Time for one round trip carrying `payload_bytes` of response data
+    /// (the request itself is assumed small) starting at time `t`.
+    pub fn transfer_time(&self, payload_bytes: u64, t: SimTime) -> SimDuration {
+        let c = self.congestion_level(t);
+        let inflation = 1.0 / (1.0 - c);
+        let latency = self.base_rtt_ms * inflation;
+        let effective_bw = (self.bandwidth_bytes_per_ms * (1.0 - c)).max(1.0);
+        let transfer = payload_bytes as f64 / effective_bw;
+        SimDuration::from_millis(latency + transfer)
+    }
+}
+
+/// The set of links from the information integrator to each remote server.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    links: HashMap<ServerId, Link>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Attach (or replace) a link to a server.
+    pub fn add_link(&mut self, server: ServerId, link: Link) {
+        self.links.insert(server, link);
+    }
+
+    /// The link to a server.
+    pub fn link(&self, server: &ServerId) -> Result<&Link> {
+        self.links
+            .get(server)
+            .ok_or_else(|| QccError::Config(format!("no link to server {server}")))
+    }
+
+    /// Round-trip time for a payload to/from `server` starting at `t`.
+    pub fn transfer_time(
+        &self,
+        server: &ServerId,
+        payload_bytes: u64,
+        t: SimTime,
+    ) -> Result<SimDuration> {
+        Ok(self.link(server)?.transfer_time(payload_bytes, t))
+    }
+
+    /// Servers with links, sorted by id.
+    pub fn servers(&self) -> Vec<&ServerId> {
+        let mut out: Vec<&ServerId> = self.links.keys().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncongested_link_time() {
+        let l = Link::new(10.0, 1000.0, LoadProfile::Constant(0.0));
+        let t = l.transfer_time(5000, SimTime::ZERO);
+        assert!((t.as_millis() - 15.0).abs() < 1e-9, "10ms RTT + 5ms transfer");
+    }
+
+    #[test]
+    fn congestion_inflates_latency_and_shrinks_bandwidth() {
+        let l = Link::new(10.0, 1000.0, LoadProfile::Constant(0.5));
+        let t = l.transfer_time(5000, SimTime::ZERO);
+        // Latency 20ms, bandwidth 500 B/ms → 10ms transfer.
+        assert!((t.as_millis() - 30.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn congestion_step_changes_over_time() {
+        let l = Link::new(
+            10.0,
+            1000.0,
+            LoadProfile::Steps(vec![(SimTime::from_millis(100.0), 0.8)]),
+        );
+        let before = l.transfer_time(0, SimTime::ZERO);
+        let after = l.transfer_time(0, SimTime::from_millis(200.0));
+        assert!(after.as_millis() > before.as_millis() * 4.0);
+    }
+
+    #[test]
+    fn zero_payload_still_pays_latency() {
+        let l = Link::lan();
+        assert!(l.transfer_time(0, SimTime::ZERO).as_millis() > 0.0);
+    }
+
+    #[test]
+    fn network_lookup() {
+        let mut n = Network::new();
+        n.add_link(ServerId::new("S1"), Link::lan());
+        assert!(n.link(&ServerId::new("S1")).is_ok());
+        assert!(n.link(&ServerId::new("S9")).is_err());
+        assert_eq!(n.servers().len(), 1);
+    }
+
+    #[test]
+    fn extreme_congestion_stays_finite() {
+        let l = Link::new(10.0, 1000.0, LoadProfile::Constant(1.0));
+        let t = l.transfer_time(1000, SimTime::ZERO);
+        assert!(t.as_millis().is_finite());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the simulation models: levels stay in range, time
+//! never makes things negative, and slowdown curves are monotone.
+
+use proptest::prelude::*;
+use qcc_common::SimTime;
+use qcc_netsim::{slowdown, Link, LoadProfile};
+
+fn profile_strategy() -> impl Strategy<Value = LoadProfile> {
+    prop_oneof![
+        (-1.0f64..2.0).prop_map(LoadProfile::Constant),
+        prop::collection::vec((0.0f64..10_000.0, -0.5f64..1.5), 0..6).prop_map(|mut steps| {
+            steps.sort_by(|a, b| a.0.total_cmp(&b.0));
+            LoadProfile::Steps(
+                steps
+                    .into_iter()
+                    .map(|(t, l)| (SimTime::from_millis(t), l))
+                    .collect(),
+            )
+        }),
+        (0.0f64..1.0, 0.0f64..1.0, 1.0f64..10_000.0).prop_map(|(base, amplitude, period_ms)| {
+            LoadProfile::Periodic {
+                base,
+                amplitude,
+                period_ms,
+            }
+        }),
+        (any::<u64>(), 1.0f64..1_000.0, 0.0f64..0.5, 0.0f64..1.0).prop_map(
+            |(seed, step_ms, volatility, start)| LoadProfile::RandomWalk {
+                seed,
+                step_ms,
+                volatility,
+                start,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn levels_always_in_unit_interval(profile in profile_strategy(), t in 0.0f64..1e7) {
+        let level = profile.level(SimTime::from_millis(t));
+        prop_assert!((0.0..=1.0).contains(&level), "level {level} at t={t}");
+    }
+
+    #[test]
+    fn profiles_are_deterministic(profile in profile_strategy(), t in 0.0f64..1e6) {
+        let at = SimTime::from_millis(t);
+        prop_assert_eq!(profile.level(at), profile.level(at));
+    }
+
+    #[test]
+    fn slowdown_monotone_and_at_least_one(
+        rho_a in 0.0f64..1.5,
+        rho_b in 0.0f64..1.5,
+        sensitivity in 0.0f64..10.0,
+    ) {
+        let (lo, hi) = if rho_a <= rho_b { (rho_a, rho_b) } else { (rho_b, rho_a) };
+        let s_lo = slowdown(lo, sensitivity);
+        let s_hi = slowdown(hi, sensitivity);
+        prop_assert!(s_lo >= 1.0);
+        prop_assert!(s_hi >= s_lo, "slowdown must be monotone in load");
+        prop_assert!(s_hi.is_finite());
+    }
+
+    #[test]
+    fn transfer_time_positive_and_monotone_in_payload(
+        rtt in 0.1f64..100.0,
+        bw in 1.0f64..1e6,
+        congestion in 0.0f64..1.0,
+        small in 0u64..10_000,
+        extra in 1u64..10_000,
+    ) {
+        let link = Link::new(rtt, bw, LoadProfile::Constant(congestion));
+        let t_small = link.transfer_time(small, SimTime::ZERO);
+        let t_large = link.transfer_time(small + extra, SimTime::ZERO);
+        prop_assert!(t_small.as_millis() > 0.0);
+        prop_assert!(t_large.as_millis() >= t_small.as_millis());
+        prop_assert!(t_large.as_millis().is_finite());
+    }
+}

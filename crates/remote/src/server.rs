@@ -1,0 +1,355 @@
+//! The remote server implementation.
+
+use parking_lot::Mutex;
+use qcc_common::{Cost, Pcg32, QccError, Result, Row, ServerId, SimDuration, SimTime};
+use qcc_engine::{Engine, PlanNode};
+use qcc_netsim::{slowdown, AvailabilitySchedule, LoadProfile, ServerLoad};
+use qcc_storage::Catalog;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Static characteristics of a remote server.
+#[derive(Debug, Clone)]
+pub struct ServerProfile {
+    /// Server identifier.
+    pub id: ServerId,
+    /// CPU speed multiplier: work units per virtual millisecond. The
+    /// paper's S3 is "the most powerful machine among the three".
+    pub speed: f64,
+    /// Baseline load sensitivity of the processor-sharing slowdown.
+    pub base_sensitivity: f64,
+    /// Utilization added per in-flight query (hot-spot feedback).
+    pub per_query_load: f64,
+    /// Probability of a transient fault per request (reliability factor
+    /// input). 0 for healthy servers.
+    pub fault_rate: f64,
+}
+
+impl ServerProfile {
+    /// A balanced default profile.
+    pub fn new(id: impl Into<ServerId>) -> Self {
+        ServerProfile {
+            id: id.into(),
+            speed: 1.0,
+            base_sensitivity: 1.0,
+            per_query_load: 0.05,
+            fault_rate: 0.0,
+        }
+    }
+}
+
+/// One candidate execution plan for a fragment, as reported by EXPLAIN.
+#[derive(Debug, Clone)]
+pub struct RemotePlan {
+    /// The executable plan (the paper's "execution descriptor").
+    pub descriptor: PlanNode,
+    /// The server's own cost estimate (load-blind).
+    pub cost: Cost,
+    /// Canonical plan-shape signature (for interchangeability tests).
+    pub signature: String,
+}
+
+/// The outcome of executing a fragment at a remote server.
+#[derive(Debug, Clone)]
+pub struct RemoteResult {
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Virtual service time at the server (excluding network).
+    pub elapsed: SimDuration,
+    /// Result size in bytes (for transfer costing).
+    pub result_bytes: u64,
+}
+
+/// A simulated remote DBMS server.
+pub struct RemoteServer {
+    profile: ServerProfile,
+    engine: Engine,
+    load: ServerLoad,
+    availability: AvailabilitySchedule,
+    /// Extra slowdown sensitivity per table while the update workload
+    /// contends on it (set by the experiment's load driver).
+    contention: Mutex<HashMap<String, f64>>,
+    rng: Mutex<Pcg32>,
+}
+
+impl RemoteServer {
+    /// Create a server over a catalog, initially idle and always up.
+    pub fn new(profile: ServerProfile, catalog: Catalog) -> Arc<Self> {
+        let load = ServerLoad::new(LoadProfile::Constant(0.0), profile.per_query_load);
+        // Seed the fault-injection RNG from the server name (FNV-1a) so
+        // each server has its own deterministic stream.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in profile.id.as_str().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        Arc::new(RemoteServer {
+            rng: Mutex::new(Pcg32::seed_from(h)),
+            profile,
+            engine: Engine::new(catalog),
+            load,
+            availability: AvailabilitySchedule::always_up(),
+            contention: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The server's identifier.
+    pub fn id(&self) -> &ServerId {
+        &self.profile.id
+    }
+
+    /// The server's static profile.
+    pub fn profile(&self) -> &ServerProfile {
+        &self.profile
+    }
+
+    /// The server's load state (the experiment driver swaps background
+    /// profiles per phase and may hold in-flight guards to emulate
+    /// concurrency).
+    pub fn load(&self) -> &ServerLoad {
+        &self.load
+    }
+
+    /// The server's availability schedule.
+    pub fn availability(&self) -> &AvailabilitySchedule {
+        &self.availability
+    }
+
+    /// The hosted engine (tests use this to inspect the catalog).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Set per-table contention sensitivities (replaces the previous map).
+    /// The experiment's heavy-update phases hammer specific tables on
+    /// specific servers; queries scanning those tables slow down steeply.
+    pub fn set_contention(&self, map: HashMap<String, f64>) {
+        *self.contention.lock() = map;
+    }
+
+    /// EXPLAIN a fragment: candidate plans with load-blind cost estimates,
+    /// cheapest first. Fails when the server is down.
+    pub fn explain(&self, sql: &str, at: SimTime) -> Result<Vec<RemotePlan>> {
+        self.check_up(at)?;
+        let plans = self.engine.explain(sql)?;
+        Ok(plans
+            .into_iter()
+            .map(|p| RemotePlan {
+                signature: p.plan.signature(),
+                // Scale estimates by CPU speed: a faster server honestly
+                // reports lower expected times.
+                cost: p.cost.calibrate(1.0 / self.profile.speed),
+                descriptor: p.plan,
+            })
+            .collect())
+    }
+
+    /// Execute a plan at virtual time `at`, returning rows and the virtual
+    /// service time. May fail with [`QccError::ServerUnavailable`] (down)
+    /// or [`QccError::ServerFault`] (transient fault, per `fault_rate`).
+    pub fn execute(&self, descriptor: &PlanNode, at: SimTime) -> Result<RemoteResult> {
+        self.check_up(at)?;
+        if self.profile.fault_rate > 0.0 {
+            let roll = self.rng.lock().next_f64();
+            if roll < self.profile.fault_rate {
+                return Err(QccError::ServerFault {
+                    server: self.profile.id.clone(),
+                    message: "transient fault injected".into(),
+                });
+            }
+        }
+        // Utilization sampled before this query starts (its own footprint
+        // is represented by in-flight guards the driver may hold).
+        let rho = self.load.utilization(at);
+        let sensitivity = self.effective_sensitivity(descriptor);
+        let (rows, work) = self.engine.execute_plan(descriptor)?;
+        let service_ms = work.cpu_units / self.profile.speed * slowdown(rho, sensitivity);
+        Ok(RemoteResult {
+            result_bytes: work.result_bytes,
+            rows,
+            elapsed: SimDuration::from_millis(service_ms),
+        })
+    }
+
+    /// Cheap liveness probe (the QCC daemons call this). Returns the probe's
+    /// service time, or an error when down.
+    pub fn ping(&self, at: SimTime) -> Result<SimDuration> {
+        self.check_up(at)?;
+        let rho = self.load.utilization(at);
+        let ms = 0.2 / self.profile.speed * slowdown(rho, self.profile.base_sensitivity);
+        Ok(SimDuration::from_millis(ms))
+    }
+
+    fn check_up(&self, at: SimTime) -> Result<()> {
+        if self.availability.is_up(at) {
+            Ok(())
+        } else {
+            Err(QccError::ServerUnavailable(self.profile.id.clone()))
+        }
+    }
+
+    fn effective_sensitivity(&self, descriptor: &PlanNode) -> f64 {
+        let contention = self.contention.lock();
+        let table_extra = descriptor
+            .base_tables()
+            .iter()
+            .filter_map(|t| contention.get(&t.to_ascii_lowercase()).copied())
+            .fold(0.0_f64, f64::max);
+        // Index accesses contend separately: a heavy update workload
+        // hammers B-tree pages, so index-driven plans can degrade more
+        // than table scans on the same table. Keys are "idx:<table>.<col>".
+        let index_extra = descriptor
+            .index_scans()
+            .iter()
+            .filter_map(|(t, c)| {
+                contention
+                    .get(&format!("idx:{}.{}", t.to_ascii_lowercase(), c.to_ascii_lowercase()))
+                    .copied()
+            })
+            .fold(0.0_f64, f64::max);
+        self.profile.base_sensitivity + table_extra.max(index_extra)
+    }
+}
+
+impl std::fmt::Debug for RemoteServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteServer")
+            .field("id", &self.profile.id)
+            .field("speed", &self.profile.speed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::{Column, DataType, Schema, Value};
+    use qcc_storage::Table;
+
+    fn catalog(rows: i64) -> Catalog {
+        let mut t = Table::new(
+            "items",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("v", DataType::Int),
+            ]),
+        );
+        for i in 0..rows {
+            t.insert(Row::new(vec![Value::Int(i), Value::Int(i % 7)]))
+                .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register(t);
+        c
+    }
+
+    fn server(speed: f64) -> Arc<RemoteServer> {
+        let mut profile = ServerProfile::new(ServerId::new("S1"));
+        profile.speed = speed;
+        RemoteServer::new(profile, catalog(10_000))
+    }
+
+    #[test]
+    fn explain_returns_cheapest_first() {
+        let s = server(1.0);
+        let plans = s.explain("SELECT * FROM items WHERE v = 3", SimTime::ZERO).unwrap();
+        assert!(!plans.is_empty());
+        for w in plans.windows(2) {
+            assert!(w[0].cost.total() <= w[1].cost.total());
+        }
+    }
+
+    #[test]
+    fn faster_server_reports_lower_estimates() {
+        let slow = server(1.0);
+        let fast = server(2.0);
+        let sql = "SELECT COUNT(*) FROM items";
+        let cs = slow.explain(sql, SimTime::ZERO).unwrap()[0].cost.total();
+        let cf = fast.explain(sql, SimTime::ZERO).unwrap()[0].cost.total();
+        assert!((cs / cf - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn execute_returns_rows_and_time() {
+        let s = server(1.0);
+        let plans = s.explain("SELECT COUNT(*) FROM items", SimTime::ZERO).unwrap();
+        let r = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(10_000));
+        assert!(r.elapsed.as_millis() > 0.0);
+    }
+
+    #[test]
+    fn load_slows_execution() {
+        let s = server(1.0);
+        let plans = s.explain("SELECT COUNT(*) FROM items", SimTime::ZERO).unwrap();
+        let idle = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
+        s.load().set_background(LoadProfile::Constant(0.8));
+        let loaded = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
+        assert!(
+            loaded.elapsed.as_millis() > idle.elapsed.as_millis() * 3.0,
+            "idle {} vs loaded {}",
+            idle.elapsed,
+            loaded.elapsed
+        );
+    }
+
+    #[test]
+    fn contention_targets_specific_tables() {
+        let s = server(1.0);
+        s.load().set_background(LoadProfile::Constant(0.7));
+        let plans = s.explain("SELECT COUNT(*) FROM items", SimTime::ZERO).unwrap();
+        let before = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
+        let mut map = HashMap::new();
+        map.insert("items".to_string(), 5.0);
+        s.set_contention(map);
+        let after = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
+        assert!(after.elapsed.as_millis() > before.elapsed.as_millis() * 2.0);
+        // Contention on an unrelated table does nothing.
+        let mut map = HashMap::new();
+        map.insert("other".to_string(), 5.0);
+        s.set_contention(map);
+        let unrelated = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
+        assert!((unrelated.elapsed.as_millis() - before.elapsed.as_millis()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_rejects_requests() {
+        let s = server(1.0);
+        s.availability()
+            .add_outage(SimTime::from_millis(10.0), SimTime::from_millis(20.0));
+        assert!(s.explain("SELECT * FROM items", SimTime::from_millis(15.0)).is_err());
+        let plans = s.explain("SELECT * FROM items", SimTime::ZERO).unwrap();
+        assert!(matches!(
+            s.execute(&plans[0].descriptor, SimTime::from_millis(15.0)),
+            Err(QccError::ServerUnavailable(_))
+        ));
+        assert!(s.ping(SimTime::from_millis(15.0)).is_err());
+        assert!(s.ping(SimTime::from_millis(25.0)).is_ok());
+    }
+
+    #[test]
+    fn faults_injected_at_configured_rate() {
+        let mut profile = ServerProfile::new(ServerId::new("flaky"));
+        profile.fault_rate = 0.5;
+        let s = RemoteServer::new(profile, catalog(100));
+        let plans = s.explain("SELECT * FROM items", SimTime::ZERO).unwrap();
+        let mut faults = 0;
+        for _ in 0..200 {
+            if matches!(
+                s.execute(&plans[0].descriptor, SimTime::ZERO),
+                Err(QccError::ServerFault { .. })
+            ) {
+                faults += 1;
+            }
+        }
+        assert!((60..140).contains(&faults), "got {faults} faults of 200");
+    }
+
+    #[test]
+    fn ping_reflects_load() {
+        let s = server(1.0);
+        let idle = s.ping(SimTime::ZERO).unwrap();
+        s.load().set_background(LoadProfile::Constant(0.9));
+        let loaded = s.ping(SimTime::ZERO).unwrap();
+        assert!(loaded.as_millis() > idle.as_millis() * 5.0);
+    }
+}

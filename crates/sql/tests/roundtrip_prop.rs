@@ -1,0 +1,211 @@
+//! Property test: any statement the AST can express prints to SQL that
+//! parses back to the identical AST.
+
+use proptest::prelude::*;
+use qcc_common::Value;
+use qcc_sql::{
+    parse_select, AggFunc, BinaryOp, Expr, JoinClause, OrderItem, SelectItem, SelectStmt, TableRef,
+    UnaryOp,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid reserved words and aggregate names by prefixing.
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("c_{s}"))
+}
+
+fn table_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("t_{s}"))
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i as i64))),
+        // Finite floats with exact decimal round-trip via Display.
+        (-1000i32..1000, 1u32..100)
+            .prop_map(|(a, b)| Expr::Literal(Value::Float(a as f64 + b as f64 / 128.0))),
+        "[a-z ]{0,8}".prop_map(|s| Expr::Literal(Value::Str(s))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn column() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(table_name()), ident())
+        .prop_map(|(table, name)| Expr::Column { table, name })
+}
+
+fn scalar_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), column()];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::GtEq),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r)
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| {
+                let op = if n { UnaryOp::Not } else { UnaryOp::Neg };
+                // Mirror the parser's constant fold: `-<numeric literal>`
+                // normalizes to a negative literal.
+                match (op, e) {
+                    (UnaryOp::Neg, Expr::Literal(Value::Int(i))) => {
+                        Expr::Literal(Value::Int(-i))
+                    }
+                    (UnaryOp::Neg, Expr::Literal(Value::Float(x))) => {
+                        Expr::Literal(Value::Float(-x))
+                    }
+                    (op, e) => Expr::Unary {
+                        op,
+                        expr: Box::new(e),
+                    },
+                }
+            }),
+            (
+                inner.clone(),
+                prop::collection::vec(literal(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), literal(), literal(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated
+                }
+            ),
+            (inner, "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, pattern, negated)| Expr::Like {
+                expr: Box::new(e),
+                pattern,
+                negated
+            }),
+        ]
+    })
+}
+
+fn agg_expr() -> impl Strategy<Value = Expr> {
+    (
+        prop_oneof![
+            Just(AggFunc::Count),
+            Just(AggFunc::Sum),
+            Just(AggFunc::Avg),
+            Just(AggFunc::Min),
+            Just(AggFunc::Max)
+        ],
+        proptest::option::of(column()),
+        any::<bool>(),
+    )
+        .prop_map(|(func, arg, distinct)| {
+            // SUM(*) etc. is invalid; COUNT may omit the argument.
+            let arg = match (&func, arg) {
+                (AggFunc::Count, a) => a.map(Box::new),
+                (_, Some(a)) => Some(Box::new(a)),
+                (_, None) => Some(Box::new(Expr::col("c_fallback"))),
+            };
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            }
+        })
+}
+
+fn select_stmt() -> impl Strategy<Value = SelectStmt> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                (scalar_expr(), proptest::option::of(ident()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+                (agg_expr(), proptest::option::of(ident()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            ],
+            1..4,
+        ),
+        (table_name(), proptest::option::of(ident())),
+        prop::collection::vec((table_name(), proptest::option::of(ident())), 0..2),
+        prop::collection::vec((table_name(), scalar_expr()), 0..2),
+        proptest::option::of(scalar_expr()),
+        prop::collection::vec(column(), 0..3),
+        proptest::option::of(scalar_expr()),
+        prop::collection::vec((column(), any::<bool>()), 0..3),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(
+            |(
+                distinct,
+                items,
+                (from_name, from_alias),
+                rest,
+                joins,
+                where_clause,
+                group_by,
+                having,
+                order_by,
+                limit,
+            )| {
+                SelectStmt {
+                    distinct,
+                    items,
+                    from: TableRef {
+                        name: from_name,
+                        alias: from_alias,
+                    },
+                    from_rest: rest
+                        .into_iter()
+                        .map(|(name, alias)| TableRef { name, alias })
+                        .collect(),
+                    joins: joins
+                        .into_iter()
+                        .map(|(name, on)| JoinClause {
+                            table: TableRef { name, alias: None },
+                            on,
+                        })
+                        .collect(),
+                    where_clause,
+                    group_by,
+                    having,
+                    order_by: order_by
+                        .into_iter()
+                        .map(|(expr, desc)| OrderItem { expr, desc })
+                        .collect(),
+                    limit,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(stmt in select_stmt()) {
+        let sql = stmt.to_string();
+        let reparsed = parse_select(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
+        prop_assert_eq!(stmt, reparsed, "sql: {}", sql);
+    }
+}

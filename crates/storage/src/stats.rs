@@ -1,0 +1,268 @@
+//! Table statistics for cardinality estimation.
+//!
+//! The per-server optimizers estimate selectivities from these statistics;
+//! because the statistics are summaries (not the data), the estimates carry
+//! realistic errors — exactly the situation the paper's calibrator assumes
+//! ("assuming that the original cost estimates are valid", §3.1).
+
+use crate::table::Table;
+use qcc_common::Value;
+use std::collections::HashSet;
+
+/// Number of buckets in the equi-depth histograms.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// An equi-depth histogram over a numeric column.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Bucket upper bounds (inclusive), ascending. The lower bound of the
+    /// first bucket is `min`.
+    bounds: Vec<f64>,
+    /// Rows per bucket.
+    depth: f64,
+    /// Column minimum.
+    min: f64,
+    /// Column maximum.
+    max: f64,
+    /// Total non-null rows the histogram summarizes.
+    total: f64,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram from (unsorted) numeric samples.
+    /// Returns `None` when there are no non-null numeric values.
+    pub fn build(mut values: Vec<f64>) -> Option<Histogram> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let total = values.len() as f64;
+        let buckets = HISTOGRAM_BUCKETS.min(values.len());
+        let depth = total / buckets as f64;
+        let mut bounds = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            let idx = ((b as f64 * depth).ceil() as usize - 1).min(values.len() - 1);
+            bounds.push(values[idx]);
+        }
+        Some(Histogram {
+            bounds,
+            depth,
+            min: values[0],
+            max: *values.last().expect("non-empty"),
+            total,
+        })
+    }
+
+    /// Estimated fraction of rows with value ≤ `x`.
+    pub fn selectivity_le(&self, x: f64) -> f64 {
+        if x < self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        let mut rows = 0.0;
+        let mut lower = self.min;
+        for &upper in &self.bounds {
+            if x >= upper {
+                rows += self.depth;
+                lower = upper;
+            } else {
+                // Linear interpolation inside the bucket.
+                let span = upper - lower;
+                let frac = if span <= 0.0 { 1.0 } else { (x - lower) / span };
+                rows += self.depth * frac.clamp(0.0, 1.0);
+                break;
+            }
+        }
+        (rows / self.total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of rows in `[lo, hi]`.
+    pub fn selectivity_range(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let hi_sel = hi.map_or(1.0, |h| self.selectivity_le(h));
+        let lo_sel = lo.map_or(0.0, |l| self.selectivity_le(l));
+        (hi_sel - lo_sel).clamp(0.0, 1.0)
+    }
+
+    /// Column minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Column maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Statistics for a single column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub distinct: u64,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Histogram over numeric values (absent for string columns).
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Selectivity of `col = literal`.
+    pub fn selectivity_eq(&self, total_rows: u64) -> f64 {
+        if total_rows == 0 {
+            return 0.0;
+        }
+        if self.distinct == 0 {
+            return 0.0;
+        }
+        // Uniformity assumption over distinct values.
+        let non_null = (total_rows - self.null_count) as f64;
+        (non_null / self.distinct as f64) / total_rows as f64
+    }
+}
+
+/// Statistics for a whole table, as collected by `ANALYZE`.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Row count at analyze time.
+    pub row_count: u64,
+    /// Average row width in bytes.
+    pub avg_row_width: f64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect statistics from a table (a full scan; fine for a simulator).
+    pub fn analyze(table: &Table) -> TableStats {
+        let ncols = table.schema().len();
+        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); ncols];
+        let mut nulls = vec![0u64; ncols];
+        let mut numerics: Vec<Vec<f64>> = vec![Vec::new(); ncols];
+        for row in table.rows() {
+            for (i, v) in row.values().iter().enumerate() {
+                if v.is_null() {
+                    nulls[i] += 1;
+                    continue;
+                }
+                distinct[i].insert(v.clone());
+                if let Some(x) = v.as_f64() {
+                    numerics[i].push(x);
+                }
+            }
+        }
+        let columns = (0..ncols)
+            .map(|i| ColumnStats {
+                distinct: distinct[i].len() as u64,
+                null_count: nulls[i],
+                histogram: Histogram::build(std::mem::take(&mut numerics[i])),
+            })
+            .collect();
+        TableStats {
+            row_count: table.row_count() as u64,
+            avg_row_width: table.avg_row_width(),
+            columns,
+        }
+    }
+
+    /// Stats for an empty table with the given column count (placeholder
+    /// used by the simulated federated system's *virtual tables*, which
+    /// keep statistics without any data — paper §2).
+    pub fn virtual_table(row_count: u64, avg_row_width: f64, columns: Vec<ColumnStats>) -> Self {
+        TableStats {
+            row_count,
+            avg_row_width,
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::{Column, DataType, Row, Schema};
+
+    fn int_table(values: &[i64]) -> Table {
+        let mut t = Table::new("t", Schema::new(vec![Column::new("v", DataType::Int)]));
+        for &v in values {
+            t.insert(Row::new(vec![Value::Int(v)])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn histogram_uniform_range_estimates() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(values).unwrap();
+        // P(v <= 499) should be about one half.
+        let sel = h.selectivity_le(499.0);
+        assert!((sel - 0.5).abs() < 0.05, "sel = {sel}");
+        assert_eq!(h.selectivity_le(-1.0), 0.0);
+        assert_eq!(h.selectivity_le(2000.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_skewed_data() {
+        // 90% of values are 0, the rest spread over [1, 100].
+        let mut values = vec![0.0; 900];
+        values.extend((1..=100).map(|i| i as f64));
+        let h = Histogram::build(values).unwrap();
+        let sel0 = h.selectivity_le(0.0);
+        assert!(sel0 > 0.8, "mass at zero should dominate, got {sel0}");
+    }
+
+    #[test]
+    fn histogram_range_selectivity() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(values).unwrap();
+        let sel = h.selectivity_range(Some(250.0), Some(750.0));
+        assert!((sel - 0.5).abs() < 0.06, "sel = {sel}");
+        let open = h.selectivity_range(None, Some(100.0));
+        assert!((open - 0.1).abs() < 0.05, "sel = {open}");
+    }
+
+    #[test]
+    fn histogram_empty_is_none() {
+        assert!(Histogram::build(vec![]).is_none());
+    }
+
+    #[test]
+    fn analyze_counts_distinct_and_nulls() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("s", DataType::Str),
+            ]),
+        );
+        t.insert(Row::new(vec![Value::Int(1), Value::from("x")]))
+            .unwrap();
+        t.insert(Row::new(vec![Value::Int(1), Value::Null])).unwrap();
+        t.insert(Row::new(vec![Value::Int(2), Value::from("y")]))
+            .unwrap();
+        let stats = TableStats::analyze(&t);
+        assert_eq!(stats.row_count, 3);
+        assert_eq!(stats.columns[0].distinct, 2);
+        assert_eq!(stats.columns[0].null_count, 0);
+        assert_eq!(stats.columns[1].distinct, 2);
+        assert_eq!(stats.columns[1].null_count, 1);
+        assert!(stats.columns[0].histogram.is_some());
+        assert!(stats.columns[1].histogram.is_none(), "strings: no histogram");
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let t = int_table(&(0..100).collect::<Vec<_>>());
+        let stats = TableStats::analyze(&t);
+        let sel = stats.columns[0].selectivity_eq(stats.row_count);
+        assert!((sel - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_empty_table() {
+        let t = int_table(&[]);
+        let stats = TableStats::analyze(&t);
+        assert_eq!(stats.columns[0].selectivity_eq(0), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Row-oriented in-memory tables.
+
+use qcc_common::{DataType, QccError, Result, Row, Schema, Value};
+
+/// An in-memory base table: a schema plus a vector of rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema (columns are unqualified at the base-table level).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Stored rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of stored rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Append a row after validating its arity and types. NULL is accepted
+    /// in any column.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.validate(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append many rows, validating each.
+    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Total byte width of all rows (approximation used for transfer-cost
+    /// accounting and stats).
+    pub fn byte_size(&self) -> usize {
+        self.rows.iter().map(Row::byte_width).sum()
+    }
+
+    /// Average row width in bytes (the schema-width default when empty).
+    pub fn avg_row_width(&self) -> f64 {
+        if self.rows.is_empty() {
+            // Assume 8 bytes per column when there is no data to measure.
+            return (self.schema.len() * 8) as f64;
+        }
+        self.byte_size() as f64 / self.rows.len() as f64
+    }
+
+    fn validate(&self, row: &Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(QccError::TypeMismatch(format!(
+                "table {} expects {} columns, row has {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (i, v) in row.values().iter().enumerate() {
+            let expected = self.schema.column(i).ty;
+            match (v.data_type(), expected) {
+                (None, _) => {}
+                (Some(t), e) if t == e => {}
+                // Ints are acceptable where floats are expected.
+                (Some(DataType::Int), DataType::Float) => {}
+                (Some(t), e) => {
+                    return Err(QccError::TypeMismatch(format!(
+                        "table {} column {} expects {e}, got {t} ({v})",
+                        self.name,
+                        self.schema.column(i).name,
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simulated "update workload" hook: touching a fraction of a table's rows.
+/// Used by the experiments' heavy-update-load phases; the data itself is
+/// perturbed in place so that repeated runs stay realistic.
+pub fn apply_update_batch(table: &mut Table, fraction: f64, bump: i64) -> usize {
+    let n = ((table.rows.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    let int_cols: Vec<usize> = table
+        .schema
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.ty == DataType::Int)
+        .map(|(i, _)| i)
+        .collect();
+    if int_cols.is_empty() {
+        return 0;
+    }
+    for r in 0..n.min(table.rows.len()) {
+        let col = int_cols[r % int_cols.len()];
+        let mut values = table.rows[r].clone().into_values();
+        if let Value::Int(v) = values[col] {
+            values[col] = Value::Int(v.wrapping_add(bump));
+        }
+        table.rows[r] = Row::new(values);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Str),
+                Column::new("score", DataType::Float),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = table();
+        t.insert(Row::new(vec![
+            Value::Int(1),
+            Value::from("a"),
+            Value::Float(0.5),
+        ]))
+        .unwrap();
+        t.insert(Row::new(vec![Value::Int(2), Value::Null, Value::Null]))
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.rows()[1].get(1), &Value::Null);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        let err = t.insert(Row::new(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, QccError::TypeMismatch(_)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(Row::new(vec![
+                Value::from("oops"),
+                Value::from("a"),
+                Value::Float(0.5),
+            ]))
+            .unwrap_err();
+        assert!(matches!(err, QccError::TypeMismatch(_)));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut t = table();
+        t.insert(Row::new(vec![Value::Int(1), Value::from("a"), Value::Int(3)]))
+            .unwrap();
+    }
+
+    #[test]
+    fn avg_row_width_empty_fallback() {
+        let t = table();
+        assert_eq!(t.avg_row_width(), 24.0);
+    }
+
+    #[test]
+    fn update_batch_touches_rows() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(Row::new(vec![
+                Value::Int(i),
+                Value::from("x"),
+                Value::Float(0.0),
+            ]))
+            .unwrap();
+        }
+        let touched = apply_update_batch(&mut t, 0.5, 100);
+        assert_eq!(touched, 5);
+        assert_eq!(t.rows()[0].get(0), &Value::Int(100));
+        assert_eq!(t.rows()[5].get(0), &Value::Int(5), "beyond fraction untouched");
+    }
+}

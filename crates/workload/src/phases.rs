@@ -1,0 +1,145 @@
+//! Table 1's load phases and the load driver.
+//!
+//! Each phase places a subset of {S1, S2, S3} under a heavy update
+//! workload (Step 4 of §5.1: *"Servers are hit with a heavy update
+//! load"*). Load manifests as high background utilization plus per-table
+//! and per-index contention — see [`crate::scenario::contention_for`].
+
+use crate::scenario::{contention_for, Scenario};
+use qcc_common::ServerId;
+use qcc_netsim::LoadProfile;
+use std::collections::{BTreeSet, HashMap};
+
+/// Background utilization of a server under the heavy update workload.
+pub const HIGH_LOAD: f64 = 0.85;
+
+/// One phase: which servers run the update workload.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// 1-based phase number.
+    pub number: usize,
+    /// Servers under load.
+    pub loaded: BTreeSet<ServerId>,
+}
+
+impl Phase {
+    /// Is this server loaded in this phase?
+    pub fn is_loaded(&self, server: &ServerId) -> bool {
+        self.loaded.contains(server)
+    }
+
+    /// Table-1-style row: Base/Load per server.
+    pub fn describe(&self) -> String {
+        let cell = |s: &str| {
+            if self.loaded.contains(&ServerId::new(s)) {
+                "Load"
+            } else {
+                "Base"
+            }
+        };
+        format!(
+            "Phase{}: S1={} S2={} S3={}",
+            self.number,
+            cell("S1"),
+            cell("S2"),
+            cell("S3")
+        )
+    }
+}
+
+/// The experiment's phase list.
+#[derive(Debug, Clone)]
+pub struct PhaseSchedule {
+    /// Phases in order.
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseSchedule {
+    /// Exactly Table 1: all 8 combinations of loading S1/S2/S3, in the
+    /// paper's column order.
+    pub fn paper_table1() -> PhaseSchedule {
+        let rows: [&[&str]; 8] = [
+            &[],
+            &["S3"],
+            &["S2"],
+            &["S2", "S3"],
+            &["S1"],
+            &["S1", "S3"],
+            &["S1", "S2"],
+            &["S1", "S2", "S3"],
+        ];
+        PhaseSchedule {
+            phases: rows
+                .iter()
+                .enumerate()
+                .map(|(i, servers)| Phase {
+                    number: i + 1,
+                    loaded: servers.iter().map(ServerId::new).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Apply a phase's load state to the scenario's servers.
+pub fn apply_phase(scenario: &Scenario, phase: &Phase) {
+    for server in &scenario.servers {
+        if phase.is_loaded(server.id()) {
+            server
+                .load()
+                .set_background(LoadProfile::Constant(HIGH_LOAD));
+            server.set_contention(contention_for(server.id()));
+        } else {
+            server.load().set_background(LoadProfile::Constant(0.0));
+            server.set_contention(HashMap::new());
+        }
+    }
+}
+
+/// Return every server to the unloaded state.
+pub fn clear_phase(scenario: &Scenario) {
+    for server in &scenario.servers {
+        server.load().set_background(LoadProfile::Constant(0.0));
+        server.set_contention(HashMap::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_combinations() {
+        let s = PhaseSchedule::paper_table1();
+        assert_eq!(s.phases.len(), 8);
+        let sets: BTreeSet<BTreeSet<ServerId>> =
+            s.phases.iter().map(|p| p.loaded.clone()).collect();
+        assert_eq!(sets.len(), 8, "all subsets distinct");
+        // Paper column order: S3 toggles fastest, S1 slowest.
+        assert!(s.phases[0].loaded.is_empty());
+        assert!(s.phases[1].is_loaded(&ServerId::new("S3")));
+        assert!(s.phases[4].is_loaded(&ServerId::new("S1")));
+        assert_eq!(s.phases[7].loaded.len(), 3);
+    }
+
+    #[test]
+    fn describe_formats_table_row() {
+        let s = PhaseSchedule::paper_table1();
+        assert_eq!(s.phases[3].describe(), "Phase4: S1=Base S2=Load S3=Load");
+    }
+
+    #[test]
+    fn apply_phase_sets_and_clears_load() {
+        use qcc_common::SimTime;
+        let scenario = Scenario::tiny_for_tests();
+        let schedule = PhaseSchedule::paper_table1();
+        apply_phase(&scenario, &schedule.phases[1]); // S3 loaded
+        assert!(
+            scenario.server("S3").load().utilization(SimTime::ZERO) > 0.8,
+            "S3 loaded"
+        );
+        assert!(scenario.server("S1").load().utilization(SimTime::ZERO) < 0.01);
+        clear_phase(&scenario);
+        assert!(scenario.server("S3").load().utilization(SimTime::ZERO) < 0.01);
+    }
+}

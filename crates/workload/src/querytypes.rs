@@ -1,0 +1,167 @@
+//! The four query-fragment types of §5.2.
+//!
+//! * **QT1** — equijoin on two large tables (100 000 tuples) followed by a
+//!   "greater than" selection on the input parameter and an aggregation.
+//! * **QT2** — like QT1 but the selection table is small (1 000 tuples).
+//! * **QT3** — like QT1 with a much more selective condition.
+//! * **QT4** — joins three tables with a highly selective predicate.
+//!
+//! Instances of a type differ only in the selection parameter, so they
+//! share a template signature (and hence calibration history and
+//! round-robin state).
+
+use std::fmt;
+
+/// One of the paper's four query types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryType {
+    /// Large ⋈ large, mild selection, aggregation.
+    QT1,
+    /// Large ⋈ small, selection on the small table, aggregation.
+    QT2,
+    /// Large ⋈ large, highly selective.
+    QT3,
+    /// Three-way join, highly selective.
+    QT4,
+}
+
+/// All four types, in order.
+pub const ALL_QUERY_TYPES: [QueryType; 4] = [
+    QueryType::QT1,
+    QueryType::QT2,
+    QueryType::QT3,
+    QueryType::QT4,
+];
+
+impl QueryType {
+    /// The SQL for instance `i` of this type. Parameters sweep a small
+    /// deterministic range so the 10 instances of §5.3 are distinct
+    /// queries of one template.
+    pub fn sql(&self, instance: u32) -> String {
+        let i = instance as i64;
+        match self {
+            // Selection passes ~70–80% of big_a (sel is uniform 0..10000).
+            QueryType::QT1 => format!(
+                "SELECT a.grp, COUNT(*) AS n, SUM(b.qty) AS total \
+                 FROM big_a a JOIN big_b b ON b.a_id = a.id \
+                 WHERE a.sel > {} GROUP BY a.grp",
+                2000 + (i % 10) * 100
+            ),
+            // Selection on the small table's bonus (uniform 0..100).
+            QueryType::QT2 => format!(
+                "SELECT s.cat, COUNT(*) AS n, AVG(a.val) AS avg_val \
+                 FROM big_a a JOIN small_s s ON a.grp = s.id \
+                 WHERE s.bonus > {} GROUP BY s.cat",
+                20 + (i % 10) * 3
+            ),
+            // Highly selective: passes ~1% of big_d.
+            QueryType::QT3 => format!(
+                "SELECT d.grp, COUNT(*) AS n, MIN(d.val) AS lo \
+                 FROM big_d d JOIN big_b b ON b.a_id = d.id \
+                 WHERE d.sel > {} GROUP BY d.grp",
+                9900 + (i % 10) * 5
+            ),
+            // Three tables; flag equality matches ~1/5000 of big_c.
+            QueryType::QT4 => format!(
+                "SELECT COUNT(*) AS n, SUM(b.qty) AS total \
+                 FROM big_a a JOIN big_b b ON b.a_id = a.id \
+                 JOIN big_c c ON c.b_id = b.id \
+                 WHERE c.flag = {}",
+                100 + (i % 10)
+            ),
+        }
+    }
+
+    /// Recover the query type from a query template signature (used by the
+    /// fixed-assignment baselines, which route per registered type).
+    pub fn of_template(template: &str) -> Option<QueryType> {
+        if template.contains("small_s") {
+            Some(QueryType::QT2)
+        } else if template.contains("big_c") {
+            Some(QueryType::QT4)
+        } else if template.contains("big_d") {
+            Some(QueryType::QT3)
+        } else if template.contains("big_a") {
+            Some(QueryType::QT1)
+        } else {
+            None
+        }
+    }
+
+    /// Zero-based index (for arrays of per-type metrics).
+    pub fn index(&self) -> usize {
+        match self {
+            QueryType::QT1 => 0,
+            QueryType::QT2 => 1,
+            QueryType::QT3 => 2,
+            QueryType::QT4 => 3,
+        }
+    }
+}
+
+impl fmt::Display for QueryType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryType::QT1 => write!(f, "QT1"),
+            QueryType::QT2 => write!(f, "QT2"),
+            QueryType::QT3 => write!(f, "QT3"),
+            QueryType::QT4 => write!(f, "QT4"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_parses() {
+        for qt in ALL_QUERY_TYPES {
+            for i in 0..3 {
+                let sql = qt.sql(i);
+                qcc_sql::parse_select(&sql).unwrap_or_else(|e| panic!("{qt} i{i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn instances_share_template() {
+        use qcc_federation::decompose;
+        // Template identity is what calibration keys on; check via the
+        // decomposer's signature over a catalog hosting the tables.
+        let scenario = crate::scenario::Scenario::tiny_for_tests();
+        for qt in ALL_QUERY_TYPES {
+            let a = decompose(&qt.sql(0), scenario.federation.nicknames()).unwrap();
+            let b = decompose(&qt.sql(7), scenario.federation.nicknames()).unwrap();
+            assert_eq!(a.template_signature, b.template_signature, "{qt}");
+        }
+    }
+
+    #[test]
+    fn types_have_distinct_templates() {
+        let scenario = crate::scenario::Scenario::tiny_for_tests();
+        use qcc_federation::decompose;
+        let sigs: std::collections::BTreeSet<String> = ALL_QUERY_TYPES
+            .iter()
+            .map(|qt| {
+                decompose(&qt.sql(0), scenario.federation.nicknames())
+                    .unwrap()
+                    .template_signature
+            })
+            .collect();
+        assert_eq!(sigs.len(), 4);
+    }
+
+    #[test]
+    fn of_template_recovers_type() {
+        let scenario = crate::scenario::Scenario::tiny_for_tests();
+        use qcc_federation::decompose;
+        for qt in ALL_QUERY_TYPES {
+            let sig = decompose(&qt.sql(0), scenario.federation.nicknames())
+                .unwrap()
+                .template_signature;
+            assert_eq!(QueryType::of_template(&sig), Some(qt), "sig: {sig}");
+        }
+        assert_eq!(QueryType::of_template("SELECT 1"), None);
+    }
+}

@@ -1,0 +1,459 @@
+//! The experimental scenario of §5: one II, three remote servers hosting
+//! replicated sample tables.
+//!
+//! *"we created an information integration scenario with one II server and
+//! three remote servers ... Each table has been populated with randomly
+//! generated data ... the tables are replicated and distributed on the
+//! three remote servers such that each server is involved in a diverse set
+//! of queries. The tables sizes also varied, with small tables having on
+//! the order of 1000s of tuples and large tables having on the order of
+//! 100000s of tuples."*
+//!
+//! Server heterogeneity: S3 is "the most powerful machine among the three
+//! available servers" (fastest CPU) but degrades steeply under its update
+//! workload for plans touching `small_s` or the `big_a.sel` index — the
+//! differential sensitivity Figure 9 documents. S1 and S2 are slower but
+//! flatter.
+
+use crate::baselines::FixedRoutingMiddleware;
+use qcc_common::ServerId;
+use qcc_core::{LoadBalanceMode, Qcc, QccConfig};
+use qcc_federation::{
+    Federation, FederationConfig, Middleware, NicknameCatalog, PassthroughMiddleware,
+};
+use qcc_netsim::{Link, LoadProfile, Network, SimClock};
+use qcc_remote::{RemoteServer, ServerProfile};
+use qcc_storage::{Catalog, ColumnSpec, TableSpec};
+use qcc_wrapper::{RelationalWrapper, Wrapper};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scenario sizing and seeding.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Rows in the large tables (paper: ~100 000).
+    pub large_rows: u64,
+    /// Rows in the small table (paper: ~1 000).
+    pub small_rows: u64,
+    /// Data seed.
+    pub seed: u64,
+    /// Base round-trip latency of each server link in virtual ms.
+    pub link_rtt_ms: f64,
+    /// Link bandwidth in bytes per virtual ms.
+    pub link_bandwidth: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            large_rows: 100_000,
+            small_rows: 1_000,
+            seed: 0x5eed,
+            link_rtt_ms: 2.0,
+            link_bandwidth: 50_000.0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A scaled-down config for fast tests (same structure, less data).
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            large_rows: 2_000,
+            small_rows: 100,
+            link_rtt_ms: 0.2,
+            link_bandwidth: 500_000.0,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// How queries are routed — which middleware drives the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Baseline II: raw cost-based choice, no calibration.
+    Baseline,
+    /// Fixed registration-time assignment 1 (QT1,QT3→S1, QT2→S2, QT4→S3).
+    Fixed1,
+    /// Fixed assignment 2: everything to the most powerful server, S3.
+    Fixed2,
+    /// QCC-calibrated adaptive routing.
+    Qcc,
+    /// QCC with round-robin load distribution at the given level.
+    QccBalanced(LoadBalanceMode),
+}
+
+/// The assembled experiment world.
+pub struct Scenario {
+    /// The three remote servers, in id order (S1, S2, S3).
+    pub servers: Vec<Arc<RemoteServer>>,
+    /// Wrappers (same order as `servers`).
+    pub wrappers: Vec<Arc<dyn Wrapper>>,
+    /// The federated integrator.
+    pub federation: Federation,
+    /// The QCC, when routing is QCC-driven.
+    pub qcc: Option<Arc<Qcc>>,
+    /// The shared clock.
+    pub clock: SimClock,
+}
+
+/// CPU speeds: S3 is the most powerful machine.
+pub const SERVER_SPEEDS: [(f64, f64); 3] = [
+    // (speed, base load sensitivity)
+    (1.0, 0.30), // S1
+    (1.1, 0.30), // S2
+    (2.0, 0.04), // S3
+];
+
+impl Scenario {
+    /// Build the full-size paper scenario.
+    pub fn build(routing: Routing) -> Scenario {
+        Scenario::build_with(routing, ScenarioConfig::default())
+    }
+
+    /// Build a scaled-down scenario for tests.
+    pub fn tiny_for_tests() -> Scenario {
+        Scenario::build_with(Routing::Qcc, ScenarioConfig::tiny())
+    }
+
+    /// Build with a custom QCC configuration (ablations tune windows,
+    /// bands, thresholds and balancing modes through this).
+    pub fn build_with_qcc(qcc_config: QccConfig, config: ScenarioConfig) -> Scenario {
+        let mut scenario = Scenario::build_with(Routing::Baseline, config);
+        let qcc = Qcc::new(qcc_config);
+        // Rebuild the federation around the QCC middleware, reusing the
+        // already-built servers and wrappers.
+        let mut federation = Federation::new(
+            rebuild_nicknames(&scenario),
+            scenario.clock.clone(),
+            qcc.middleware(),
+            FederationConfig::default(),
+        );
+        for w in &scenario.wrappers {
+            federation.add_wrapper(Arc::clone(w));
+        }
+        scenario.federation = federation;
+        scenario.qcc = Some(qcc);
+        scenario
+    }
+
+    /// Build with explicit sizing.
+    pub fn build_with(routing: Routing, config: ScenarioConfig) -> Scenario {
+        let specs = table_specs(&config);
+
+        // Identical replicas on every server: same specs, same seed.
+        let make_catalog = || {
+            let mut c = Catalog::new();
+            for spec in &specs {
+                c.register(spec.generate(config.seed));
+            }
+            // Access paths the selective query types exploit.
+            c.create_index("big_a", "sel").expect("column exists");
+            c.create_index("big_a", "id").expect("column exists");
+            c.create_index("big_d", "sel").expect("column exists");
+            c.create_index("big_c", "flag").expect("column exists");
+            c
+        };
+
+        let clock = SimClock::new();
+        let mut servers = Vec::new();
+        let mut network = Network::new();
+        for (i, (speed, base_sensitivity)) in SERVER_SPEEDS.iter().enumerate() {
+            let id = ServerId::new(format!("S{}", i + 1));
+            let profile = ServerProfile {
+                id: id.clone(),
+                speed: *speed,
+                base_sensitivity: *base_sensitivity,
+                per_query_load: 0.03,
+                fault_rate: 0.0,
+            };
+            servers.push(RemoteServer::new(profile, make_catalog()));
+            network.add_link(
+                id,
+                Link::new(
+                    config.link_rtt_ms,
+                    config.link_bandwidth,
+                    LoadProfile::Constant(0.0),
+                ),
+            );
+        }
+        let network = Arc::new(network);
+
+        let mut nicknames = NicknameCatalog::new();
+        for spec in &specs {
+            nicknames.define(&spec.name, spec.schema());
+            for s in &servers {
+                nicknames
+                    .add_source(&spec.name, s.id().clone(), &spec.name)
+                    .expect("nickname defined above");
+            }
+        }
+
+        let (middleware, qcc): (Arc<dyn Middleware>, Option<Arc<Qcc>>) = match routing {
+            Routing::Baseline => (Arc::new(PassthroughMiddleware::with_cache()), None),
+            Routing::Fixed1 => (
+                Arc::new(FixedRoutingMiddleware::new(crate::baselines::FIXED_ASSIGNMENT_1())),
+                None,
+            ),
+            Routing::Fixed2 => (
+                Arc::new(FixedRoutingMiddleware::new(crate::baselines::FIXED_ASSIGNMENT_2())),
+                None,
+            ),
+            Routing::Qcc => {
+                let qcc = Qcc::new(QccConfig::default());
+                (qcc.middleware(), Some(qcc))
+            }
+            Routing::QccBalanced(mode) => {
+                let qcc = Qcc::new(QccConfig::with_load_balance(mode));
+                (qcc.middleware(), Some(qcc))
+            }
+        };
+
+        let mut federation = Federation::new(
+            nicknames,
+            clock.clone(),
+            middleware,
+            FederationConfig::default(),
+        );
+        let mut wrappers: Vec<Arc<dyn Wrapper>> = Vec::new();
+        for s in &servers {
+            let w: Arc<dyn Wrapper> = Arc::new(RelationalWrapper::new(
+                Arc::clone(s),
+                Arc::clone(&network),
+            ));
+            federation.add_wrapper(Arc::clone(&w));
+            wrappers.push(w);
+        }
+
+        Scenario {
+            servers,
+            wrappers,
+            federation,
+            qcc,
+            clock,
+        }
+    }
+
+    /// The server with the given id.
+    pub fn server(&self, id: &str) -> &Arc<RemoteServer> {
+        self.servers
+            .iter()
+            .find(|s| s.id().as_str() == id)
+            .expect("known server id")
+    }
+}
+
+/// Re-derive the nickname catalog from an existing scenario's servers.
+fn rebuild_nicknames(scenario: &Scenario) -> NicknameCatalog {
+    let mut nicknames = NicknameCatalog::new();
+    for table in scenario.servers[0].engine().catalog().table_names() {
+        let schema = scenario.servers[0]
+            .engine()
+            .catalog()
+            .entry(table)
+            .expect("listed table exists")
+            .table
+            .schema()
+            .clone();
+        nicknames.define(table, schema);
+        for s in &scenario.servers {
+            nicknames
+                .add_source(table, s.id().clone(), table)
+                .expect("nickname defined above");
+        }
+    }
+    nicknames
+}
+
+/// The sample tables: three large, one small, per the paper's size mix.
+fn table_specs(config: &ScenarioConfig) -> Vec<TableSpec> {
+    vec![
+        TableSpec::new(
+            "big_a",
+            config.large_rows,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "grp".into(),
+                    lo: 0,
+                    hi: config.small_rows.max(1) as i64,
+                },
+                ColumnSpec::FloatUniform {
+                    name: "val".into(),
+                    lo: 0.0,
+                    hi: 100.0,
+                },
+                ColumnSpec::IntUniform {
+                    name: "sel".into(),
+                    lo: 0,
+                    hi: 10_000,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "big_d",
+            config.large_rows,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "grp".into(),
+                    lo: 0,
+                    hi: config.small_rows.max(1) as i64,
+                },
+                ColumnSpec::FloatUniform {
+                    name: "val".into(),
+                    lo: 0.0,
+                    hi: 100.0,
+                },
+                ColumnSpec::IntUniform {
+                    name: "sel".into(),
+                    lo: 0,
+                    hi: 10_000,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "big_b",
+            config.large_rows,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "a_id".into(),
+                    lo: 0,
+                    hi: config.large_rows as i64,
+                },
+                ColumnSpec::IntUniform {
+                    name: "qty".into(),
+                    lo: 0,
+                    hi: 100,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "big_c",
+            config.large_rows,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "b_id".into(),
+                    lo: 0,
+                    hi: config.large_rows as i64,
+                },
+                ColumnSpec::IntUniform {
+                    name: "flag".into(),
+                    lo: 0,
+                    hi: 5_000,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "small_s",
+            config.small_rows,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::StrPool {
+                    name: "cat".into(),
+                    pool_size: 10,
+                },
+                ColumnSpec::FloatUniform {
+                    name: "bonus".into(),
+                    lo: 0.0,
+                    hi: 100.0,
+                },
+            ],
+        ),
+    ]
+}
+
+/// Per-table / per-index contention each server suffers while its update
+/// workload runs (phase "Load" state). See DESIGN.md: these are the
+/// heterogeneity knobs that produce Figure 9's shapes.
+pub fn contention_for(server: &ServerId) -> HashMap<String, f64> {
+    let mut m = HashMap::new();
+    match server.as_str() {
+        // S1/S2: flat moderate contention everywhere; updates on the small
+        // table and the indexes contend a bit harder.
+        "S1" | "S2" => {
+            for t in ["big_a", "big_b", "big_c"] {
+                m.insert(t.to_string(), 0.15);
+            }
+            m.insert("big_d".into(), 0.30);
+            m.insert("small_s".into(), 0.40);
+        }
+        // S3: nearly insensitive for most scans, but its update workload
+        // hammers small_s and big_d — the paper's "for QT2, S3 is much
+        // more sensitive to load than the others" (and likewise QT3,
+        // whose tables include big_d).
+        "S3" => {
+            m.insert("small_s".into(), 1.10);
+            m.insert("big_d".into(), 1.10);
+        }
+        _ => {}
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builds_with_replicated_tables() {
+        let s = Scenario::tiny_for_tests();
+        assert_eq!(s.servers.len(), 3);
+        for srv in &s.servers {
+            let names = srv.engine().catalog().table_names();
+            assert_eq!(names, vec!["big_a", "big_b", "big_c", "big_d", "small_s"]);
+        }
+        // Every nickname resolvable on every server.
+        let common = s
+            .federation
+            .nicknames()
+            .common_servers(&["big_a", "big_b", "big_c", "big_d", "small_s"])
+            .unwrap();
+        assert_eq!(common.len(), 3);
+    }
+
+    #[test]
+    fn replicas_hold_identical_data() {
+        let s = Scenario::tiny_for_tests();
+        let a = s.server("S1").engine().catalog().entry("big_a").unwrap();
+        let b = s.server("S3").engine().catalog().entry("big_a").unwrap();
+        assert_eq!(a.table.rows(), b.table.rows());
+    }
+
+    #[test]
+    fn s3_is_fastest() {
+        let s = Scenario::tiny_for_tests();
+        assert!(s.server("S3").profile().speed > s.server("S1").profile().speed);
+    }
+
+    #[test]
+    fn queries_execute_end_to_end() {
+        let s = Scenario::tiny_for_tests();
+        for qt in crate::ALL_QUERY_TYPES {
+            let out = s
+                .federation
+                .submit(&qt.sql(0))
+                .unwrap_or_else(|e| panic!("{qt}: {e}"));
+            assert!(out.response_ms > 0.0, "{qt}");
+        }
+    }
+
+    #[test]
+    fn all_query_types_return_identical_rows_from_any_server() {
+        // Correctness does not depend on routing: force each server via
+        // the fixed baselines and compare results.
+        let qcc = Scenario::build_with(Routing::Qcc, ScenarioConfig::tiny());
+        let f2 = Scenario::build_with(Routing::Fixed2, ScenarioConfig::tiny());
+        for qt in crate::ALL_QUERY_TYPES {
+            let a = qcc.federation.submit(&qt.sql(1)).unwrap();
+            let b = f2.federation.submit(&qt.sql(1)).unwrap();
+            let mut ra = a.rows.clone();
+            let mut rb = b.rows.clone();
+            ra.sort_by(|x, y| x.values().cmp(y.values()));
+            rb.sort_by(|x, y| x.values().cmp(y.values()));
+            assert_eq!(ra, rb, "{qt}");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! File wrapper.
+//!
+//! Per the paper (§1, compile-time step 3): *"For those sub-queries that
+//! are forwarded to a file wrapper, file paths are returned to II without
+//! estimated cost."* A file source holds flat files of rows; the only
+//! access path is a full read of the file, optionally filtered at the
+//! integrator side. Because the wrapper reports no cost, the QCC's
+//! calibration (seeded by daemon probes and runtime observations) is the
+//! only cost information the optimizer ever gets for these sources.
+
+use crate::traits::{FragmentPlan, Wrapper, WrapperKind, WrapperResult};
+use parking_lot::Mutex;
+use qcc_common::{QccError, Result, Row, Schema, ServerId, SimDuration, SimTime};
+use qcc_netsim::{Network, ServerLoad};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One flat file: a schema and its rows.
+#[derive(Debug, Clone)]
+pub struct FlatFile {
+    /// Schema of the records.
+    pub schema: Schema,
+    /// Records.
+    pub rows: Vec<Row>,
+}
+
+/// A file source exposing flat files by path.
+#[derive(Debug)]
+pub struct FileWrapper {
+    id: ServerId,
+    files: Mutex<BTreeMap<String, FlatFile>>,
+    network: Arc<Network>,
+    load: ServerLoad,
+    /// Virtual milliseconds to read one row from disk.
+    read_ms_per_row: f64,
+}
+
+impl FileWrapper {
+    /// A file source named `id`, reachable over `network`.
+    pub fn new(id: ServerId, network: Arc<Network>) -> Self {
+        FileWrapper {
+            id,
+            files: Mutex::new(BTreeMap::new()),
+            network,
+            load: ServerLoad::new(qcc_netsim::LoadProfile::Constant(0.0), 0.02),
+            read_ms_per_row: 0.002,
+        }
+    }
+
+    /// Register a file under `path` (e.g. `"data/feeds.csv"`). The path
+    /// doubles as the table name the federation layer maps nicknames to.
+    pub fn add_file(&self, path: impl Into<String>, file: FlatFile) {
+        self.files.lock().insert(path.into().to_ascii_lowercase(), file);
+    }
+
+    /// The source's load model (file servers slow down under load too).
+    pub fn load(&self) -> &ServerLoad {
+        &self.load
+    }
+}
+
+impl Wrapper for FileWrapper {
+    fn server_id(&self) -> &ServerId {
+        &self.id
+    }
+
+    fn kind(&self) -> WrapperKind {
+        WrapperKind::File
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.files.lock().keys().cloned().collect()
+    }
+
+    fn plan(&self, sql: &str, at: SimTime) -> Result<(Vec<FragmentPlan>, SimDuration)> {
+        // The fragment for a file source is `SELECT * FROM <path>`; the
+        // wrapper confirms the path exists and returns it — with NO cost.
+        let stmt = qcc_sql::parse_select(sql)?;
+        let path = stmt.from.name.to_ascii_lowercase();
+        if !self.files.lock().contains_key(&path) {
+            return Err(QccError::UnknownTable(path));
+        }
+        let rtt = self.network.transfer_time(&self.id, 128, at)?;
+        Ok((
+            vec![FragmentPlan {
+                server: self.id.clone(),
+                sql: sql.to_owned(),
+                descriptor: None,
+                cost: None, // File wrappers never estimate.
+                signature: format!("file({path})"),
+            }],
+            rtt,
+        ))
+    }
+
+    fn execute(&self, plan: &FragmentPlan, at: SimTime) -> Result<WrapperResult> {
+        let stmt = qcc_sql::parse_select(&plan.sql)?;
+        let path = stmt.from.name.to_ascii_lowercase();
+        let files = self.files.lock();
+        let file = files
+            .get(&path)
+            .ok_or_else(|| QccError::UnknownTable(path.clone()))?;
+        let request = self.network.transfer_time(&self.id, 128, at)?;
+        // A file source cannot execute SQL: the whole file is read (and
+        // charged), then the fragment's projection/filter is applied at
+        // the access layer before shipping — so the integrator receives
+        // rows in the fragment's declared shape.
+        let rho = self.load.utilization(at);
+        let read_ms =
+            file.rows.len() as f64 * self.read_ms_per_row * qcc_netsim::slowdown(rho, 1.0);
+        let service = SimDuration::from_millis(read_ms);
+        let rows = {
+            let mut catalog = qcc_storage::Catalog::new();
+            let mut table = qcc_storage::Table::new(path.clone(), file.schema.clone());
+            table.insert_all(file.rows.iter().cloned())?;
+            catalog.register(table);
+            qcc_engine::naive::evaluate(&stmt, &catalog)?
+        };
+        let bytes: u64 = rows.iter().map(|r| r.byte_width() as u64).sum();
+        let response = self
+            .network
+            .transfer_time(&self.id, bytes, at + request + service)?;
+        Ok(WrapperResult {
+            rows,
+            bytes,
+            response_time: request + service + response,
+        })
+    }
+
+    fn ping(&self, at: SimTime) -> Result<SimDuration> {
+        let rtt = self.network.transfer_time(&self.id, 64, at)?;
+        Ok(rtt + rtt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::{Column, DataType, Value};
+    use qcc_netsim::{Link, LoadProfile};
+
+    fn setup() -> FileWrapper {
+        let mut net = Network::new();
+        net.add_link(
+            ServerId::new("F1"),
+            Link::new(2.0, 1000.0, LoadProfile::Constant(0.0)),
+        );
+        let w = FileWrapper::new(ServerId::new("F1"), Arc::new(net));
+        let schema = Schema::new(vec![
+            Column::new("ts", DataType::Int),
+            Column::new("line", DataType::Str),
+        ]);
+        let rows = (0..100i64)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("line{i}"))]))
+            .collect();
+        w.add_file("logs", FlatFile { schema, rows });
+        w
+    }
+
+    #[test]
+    fn plan_has_no_cost() {
+        let w = setup();
+        let (plans, _) = w.plan("SELECT * FROM logs", SimTime::ZERO).unwrap();
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].cost.is_none(), "file wrappers report no cost");
+        assert!(plans[0].descriptor.is_none());
+        assert_eq!(plans[0].signature, "file(logs)");
+    }
+
+    #[test]
+    fn unknown_path_rejected() {
+        let w = setup();
+        assert!(matches!(
+            w.plan("SELECT * FROM nope", SimTime::ZERO),
+            Err(QccError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn execute_reads_whole_file() {
+        let w = setup();
+        let (plans, _) = w.plan("SELECT * FROM logs", SimTime::ZERO).unwrap();
+        let r = w.execute(&plans[0], SimTime::ZERO).unwrap();
+        assert_eq!(r.rows.len(), 100);
+        assert!(r.response_time.as_millis() > 4.0, "pays two RTTs");
+    }
+
+    #[test]
+    fn load_slows_reads() {
+        let w = setup();
+        let (plans, _) = w.plan("SELECT * FROM logs", SimTime::ZERO).unwrap();
+        let idle = w.execute(&plans[0], SimTime::ZERO).unwrap();
+        w.load().set_background(LoadProfile::Constant(0.9));
+        let busy = w.execute(&plans[0], SimTime::ZERO).unwrap();
+        assert!(busy.response_time > idle.response_time);
+    }
+}

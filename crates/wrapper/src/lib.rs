@@ -1,0 +1,16 @@
+//! Source wrappers.
+//!
+//! Following the paper's architecture (Figure 1), every remote source sits
+//! behind a *wrapper*. Relational wrappers forward fragments to a DBMS and
+//! report candidate execution plans **with estimated costs**; file wrappers
+//! return file paths **without** cost estimates (§1, compile-time step 3).
+//! All wrapper traffic crosses the simulated wide-area network, so both
+//! EXPLAIN round trips and result shipping are charged network time.
+
+pub mod file;
+pub mod relational;
+pub mod traits;
+
+pub use file::FileWrapper;
+pub use relational::RelationalWrapper;
+pub use traits::{FragmentPlan, Wrapper, WrapperKind, WrapperResult};

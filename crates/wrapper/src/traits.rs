@@ -1,0 +1,67 @@
+//! The wrapper abstraction.
+
+use qcc_common::{Cost, Result, Row, ServerId, SimDuration, SimTime};
+use qcc_engine::PlanNode;
+
+/// The two wrapper families the paper distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapperKind {
+    /// Relational DBMS wrapper: plans with cost estimates.
+    Relational,
+    /// File wrapper: paths, no cost estimates.
+    File,
+}
+
+/// One candidate fragment execution plan at one source, as returned to the
+/// integrator (and recorded by the meta-wrapper) at compile time.
+#[derive(Debug, Clone)]
+pub struct FragmentPlan {
+    /// The source server this plan executes on.
+    pub server: ServerId,
+    /// The fragment SQL this plan answers.
+    pub sql: String,
+    /// The execution descriptor (absent for file sources, which are
+    /// re-scanned wholesale).
+    pub descriptor: Option<PlanNode>,
+    /// The wrapper's cost estimate. `None` for file wrappers — the paper's
+    /// file wrapper "returns file paths to II without estimated cost".
+    pub cost: Option<Cost>,
+    /// Canonical plan-shape signature; two fragment plans with equal
+    /// signatures (and equal SQL) are interchangeable for load balancing.
+    pub signature: String,
+}
+
+/// The runtime outcome of executing a fragment plan through a wrapper.
+#[derive(Debug, Clone)]
+pub struct WrapperResult {
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// End-to-end fragment response time observed at the integrator:
+    /// request transfer + remote service + result transfer.
+    pub response_time: SimDuration,
+    /// Result payload size in bytes.
+    pub bytes: u64,
+}
+
+/// A source wrapper: the integrator's only interface to a remote source.
+pub trait Wrapper: Send + Sync + std::fmt::Debug {
+    /// The wrapped source's server id.
+    fn server_id(&self) -> &ServerId;
+
+    /// Relational or file.
+    fn kind(&self) -> WrapperKind;
+
+    /// Base tables this source can serve (lowercased).
+    fn tables(&self) -> Vec<String>;
+
+    /// Compile-time: candidate execution plans for a fragment, plus the
+    /// virtual time the EXPLAIN round trip itself consumed.
+    fn plan(&self, sql: &str, at: SimTime) -> Result<(Vec<FragmentPlan>, SimDuration)>;
+
+    /// Runtime: execute a fragment plan.
+    fn execute(&self, plan: &FragmentPlan, at: SimTime) -> Result<WrapperResult>;
+
+    /// Liveness probe (QCC availability daemons call this through the
+    /// meta-wrapper). Returns round-trip time.
+    fn ping(&self, at: SimTime) -> Result<SimDuration>;
+}

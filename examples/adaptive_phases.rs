@@ -1,0 +1,46 @@
+//! The paper's headline experiment in miniature: run the four query types
+//! through the eight load phases of Table 1 and compare fixed
+//! registration-time routing against QCC's adaptive routing.
+//!
+//! This drives the same machinery as the `fig10`/`table2` bench harnesses,
+//! at a size that finishes in seconds.
+//!
+//! Run with: `cargo run --release --example adaptive_phases`
+
+use load_aware_federation::workload::{
+    run_phases, PhaseSchedule, Routing, ScenarioConfig, ALL_QUERY_TYPES,
+};
+
+fn main() {
+    let config = ScenarioConfig {
+        large_rows: 10_000,
+        small_rows: 500,
+        ..ScenarioConfig::default()
+    };
+    let schedule = PhaseSchedule::paper_table1();
+    println!("Running {} phases × 4 query types × 4 instances, two routings...\n", schedule.phases.len());
+
+    let fixed = run_phases(Routing::Fixed1, &config, &schedule, 4, 2);
+    let qcc = run_phases(Routing::Qcc, &config, &schedule, 4, 2);
+
+    println!("{:<8} {:>12} {:>12} {:>8}   dynamic assignment", "phase", "fixed ms", "qcc ms", "gain");
+    for (f, q) in fixed.phases.iter().zip(&qcc.phases) {
+        let gain = 1.0 - q.avg_ms / f.avg_ms;
+        let assignment: Vec<String> = ALL_QUERY_TYPES
+            .iter()
+            .map(|qt| format!("{qt}→{}", q.per_type_server[qt.index()]))
+            .collect();
+        println!(
+            "Phase{:<3} {:>12.1} {:>12.1} {:>7.1}%   {}",
+            f.number,
+            f.avg_ms,
+            q.avg_ms,
+            gain * 100.0,
+            assignment.join(" ")
+        );
+    }
+    println!(
+        "\nmean gain of QCC over fixed assignment: {:.1}%",
+        qcc.mean_gain_over(&fixed) * 100.0
+    );
+}

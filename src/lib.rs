@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the full load-aware federated query routing
+//! stack. See README.md for a tour and DESIGN.md for the architecture.
+
+pub use qcc_common as common;
+pub use qcc_core as qcc;
+pub use qcc_engine as engine;
+pub use qcc_federation as federation;
+pub use qcc_netsim as netsim;
+pub use qcc_remote as remote;
+pub use qcc_sql as sql;
+pub use qcc_storage as storage;
+pub use qcc_workload as workload;
+pub use qcc_wrapper as wrapper;

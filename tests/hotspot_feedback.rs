@@ -1,0 +1,101 @@
+//! The hot-spot mechanism §4 warns about: *"if there is a large number of
+//! similar queries that use the same plan, then the remote servers
+//! involved in this plan can get overloaded, rendering the original
+//! statistics invalid."*
+//!
+//! Concurrency is emulated deterministically: while one query of a batch
+//! executes, the other batch members assigned to the same server hold
+//! in-flight guards, raising that server's utilization (each in-flight
+//! query contributes `per_query_load`). Concentrating a batch on one
+//! replica must therefore cost more than spreading it.
+
+use load_aware_federation::common::{Column, DataType, Row, Schema, ServerId, SimTime, Value};
+
+use load_aware_federation::remote::{RemoteServer, ServerProfile};
+use load_aware_federation::storage::{Catalog, Table};
+use std::sync::Arc;
+
+fn server(name: &str) -> Arc<RemoteServer> {
+    let mut t = Table::new(
+        "events",
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]),
+    );
+    for i in 0..5_000i64 {
+        t.insert(Row::new(vec![Value::Int(i), Value::Int(i % 25)]))
+            .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register(t);
+    let mut profile = ServerProfile::new(ServerId::new(name));
+    profile.per_query_load = 0.12; // pronounced feedback for the test
+    RemoteServer::new(profile, c)
+}
+
+const SQL: &str = "SELECT v, COUNT(*) AS n FROM events GROUP BY v";
+
+/// Execute a batch of `n` queries over the given per-query server
+/// assignment, holding in-flight guards for every other batch member on
+/// its assigned server while each query runs. Returns total service ms.
+fn run_batch(servers: &[Arc<RemoteServer>], assignment: &[usize]) -> f64 {
+    let plans: Vec<_> = servers
+        .iter()
+        .map(|s| s.explain(SQL, SimTime::ZERO).unwrap().remove(0).descriptor)
+        .collect();
+    let mut total = 0.0;
+    for (i, &target) in assignment.iter().enumerate() {
+        // Everyone else in the batch is concurrently in flight.
+        let guards: Vec<_> = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &srv)| servers[srv].load().begin_query())
+            .collect();
+        let result = servers[target].execute(&plans[target], SimTime::ZERO).unwrap();
+        total += result.elapsed.as_millis();
+        drop(guards);
+    }
+    total
+}
+
+#[test]
+fn concentrating_a_batch_creates_a_hot_spot() {
+    let servers = vec![server("S1"), server("R1")];
+    let all_on_one = run_batch(&servers, &[0; 8]);
+    let spread = run_batch(&servers, &[0, 1, 0, 1, 0, 1, 0, 1]);
+    assert!(
+        all_on_one > spread * 1.5,
+        "hot spot must cost more: concentrated {all_on_one:.1} vs spread {spread:.1}"
+    );
+}
+
+#[test]
+fn hot_spot_grows_with_batch_size() {
+    let servers = vec![server("S1")];
+    let small = run_batch(&servers, &[0; 2]) / 2.0;
+    let large = run_batch(&servers, &[0; 10]) / 10.0;
+    assert!(
+        large > small * 1.5,
+        "per-query cost grows with concurrency: {small:.2} vs {large:.2}"
+    );
+}
+
+#[test]
+fn idle_replica_is_unaffected_by_the_neighbors_hot_spot() {
+    let servers = [server("S1"), server("R1")];
+    // Batch of 6 on S1; measure one query on R1 under that regime.
+    let plans: Vec<_> = servers
+        .iter()
+        .map(|s| s.explain(SQL, SimTime::ZERO).unwrap().remove(0).descriptor)
+        .collect();
+    let guards: Vec<_> = (0..6).map(|_| servers[0].load().begin_query()).collect();
+    let busy_neighbor = servers[1].execute(&plans[1], SimTime::ZERO).unwrap();
+    drop(guards);
+    let calm = servers[1].execute(&plans[1], SimTime::ZERO).unwrap();
+    assert!(
+        (busy_neighbor.elapsed.as_millis() - calm.elapsed.as_millis()).abs() < 1e-9,
+        "replicas have independent load states"
+    );
+}

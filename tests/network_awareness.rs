@@ -1,0 +1,155 @@
+//! Network awareness: the QCC must react to *network* conditions exactly
+//! as it does to server load — the calibration factor captures "variations
+//! in the network latencies or processing cost variations at the remote
+//! sources" (§3.1) without distinguishing the two causes.
+
+use load_aware_federation::common::{Column, DataType, Row, Schema, ServerId, SimTime, Value};
+use load_aware_federation::federation::{Federation, FederationConfig, NicknameCatalog};
+use load_aware_federation::netsim::{Link, LoadProfile, Network, SimClock};
+use load_aware_federation::qcc::{Qcc, QccConfig};
+use load_aware_federation::remote::{RemoteServer, ServerProfile};
+use load_aware_federation::storage::{Catalog, Table};
+use load_aware_federation::wrapper::RelationalWrapper;
+use std::sync::Arc;
+
+const SQL: &str = "SELECT grp, COUNT(*) AS n FROM readings GROUP BY grp";
+
+/// Two identical servers; `near` sits behind a link whose congestion we
+/// control, `far` behind a higher-latency but stable link.
+struct World {
+    near_link: Link,
+    federation: Federation,
+    qcc: Arc<Qcc>,
+    clock: SimClock,
+}
+
+fn world() -> World {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("grp", DataType::Int),
+    ]);
+    let mut readings = Table::new("readings", schema.clone());
+    for i in 0..4_000i64 {
+        readings
+            .insert(Row::new(vec![Value::Int(i), Value::Int(i % 8)]))
+            .unwrap();
+    }
+    let mk = |name: &str| {
+        let mut c = Catalog::new();
+        c.register(readings.clone());
+        RemoteServer::new(ServerProfile::new(ServerId::new(name)), c)
+    };
+    let near = mk("near");
+    let far = mk("far");
+
+    // near: 2ms RTT, controllable congestion; far: 12ms RTT, stable.
+    let near_link = Link::new(2.0, 20_000.0, LoadProfile::Constant(0.0));
+    let far_link = Link::new(12.0, 20_000.0, LoadProfile::Constant(0.0));
+    let mut network = Network::new();
+    network.add_link(ServerId::new("near"), near_link.clone());
+    network.add_link(ServerId::new("far"), far_link);
+    let network = Arc::new(network);
+
+    let mut nicknames = NicknameCatalog::new();
+    nicknames.define("readings", schema);
+    nicknames
+        .add_source("readings", ServerId::new("near"), "readings")
+        .unwrap();
+    nicknames
+        .add_source("readings", ServerId::new("far"), "readings")
+        .unwrap();
+
+    let qcc = Qcc::new(QccConfig::default());
+    let clock = SimClock::new();
+    let mut federation = Federation::new(
+        nicknames,
+        clock.clone(),
+        qcc.middleware(),
+        FederationConfig::default(),
+    );
+    federation.add_wrapper(Arc::new(RelationalWrapper::new(near, Arc::clone(&network))));
+    federation.add_wrapper(Arc::new(RelationalWrapper::new(far, network)));
+    World {
+        near_link,
+        federation,
+        qcc,
+        clock,
+    }
+}
+
+#[test]
+fn uncongested_routing_prefers_the_nearer_server() {
+    let w = world();
+    let mut servers = Vec::new();
+    for _ in 0..6 {
+        let out = w.federation.submit(SQL).unwrap();
+        servers = out.servers.iter().map(|s| s.to_string()).collect();
+    }
+    assert_eq!(servers, vec!["near".to_string()]);
+}
+
+#[test]
+fn congestion_shifts_routing_to_the_farther_server() {
+    let w = world();
+    // Warm both factors up.
+    for _ in 0..4 {
+        let _ = w.federation.submit(SQL).unwrap();
+    }
+    // Severe congestion hits the near link: latency inflates 20×,
+    // bandwidth collapses. The optimizer's cost model knows nothing about
+    // links — only the observed/estimated ratio can notice.
+    w.near_link.set_congestion(LoadProfile::Constant(0.95));
+    let mut last = Vec::new();
+    for _ in 0..8 {
+        let out = w.federation.submit(SQL).unwrap();
+        last = out.servers.iter().map(|s| s.to_string()).collect();
+    }
+    assert_eq!(
+        last,
+        vec!["far".to_string()],
+        "congestion on the near link must push traffic to the far replica"
+    );
+    // The factor of `near` rose even though the *server* is idle — network
+    // and server effects are indistinguishable in the ratio, by design.
+    assert!(w.qcc.calibration.server_factor(&ServerId::new("near")) > 1.5);
+}
+
+#[test]
+fn time_varying_congestion_follows_the_profile() {
+    let w = world();
+    // Congestion arrives as a step at t = 500ms on the near link.
+    w.near_link.set_congestion(LoadProfile::Steps(vec![(
+        SimTime::from_millis(500.0),
+        0.9,
+    )]));
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    for _ in 0..20 {
+        let out = w.federation.submit(SQL).unwrap();
+        let servers: Vec<String> = out.servers.iter().map(|s| s.to_string()).collect();
+        if w.clock.now() < SimTime::from_millis(500.0) {
+            before = servers;
+        } else {
+            after = servers;
+        }
+        w.clock.advance(qcc_common::SimDuration::from_millis(40.0));
+    }
+    assert_eq!(before, vec!["near".to_string()], "calm period: near wins");
+    assert_eq!(after, vec!["far".to_string()], "congested period: far wins");
+}
+
+#[test]
+fn transfer_time_scales_with_result_size() {
+    // Larger results pay proportionally more on the wire; the observed
+    // response (and hence the calibration) includes it.
+    let w = world();
+    let small = w
+        .federation
+        .submit("SELECT COUNT(*) FROM readings")
+        .unwrap();
+    let large = w
+        .federation
+        .submit("SELECT id, grp FROM readings")
+        .unwrap();
+    assert!(large.response_ms > small.response_ms);
+}
