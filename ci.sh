@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate. Everything here runs offline — the workspace has no
+# registry dependencies (see DESIGN.md §5, "Dependencies").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all gates green"

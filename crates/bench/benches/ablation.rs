@@ -19,9 +19,7 @@ use qcc_federation::{Federation, FederationConfig, NicknameCatalog};
 use qcc_netsim::{Link, LoadProfile, Network, SimClock};
 use qcc_remote::{RemoteServer, ServerProfile};
 use qcc_storage::{Catalog, Table};
-use qcc_workload::{
-    run_phases_on, PhaseSchedule, Routing, Scenario, QueryType,
-};
+use qcc_workload::{run_phases_on, PhaseSchedule, QueryType, Routing, Scenario};
 use qcc_wrapper::RelationalWrapper;
 use std::sync::Arc;
 
@@ -90,8 +88,10 @@ fn ablation_fragment_factors(scale: &BenchScale) {
             .collect(),
     };
     let mut rows = Vec::new();
-    for (label, min_obs) in [("per-fragment (min_obs=1)", 1usize), ("per-server only", usize::MAX)]
-    {
+    for (label, min_obs) in [
+        ("per-fragment (min_obs=1)", 1usize),
+        ("per-server only", usize::MAX),
+    ] {
         let config = QccConfig {
             min_fragment_observations: min_obs,
             ..QccConfig::default()
@@ -144,7 +144,10 @@ fn ablation_cost_band() {
             let mut p = ServerProfile::new(id.clone());
             p.speed = *speed;
             servers.push(RemoteServer::new(p, c));
-            network.add_link(id.clone(), Link::new(0.5, 100_000.0, LoadProfile::Constant(0.0)));
+            network.add_link(
+                id.clone(),
+                Link::new(0.5, 100_000.0, LoadProfile::Constant(0.0)),
+            );
             nicknames.add_source("data", id, "data").expect("defined");
         }
         let network = Arc::new(network);

@@ -22,9 +22,9 @@ fn main() {
     for qt in ALL_QUERY_TYPES {
         let header: Vec<String> = std::iter::once("instance".to_string())
             .chain(
-                ["S1", "S2", "S3"].iter().flat_map(|s| {
-                    [format!("{s} base"), format!("{s} load")]
-                }),
+                ["S1", "S2", "S3"]
+                    .iter()
+                    .flat_map(|s| [format!("{s} base"), format!("{s} load")]),
             )
             .collect();
         let mut rows = Vec::new();
@@ -35,7 +35,10 @@ fn main() {
                     let v = points
                         .iter()
                         .find(|p| {
-                            p.qt == qt && p.server == server && p.loaded == loaded && p.instance == i
+                            p.qt == qt
+                                && p.server == server
+                                && p.loaded == loaded
+                                && p.instance == i
                         })
                         .map(|p| p.response_ms)
                         .unwrap_or(f64::NAN);
@@ -89,12 +92,7 @@ fn main() {
     }
     print_table(
         "Figure 9 summary — load slowdown ratio (loaded / base)",
-        &[
-            "type".into(),
-            "S1".into(),
-            "S2".into(),
-            "S3".into(),
-        ],
+        &["type".into(), "S1".into(), "S2".into(), "S3".into()],
         &rows,
     );
 }

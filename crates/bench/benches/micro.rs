@@ -1,90 +1,89 @@
-//! Criterion microbenchmarks of the hot mechanism paths: what does QCC
-//! cost *the integrator*? The paper argues the approach has no ongoing
-//! runtime overhead beyond bookkeeping; these benches quantify the
-//! bookkeeping.
+//! Microbenchmarks of the hot mechanism paths: what does QCC cost *the
+//! integrator*? The paper argues the approach has no ongoing runtime
+//! overhead beyond bookkeeping; these benches quantify the bookkeeping.
+//!
+//! Self-contained harness (no external bench crate, so the workspace
+//! builds offline): each benchmark is warmed up, then timed over enough
+//! iterations to smooth scheduler noise, reporting median-of-5 ns/iter.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use qcc_common::{Cost, ServerId};
+use qcc_common::{Cost, ServerId, WallStopwatch};
 use qcc_core::{Qcc, QccConfig};
 use qcc_federation::decompose;
 use qcc_sql::parse_select;
 use qcc_workload::{QueryType, Scenario, ScenarioConfig};
 use std::hint::black_box;
 
-fn bench_parser(c: &mut Criterion) {
-    let sql = QueryType::QT4.sql(3);
-    c.bench_function("parse_qt4", |b| {
-        b.iter(|| parse_select(black_box(&sql)).expect("parses"))
-    });
+const WARMUP_ITERS: u64 = 100;
+const SAMPLES: usize = 5;
+
+/// Time `f` and print ns/iter. Runs `WARMUP_ITERS` unmeasured iterations,
+/// then `SAMPLES` measured batches of `iters`, reporting the median batch.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let sw = WallStopwatch::start();
+            for _ in 0..iters {
+                f();
+            }
+            sw.elapsed_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[SAMPLES / 2];
+    let spread = per_iter[SAMPLES - 1] - per_iter[0];
+    println!("{name:<32} {median:>12.1} ns/iter  (spread {spread:.1})");
 }
 
-fn bench_decompose(c: &mut Criterion) {
-    let scenario = Scenario::build_with(
-        qcc_workload::Routing::Baseline,
-        ScenarioConfig::tiny(),
-    );
-    let sql = QueryType::QT1.sql(0);
-    c.bench_function("decompose_qt1", |b| {
-        b.iter(|| decompose(black_box(&sql), scenario.federation.nicknames()).expect("decomposes"))
-    });
-}
+fn main() {
+    println!("{:<32} {:>12}", "benchmark", "median");
 
-fn bench_calibration_update(c: &mut Criterion) {
+    let sql_qt4 = QueryType::QT4.sql(3);
+    bench("parse_qt4", 2_000, || {
+        black_box(parse_select(black_box(&sql_qt4)).expect("parses"));
+    });
+
+    let scenario = Scenario::build_with(qcc_workload::Routing::Baseline, ScenarioConfig::tiny());
+    let sql_qt1 = QueryType::QT1.sql(0);
+    bench("decompose_qt1", 2_000, || {
+        black_box(
+            decompose(black_box(&sql_qt1), scenario.federation.nicknames()).expect("decomposes"),
+        );
+    });
+
     let qcc = Qcc::new(QccConfig::default());
     let server = ServerId::new("S1");
-    c.bench_function("calibration_record_and_lookup", |b| {
-        b.iter(|| {
-            qcc.calibration
-                .record_fragment(&server, "sig", black_box(10.0), black_box(14.0));
-            black_box(qcc.calibration.fragment_factor(&server, "sig"))
-        })
+    bench("calibration_record_and_lookup", 10_000, || {
+        qcc.calibration
+            .record_fragment(&server, "sig", black_box(10.0), black_box(14.0));
+        black_box(qcc.calibration.fragment_factor(&server, "sig"));
     });
-}
 
-fn bench_remote_explain(c: &mut Criterion) {
-    let scenario = Scenario::build_with(
-        qcc_workload::Routing::Baseline,
-        ScenarioConfig::tiny(),
-    );
-    let server = scenario.server("S1").clone();
-    let sql = QueryType::QT1.sql(0);
-    c.bench_function("remote_explain_qt1", |b| {
-        b.iter(|| {
-            server
-                .explain(black_box(&sql), qcc_common::SimTime::ZERO)
-                .expect("plans")
-        })
+    let s1 = scenario.server("S1").clone();
+    bench("remote_explain_qt1", 500, || {
+        black_box(
+            s1.explain(black_box(&sql_qt1), qcc_common::SimTime::ZERO)
+                .expect("plans"),
+        );
     });
-}
 
-fn bench_cost_calibrate(c: &mut Criterion) {
     let cost = Cost::new(5.0, 0.02, 10_000.0);
-    c.bench_function("cost_calibrate", |b| {
-        b.iter(|| black_box(cost).calibrate(black_box(1.4)).total())
+    bench("cost_calibrate", 100_000, || {
+        black_box(black_box(cost).calibrate(black_box(1.4)).total());
     });
-}
 
-fn bench_global_choice(c: &mut Criterion) {
     // Full compile path: decompose + explain + candidate enumeration +
     // choice, without execution.
-    let scenario = Scenario::tiny_for_tests();
-    let sql = QueryType::QT2.sql(0);
-    c.bench_function("explain_global_qt2", |b| {
-        b.iter_batched(
-            || sql.clone(),
-            |s| scenario.federation.explain_global(black_box(&s)).expect("compiles"),
-            BatchSize::SmallInput,
-        )
+    let compile_scenario = Scenario::tiny_for_tests();
+    let sql_qt2 = QueryType::QT2.sql(0);
+    bench("explain_global_qt2", 200, || {
+        black_box(
+            compile_scenario
+                .federation
+                .explain_global(black_box(&sql_qt2))
+                .expect("compiles"),
+        );
     });
 }
-
-criterion_group!(
-    benches,
-    bench_parser,
-    bench_decompose,
-    bench_calibration_update,
-    bench_remote_explain,
-    bench_cost_calibrate,
-    bench_global_choice
-);
-criterion_main!(benches);

@@ -14,9 +14,12 @@ fn main() {
         .map(|s| {
             let id = ServerId::new(s);
             std::iter::once(s.to_string())
-                .chain(schedule.phases.iter().map(|p| {
-                    if p.is_loaded(&id) { "Load" } else { "Base" }.to_string()
-                }))
+                .chain(
+                    schedule
+                        .phases
+                        .iter()
+                        .map(|p| if p.is_loaded(&id) { "Load" } else { "Base" }.to_string()),
+                )
                 .collect()
         })
         .collect();

@@ -8,9 +8,7 @@
 //!   when everything is loaded (phase 8).
 
 use qcc_bench::{print_table, BenchScale};
-use qcc_workload::{
-    run_phases, PhaseSchedule, Routing, ALL_QUERY_TYPES, FIXED_ASSIGNMENT_1,
-};
+use qcc_workload::{run_phases, PhaseSchedule, Routing, ALL_QUERY_TYPES, FIXED_ASSIGNMENT_1};
 
 fn main() {
     let scale = BenchScale::from_env();

@@ -23,5 +23,5 @@ pub use ids::{FragmentId, QueryId, ServerId};
 pub use rng::Pcg32;
 pub use row::{Column, Row, Schema};
 pub use stats::{Ema, RunningStats, SlidingWindow};
-pub use time::{SimDuration, SimTime};
+pub use time::{SimClock, SimDuration, SimTime, WallStopwatch};
 pub use value::{DataType, Value};

@@ -114,6 +114,80 @@ impl Div<f64> for SimDuration {
     }
 }
 
+/// A shareable virtual clock. Cloning yields a handle onto the same
+/// timeline. Nothing in the workspace sleeps: components *advance* the
+/// clock by the durations their models compute.
+///
+/// This is the injected clock of lint rule L1: components that need "the
+/// current time" take a `SimClock` (or an explicit `SimTime`) so that
+/// tests and experiments control the timeline; reading the host clock is
+/// banned everywhere outside this file.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    inner: std::sync::Arc<parking_lot::Mutex<SimTime>>,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        *self.inner.lock()
+    }
+
+    /// Advance the clock by `d`, returning the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let mut t = self.inner.lock();
+        *t += d;
+        *t
+    }
+
+    /// Jump directly to `t` if it is in the future (no-op otherwise —
+    /// virtual time never goes backwards). Returns the current time.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut cur = self.inner.lock();
+        if t > *cur {
+            *cur = t;
+        }
+        *cur
+    }
+}
+
+/// Wall-clock stopwatch for benchmark harnesses.
+///
+/// This is the single sanctioned gateway to real time in the workspace:
+/// lint rule L1 (clock discipline) forbids `Instant::now()` everywhere
+/// else so that no simulation or calibration path can accidentally read
+/// the host clock. Benchmarks that genuinely need wall time go through
+/// here, which keeps the rule's allowlist at exactly one file.
+#[derive(Debug)]
+pub struct WallStopwatch {
+    start: std::time::Instant,
+}
+
+impl WallStopwatch {
+    /// Start timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> WallStopwatch {
+        WallStopwatch {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`WallStopwatch::start`].
+    pub fn elapsed_nanos(&self) -> u128 {
+        self.start.elapsed().as_nanos()
+    }
+
+    /// Seconds elapsed since [`WallStopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t={:.3}ms", self.0)

@@ -13,7 +13,7 @@
 use crate::config::QccConfig;
 use parking_lot::Mutex;
 use qcc_common::{ServerId, SlidingWindow};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Ratio history: separate sums of observed and estimated values, so the
 /// factor is avg(observed) / avg(estimated) exactly as the paper defines
@@ -63,16 +63,16 @@ pub struct CalibrationTable {
     window: usize,
     min_fragment_obs: usize,
     /// Per-server factor windows.
-    per_server: Mutex<HashMap<ServerId, RatioWindow>>,
+    per_server: Mutex<BTreeMap<ServerId, RatioWindow>>,
     /// Per-(server, fragment signature) windows.
-    per_fragment: Mutex<HashMap<(ServerId, String), RatioWindow>>,
+    per_fragment: Mutex<BTreeMap<(ServerId, String), RatioWindow>>,
     /// Integrator workload factor windows, per query template — "the table
     /// maintained in QCC for II query cost calibration factors is different
     /// from the table maintained for query fragment processing cost
     /// calibration factors" (§3.2).
-    ii: Mutex<HashMap<String, RatioWindow>>,
+    ii: Mutex<BTreeMap<String, RatioWindow>>,
     /// Manual seeds (from daemon probes) used until real data arrives.
-    seeds: Mutex<HashMap<ServerId, f64>>,
+    seeds: Mutex<BTreeMap<ServerId, f64>>,
 }
 
 impl CalibrationTable {
@@ -81,10 +81,10 @@ impl CalibrationTable {
         CalibrationTable {
             window: config.calibration_window,
             min_fragment_obs: config.min_fragment_observations,
-            per_server: Mutex::new(HashMap::new()),
-            per_fragment: Mutex::new(HashMap::new()),
-            ii: Mutex::new(HashMap::new()),
-            seeds: Mutex::new(HashMap::new()),
+            per_server: Mutex::new(BTreeMap::new()),
+            per_fragment: Mutex::new(BTreeMap::new()),
+            ii: Mutex::new(BTreeMap::new()),
+            seeds: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -175,16 +175,17 @@ impl CalibrationTable {
     /// Variability of a server's observed costs (coefficient of variation),
     /// if known. High variability → shorter calibration cycles (§3.4).
     pub fn server_cov(&self, server: &ServerId) -> Option<f64> {
-        self.per_server.lock().get(server).and_then(RatioWindow::observed_cov)
+        self.per_server
+            .lock()
+            .get(server)
+            .and_then(RatioWindow::observed_cov)
     }
 
     /// Drop all state for a server (e.g. after a long outage, history is
     /// stale).
     pub fn reset_server(&self, server: &ServerId) {
         self.per_server.lock().remove(server);
-        self.per_fragment
-            .lock()
-            .retain(|(s, _), _| s != server);
+        self.per_fragment.lock().retain(|(s, _), _| s != server);
         self.seeds.lock().remove(server);
     }
 }

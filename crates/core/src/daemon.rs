@@ -12,9 +12,9 @@
 
 use crate::Qcc;
 use parking_lot::Mutex;
-use qcc_common::{ServerId, SimTime};
+use qcc_common::{ServerId, SimClock, SimTime};
 use qcc_wrapper::Wrapper;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How strongly variability shortens the probe interval.
@@ -31,26 +31,35 @@ struct ProbeState {
 }
 
 /// Periodically probes every wrapped source.
+///
+/// Time is *injected*: the daemon reads the shared [`SimClock`] handed to
+/// its constructor (lint rule L1 — no component may consult the host
+/// clock), so tests and experiments drive probe schedules by advancing
+/// virtual time.
 pub struct AvailabilityDaemon {
     qcc: Arc<Qcc>,
     wrappers: Vec<Arc<dyn Wrapper>>,
-    state: Mutex<HashMap<ServerId, ProbeState>>,
+    clock: SimClock,
+    state: Mutex<BTreeMap<ServerId, ProbeState>>,
 }
 
 impl AvailabilityDaemon {
-    /// A daemon probing `wrappers` on behalf of `qcc`.
-    pub fn new(qcc: Arc<Qcc>, wrappers: Vec<Arc<dyn Wrapper>>) -> Self {
+    /// A daemon probing `wrappers` on behalf of `qcc`, telling time by
+    /// `clock`.
+    pub fn new(qcc: Arc<Qcc>, wrappers: Vec<Arc<dyn Wrapper>>, clock: SimClock) -> Self {
         AvailabilityDaemon {
             qcc,
             wrappers,
-            state: Mutex::new(HashMap::new()),
+            clock,
+            state: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// Probe every source whose interval has elapsed. Returns the servers
-    /// probed. Call this from the experiment driver as virtual time
-    /// advances (nothing sleeps).
-    pub fn run_due_probes(&self, at: SimTime) -> Vec<ServerId> {
+    /// Probe every source whose interval has elapsed at the current
+    /// virtual time. Returns the servers probed. Call this from the
+    /// experiment driver as virtual time advances (nothing sleeps).
+    pub fn run_due_probes(&self) -> Vec<ServerId> {
+        let at = self.clock.now();
         let mut probed = Vec::new();
         for w in &self.wrappers {
             let id = w.server_id().clone();
@@ -67,9 +76,11 @@ impl AvailabilityDaemon {
         probed
     }
 
-    /// Probe every source unconditionally (used at startup to seed
-    /// calibration factors before any query runs).
-    pub fn probe_all(&self, at: SimTime) {
+    /// Probe every source unconditionally at the current virtual time
+    /// (used at startup to seed calibration factors before any query
+    /// runs).
+    pub fn probe_all(&self) {
+        let at = self.clock.now();
         for w in &self.wrappers {
             self.probe_one(w.as_ref(), at);
         }
@@ -108,8 +119,7 @@ impl AvailabilityDaemon {
         // Adaptive cycle: base interval shortened by observed variability.
         let cov = self.qcc.calibration.server_cov(&id).unwrap_or(0.0);
         let (lo, hi) = self.qcc.config.probe_interval_bounds_ms;
-        let interval = (self.qcc.config.probe_interval_ms / (1.0 + ADAPT_GAIN * cov))
-            .clamp(lo, hi);
+        let interval = (self.qcc.config.probe_interval_ms / (1.0 + ADAPT_GAIN * cov)).clamp(lo, hi);
         self.state.lock().insert(
             id,
             ProbeState {
@@ -163,20 +173,23 @@ mod tests {
     fn probe_detects_outage_and_recovery() {
         let (server, wrapper) = build("S1");
         let qcc = Qcc::new(QccConfig::default());
-        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+        let clock = SimClock::new();
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
         let s1 = ServerId::new("S1");
 
-        daemon.probe_all(SimTime::ZERO);
+        daemon.probe_all();
         assert!(!qcc.reliability.is_down(&s1));
 
         server
             .availability()
             .add_outage(SimTime::from_millis(10.0), SimTime::from_millis(20.0));
-        daemon.probe_all(SimTime::from_millis(15.0));
+        clock.advance_to(SimTime::from_millis(15.0));
+        daemon.probe_all();
         assert!(qcc.reliability.is_down(&s1));
         assert_eq!(qcc.reliability.factor(&s1), f64::INFINITY);
 
-        daemon.probe_all(SimTime::from_millis(25.0));
+        clock.advance_to(SimTime::from_millis(25.0));
+        daemon.probe_all();
         assert!(!qcc.reliability.is_down(&s1), "recovery observed");
     }
 
@@ -188,16 +201,21 @@ mod tests {
             expected_ping_ms: 0.05,
             ..QccConfig::default()
         });
-        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+        let clock = SimClock::new();
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
         // First probe while healthy establishes the baseline...
-        daemon.probe_all(SimTime::ZERO);
+        daemon.probe_all();
         let healthy = qcc.calibration.server_factor(&ServerId::new("S1"));
-        assert!((healthy - 1.0).abs() < 0.2, "healthy seed ≈ 1, got {healthy}");
+        assert!(
+            (healthy - 1.0).abs() < 0.2,
+            "healthy seed ≈ 1, got {healthy}"
+        );
         // ...then load the server: the next probe seeds a factor > 1.
         server
             .load()
             .set_background(qcc_netsim::LoadProfile::Constant(0.9));
-        daemon.probe_all(SimTime::from_millis(1.0));
+        clock.advance_to(SimTime::from_millis(1.0));
+        daemon.probe_all();
         let f = qcc.calibration.server_factor(&ServerId::new("S1"));
         assert!(f > 1.5, "loaded server seeds factor > 1, got {f}");
     }
@@ -216,33 +234,33 @@ mod tests {
             ServerId::new("far"),
             qcc_netsim::Link::new(25.0, 1000.0, qcc_netsim::LoadProfile::Constant(0.0)),
         );
-        let wrapper: Arc<dyn Wrapper> =
-            Arc::new(RelationalWrapper::new(server, Arc::new(net)));
+        let wrapper: Arc<dyn Wrapper> = Arc::new(RelationalWrapper::new(server, Arc::new(net)));
         let qcc = Qcc::new(QccConfig::default());
-        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
-        daemon.probe_all(SimTime::ZERO);
-        daemon.probe_all(SimTime::from_millis(1.0));
+        let clock = SimClock::new();
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
+        daemon.probe_all();
+        clock.advance_to(SimTime::from_millis(1.0));
+        daemon.probe_all();
         let f = qcc.calibration.server_factor(&ServerId::new("far"));
-        assert!((f - 1.0).abs() < 0.1, "distant healthy server seed ≈ 1, got {f}");
+        assert!(
+            (f - 1.0).abs() < 0.1,
+            "distant healthy server seed ≈ 1, got {f}"
+        );
     }
 
     #[test]
     fn due_probes_respect_interval() {
         let (_server, wrapper) = build("S1");
         let qcc = Qcc::new(QccConfig::default());
-        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
-        assert_eq!(daemon.run_due_probes(SimTime::ZERO).len(), 1);
+        let clock = SimClock::new();
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
+        assert_eq!(daemon.run_due_probes().len(), 1);
         // Immediately after, nothing is due.
-        assert!(daemon
-            .run_due_probes(SimTime::ZERO + SimDuration::from_millis(1.0))
-            .is_empty());
+        clock.advance(SimDuration::from_millis(1.0));
+        assert!(daemon.run_due_probes().is_empty());
         // After the base interval it is due again.
-        assert_eq!(
-            daemon
-                .run_due_probes(SimTime::ZERO + SimDuration::from_millis(2000.0))
-                .len(),
-            1
-        );
+        clock.advance_to(SimTime::ZERO + SimDuration::from_millis(2000.0));
+        assert_eq!(daemon.run_due_probes().len(), 1);
     }
 
     #[test]
@@ -250,16 +268,18 @@ mod tests {
         let (_server, wrapper) = build("S1");
         let qcc = Qcc::new(QccConfig::default());
         let s1 = ServerId::new("S1");
-        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper]);
+        let clock = SimClock::new();
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
 
-        daemon.probe_all(SimTime::ZERO);
+        daemon.probe_all();
         let stable = daemon.probe_interval_ms(&s1).unwrap();
 
         // Inject highly variable observations.
         for (est, obs) in [(10.0, 10.0), (10.0, 80.0), (10.0, 5.0), (10.0, 120.0)] {
             qcc.calibration.record_fragment(&s1, "sig", est, obs);
         }
-        daemon.probe_all(SimTime::from_millis(1.0));
+        clock.advance_to(SimTime::from_millis(1.0));
+        daemon.probe_all();
         let volatile = daemon.probe_interval_ms(&s1).unwrap();
         assert!(
             volatile < stable / 2.0,

@@ -43,7 +43,9 @@ pub use loadbalance::LoadBalancer;
 pub use metawrapper::MetaWrapper;
 pub use placement::{PlacementAdvisor, PlacementRecommendation};
 pub use qcc_federation::PlanCache;
-pub use records::{ErrorRecord, FragmentCompileRecord, FragmentRunRecord, RecordStore, ServerSummary};
+pub use records::{
+    ErrorRecord, FragmentCompileRecord, FragmentRunRecord, RecordStore, ServerSummary,
+};
 pub use reliability::ReliabilityTracker;
 pub use whatif::SimulatedFederation;
 

@@ -17,7 +17,7 @@
 use crate::config::{LoadBalanceMode, QccConfig};
 use parking_lot::Mutex;
 use qcc_federation::GlobalCandidate;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Default)]
 struct TemplateState {
@@ -34,7 +34,7 @@ pub struct LoadBalancer {
     band: f64,
     threshold: f64,
     exploration_interval: u64,
-    state: Mutex<HashMap<String, TemplateState>>,
+    state: Mutex<BTreeMap<String, TemplateState>>,
 }
 
 impl LoadBalancer {
@@ -45,7 +45,7 @@ impl LoadBalancer {
             band: config.cost_band,
             threshold: config.workload_threshold,
             exploration_interval: config.exploration_interval,
-            state: Mutex::new(HashMap::new()),
+            state: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -96,7 +96,7 @@ impl LoadBalancer {
         }
 
         // Dominance elimination: cheapest plan per server set.
-        let mut best_per_set: HashMap<String, usize> = HashMap::new();
+        let mut best_per_set: BTreeMap<String, usize> = BTreeMap::new();
         for (i, c) in candidates.iter().enumerate() {
             let key = server_set_key(c);
             match best_per_set.get(&key) {
@@ -108,7 +108,7 @@ impl LoadBalancer {
         }
         let mut survivors: Vec<usize> = best_per_set.into_values().collect();
         // Deterministic order: cost, then candidate index as a tiebreak
-        // (HashMap iteration order must not leak into routing decisions).
+        // (BTreeMap iteration order must not leak into routing decisions).
         survivors.sort_by(|&a, &b| {
             candidates[a]
                 .total_cost()

@@ -119,10 +119,7 @@ impl Middleware for MetaWrapper {
                 // DEFAULT_UNCOSTED baseline — the only way such sources
                 // ever become cost-comparable (§2: "when wrappers do not
                 // provide cost estimation").
-                let est = plan
-                    .cost
-                    .map(|c| c.total())
-                    .unwrap_or(DEFAULT_UNCOSTED);
+                let est = plan.cost.map(|c| c.total()).unwrap_or(DEFAULT_UNCOSTED);
                 self.qcc.records.record_run(FragmentRunRecord {
                     query,
                     fragment,
@@ -168,7 +165,9 @@ impl Middleware for MetaWrapper {
         self.qcc
             .calibration
             .record_ii(query_sig, estimated_total, observed_ms);
-        self.qcc.calibration.record_ii("", estimated_total, observed_ms);
+        self.qcc
+            .calibration
+            .record_ii("", estimated_total, observed_ms);
     }
 }
 

@@ -60,11 +60,7 @@ pub struct PlacementAdvisor<'a> {
 
 impl<'a> PlacementAdvisor<'a> {
     /// Build an advisor over the production servers and nickname catalog.
-    pub fn new(
-        qcc: &'a Qcc,
-        nicknames: NicknameCatalog,
-        servers: Vec<Arc<RemoteServer>>,
-    ) -> Self {
+    pub fn new(qcc: &'a Qcc, nicknames: NicknameCatalog, servers: Vec<Arc<RemoteServer>>) -> Self {
         PlacementAdvisor {
             qcc,
             nicknames,
@@ -118,10 +114,10 @@ impl<'a> PlacementAdvisor<'a> {
                         if s.id() == server.id() {
                             self.with_virtual_replica(s, nickname)
                         } else {
-                            Arc::clone(s)
+                            Ok(Arc::clone(s))
                         }
                     })
-                    .collect();
+                    .collect::<Result<_>>()?;
                 let whatif = SimulatedFederation::from_servers(nick2, &servers2);
 
                 let mut current = 0.0;
@@ -193,25 +189,26 @@ impl<'a> PlacementAdvisor<'a> {
         &self,
         server: &Arc<RemoteServer>,
         nickname: &str,
-    ) -> Arc<RemoteServer> {
-        let def = self
-            .nicknames
-            .get(nickname)
-            .expect("nickname exists by construction");
+    ) -> Result<Arc<RemoteServer>> {
+        let def = self.nicknames.get(nickname)?;
         let origin = def
             .sources
             .first()
-            .expect("nickname has at least one source");
+            .ok_or_else(|| QccError::Config(format!("nickname '{nickname}' has no sources")))?;
         let origin_server = self
             .servers
             .iter()
             .find(|s| s.id() == &origin.server)
-            .expect("origin server registered");
+            .ok_or_else(|| {
+                QccError::UnknownTable(format!(
+                    "origin server {} of nickname '{nickname}' is not registered",
+                    origin.server
+                ))
+            })?;
         let origin_entry = origin_server
             .engine()
             .catalog()
-            .entry(&origin.remote_table)
-            .expect("origin hosts the table");
+            .entry(&origin.remote_table)?;
 
         let mut catalog = server.engine().catalog().clone();
         catalog.register_virtual(
@@ -222,7 +219,7 @@ impl<'a> PlacementAdvisor<'a> {
             id: server.id().clone(),
             ..server.profile().clone()
         };
-        RemoteServer::new(profile, catalog)
+        Ok(RemoteServer::new(profile, catalog))
     }
 }
 
@@ -275,11 +272,23 @@ mod tests {
         let mut nicknames = NicknameCatalog::new();
         nicknames.define(
             "facts",
-            s1.engine().catalog().entry("facts").unwrap().table.schema().clone(),
+            s1.engine()
+                .catalog()
+                .entry("facts")
+                .unwrap()
+                .table
+                .schema()
+                .clone(),
         );
         nicknames.define(
             "dims",
-            s1.engine().catalog().entry("dims").unwrap().table.schema().clone(),
+            s1.engine()
+                .catalog()
+                .entry("dims")
+                .unwrap()
+                .table
+                .schema()
+                .clone(),
         );
         nicknames
             .add_source("facts", ServerId::new("S1"), "facts")
@@ -343,7 +352,8 @@ mod tests {
             .recommend(&[(WORKLOAD_SQL.to_string(), 100)])
             .unwrap();
         assert!(
-            recs.iter().all(|r| r.target != ServerId::new("S2") || r.saving() < 0.05),
+            recs.iter()
+                .all(|r| r.target != ServerId::new("S2") || r.saving() < 0.05),
             "a poorly-calibrated host should not attract replicas: {recs:?}"
         );
     }

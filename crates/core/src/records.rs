@@ -133,13 +133,15 @@ impl RecordStore {
         let mut map: std::collections::BTreeMap<ServerId, ServerSummary> =
             std::collections::BTreeMap::new();
         for r in &inner.runs {
-            let s = map.entry(r.server.clone()).or_insert_with(|| ServerSummary {
-                server: r.server.clone(),
-                observations: 0,
-                mean_observed_ms: 0.0,
-                mean_ratio: 0.0,
-                errors: 0,
-            });
+            let s = map
+                .entry(r.server.clone())
+                .or_insert_with(|| ServerSummary {
+                    server: r.server.clone(),
+                    observations: 0,
+                    mean_observed_ms: 0.0,
+                    mean_ratio: 0.0,
+                    errors: 0,
+                });
             s.observations += 1;
             s.mean_observed_ms += r.observed_ms;
             if let Some(est) = r.estimated_total {
@@ -180,8 +182,7 @@ impl RecordStore {
         for r in &inner.runs {
             *map.entry(r.signature.as_str()).or_insert(0) += 1;
         }
-        let mut out: Vec<(String, u64)> =
-            map.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let mut out: Vec<(String, u64)> = map.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
@@ -263,11 +264,17 @@ mod tests {
         });
         let summaries = store.server_summaries();
         assert_eq!(summaries.len(), 2);
-        let s1 = summaries.iter().find(|s| s.server.as_str() == "S1").unwrap();
+        let s1 = summaries
+            .iter()
+            .find(|s| s.server.as_str() == "S1")
+            .unwrap();
         assert_eq!(s1.observations, 2);
         assert!((s1.mean_observed_ms - 10.0).abs() < 1e-9);
         assert!((s1.mean_ratio - 2.0).abs() < 1e-9);
-        let s2 = summaries.iter().find(|s| s.server.as_str() == "S2").unwrap();
+        let s2 = summaries
+            .iter()
+            .find(|s| s.server.as_str() == "S2")
+            .unwrap();
         assert_eq!(s2.errors, 1);
     }
 

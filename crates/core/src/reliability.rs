@@ -9,7 +9,7 @@
 use crate::config::QccConfig;
 use parking_lot::Mutex;
 use qcc_common::{ServerId, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug)]
 struct ServerHealth {
@@ -54,7 +54,7 @@ impl ServerHealth {
 pub struct ReliabilityTracker {
     penalty: f64,
     window: usize,
-    state: Mutex<HashMap<ServerId, ServerHealth>>,
+    state: Mutex<BTreeMap<ServerId, ServerHealth>>,
 }
 
 impl ReliabilityTracker {
@@ -63,7 +63,7 @@ impl ReliabilityTracker {
         ReliabilityTracker {
             penalty: config.reliability_penalty,
             window: config.reliability_window,
-            state: Mutex::new(HashMap::new()),
+            state: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -131,7 +131,8 @@ impl SimulatedFederation {
 
 impl std::fmt::Debug for SimulatedFederation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimulatedFederation").finish_non_exhaustive()
+        f.debug_struct("SimulatedFederation")
+            .finish_non_exhaustive()
     }
 }
 

@@ -92,9 +92,7 @@ pub fn conjunct_selectivity(expr: &Expr, stats: &TableStats, schema: &Schema) ->
             op: BinaryOp::And,
             left,
             right,
-        } => {
-            conjunct_selectivity(left, stats, schema) * conjunct_selectivity(right, stats, schema)
-        }
+        } => conjunct_selectivity(left, stats, schema) * conjunct_selectivity(right, stats, schema),
         Expr::Binary {
             op: BinaryOp::Or,
             left,
@@ -158,11 +156,7 @@ fn flip(op: BinaryOp) -> BinaryOp {
 }
 
 /// Estimated selectivity of an index predicate (used for index-path costing).
-pub fn index_pred_selectivity(
-    pred: &IndexPredicate,
-    stats: &TableStats,
-    col_idx: usize,
-) -> f64 {
+pub fn index_pred_selectivity(pred: &IndexPredicate, stats: &TableStats, col_idx: usize) -> f64 {
     let cstats = &stats.columns[col_idx];
     match pred {
         IndexPredicate::Eq(_) => cstats.selectivity_eq(stats.row_count),
@@ -518,6 +512,10 @@ mod tests {
     fn estimate_groups_caps() {
         assert_eq!(estimate_groups(1000.0, &[]), 1.0);
         assert_eq!(estimate_groups(1000.0, &[10.0]), 10.0);
-        assert_eq!(estimate_groups(1000.0, &[100.0, 100.0]), 500.0, "capped at half");
+        assert_eq!(
+            estimate_groups(1000.0, &[100.0, 100.0]),
+            500.0,
+            "capped at half"
+        );
     }
 }

@@ -66,7 +66,10 @@ fn exec_node(
                 None => base.to_vec(),
                 Some(p) => {
                     work.cpu_units += base.len() as f64 * p.node_count() as f64 * m.pred_node;
-                    base.iter().filter(|r| p.eval_predicate(r)).cloned().collect()
+                    base.iter()
+                        .filter(|r| p.eval_predicate(r))
+                        .cloned()
+                        .collect()
                 }
             };
             work.cpu_units += out.len() as f64 * m.output_row;
@@ -267,8 +270,11 @@ fn exec_aggregate(
     // Group rows preserving first-seen key order for determinism.
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut groups: HashMap<Vec<Value>, Vec<AggAccumulator>> = HashMap::new();
-    let make_accs =
-        || -> Vec<AggAccumulator> { aggs.iter().map(|a| AggAccumulator::new(a.func, a.distinct)).collect() };
+    let make_accs = || -> Vec<AggAccumulator> {
+        aggs.iter()
+            .map(|a| AggAccumulator::new(a.func, a.distinct))
+            .collect()
+    };
 
     if group_by.is_empty() {
         // Global aggregation always yields exactly one row.
@@ -292,7 +298,9 @@ fn exec_aggregate(
     work.cpu_units += order.len() as f64 * m.output_row;
     let mut out = Vec::with_capacity(order.len());
     for key in order {
-        let accs = groups.get(&key).expect("group exists");
+        let accs = groups
+            .remove(&key)
+            .ok_or_else(|| QccError::Execution("aggregation group vanished".into()))?;
         let mut values = key;
         values.extend(accs.iter().map(AggAccumulator::finish));
         out.push(Row::new(values));
@@ -357,7 +365,9 @@ mod tests {
 
     #[test]
     fn simple_filter_scan() {
-        let (rows, work) = engine().execute_sql("SELECT * FROM sales WHERE amount >= 8").unwrap();
+        let (rows, work) = engine()
+            .execute_sql("SELECT * FROM sales WHERE amount >= 8")
+            .unwrap();
         assert_eq!(rows.len(), 60);
         assert_eq!(work.rows_scanned, 300);
         assert!(work.cpu_units > 0.0);
@@ -482,9 +492,7 @@ mod tests {
         b.insert(Row::new(vec![Value::Int(1)])).unwrap();
         c.register(b);
         let e = Engine::new(c);
-        let (rows, _) = e
-            .execute_sql("SELECT * FROM a, b WHERE a.k = b.k")
-            .unwrap();
+        let (rows, _) = e.execute_sql("SELECT * FROM a, b WHERE a.k = b.k").unwrap();
         assert_eq!(rows.len(), 1, "NULL = NULL must not match");
     }
 

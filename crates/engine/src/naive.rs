@@ -79,8 +79,7 @@ pub fn evaluate(stmt: &SelectStmt, catalog: &Catalog) -> Result<Vec<Row>> {
                 .collect::<Result<_>>()?;
             sort_rows(&mut rows, &keys);
         }
-        let bare_wildcard =
-            stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
+        let bare_wildcard = stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
         if bare_wildcard {
             out = rows;
         } else {
@@ -236,7 +235,9 @@ fn aggregate(stmt: &SelectStmt, schema: &Schema, rows: &[Row]) -> Result<(Vec<Ro
     // HAVING.
     let mut kept: Vec<(&Vec<Value>, &Vec<Row>)> = Vec::new();
     for key in &order {
-        let members = groups.get(key).expect("group exists");
+        let members = groups
+            .get(key)
+            .ok_or_else(|| QccError::Execution("aggregation group vanished".into()))?;
         if let Some(h) = &stmt.having {
             let v = eval_group(h, stmt, schema, key, members)?;
             if crate::expr::truth(&v) != Some(true) {

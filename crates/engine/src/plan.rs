@@ -274,7 +274,10 @@ impl PlanNode {
                 if predicate.is_some() { ",pred" } else { "" }
             ),
             PlanNode::IndexScan {
-                table, column, pred, ..
+                table,
+                column,
+                pred,
+                ..
             } => {
                 // Shape only — literal probe values are excluded so that
                 // different instances of the same query template share a

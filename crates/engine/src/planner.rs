@@ -11,7 +11,7 @@ use crate::expr::{compile, CompiledExpr};
 use crate::plan::{AggSpec, IndexPredicate, PlanNode};
 use qcc_common::{Column, DataType, QccError, Result, Schema};
 use qcc_sql::{BinaryOp, Expr, SelectItem, SelectStmt};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Planner tuning knobs.
 #[derive(Debug, Clone)]
@@ -79,11 +79,13 @@ pub fn plan_query(
     let mut residuals: Vec<Expr> = Vec::new();
     for c in conjuncts {
         let refs = binding_refs(&c);
-        if refs.len() == 1 {
+        if let Some(target) = refs.iter().next().filter(|_| refs.len() == 1) {
             let b = bindings
                 .iter()
-                .position(|bd| bd.name.eq_ignore_ascii_case(refs.iter().next().expect("one")))
-                .expect("qualified binding exists");
+                .position(|bd| bd.name.eq_ignore_ascii_case(target))
+                .ok_or_else(|| {
+                    QccError::Planning(format!("predicate references unbound table '{target}'"))
+                })?;
             table_preds[b].push(c);
         } else if let Some(edge) = as_equi_edge(&c) {
             edges.push(edge);
@@ -116,7 +118,7 @@ pub fn plan_query(
 
 fn bind_tables(stmt: &SelectStmt, catalog: &qcc_storage::Catalog) -> Result<Vec<Binding>> {
     let mut bindings = Vec::new();
-    let mut seen: HashSet<String> = HashSet::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
     for t in stmt.tables() {
         let entry = catalog.entry(&t.name)?;
         let name = t.binding_name().to_owned();
@@ -225,7 +227,7 @@ fn qualify_expr(expr: &Expr, bindings: &[Binding]) -> Result<Expr> {
 }
 
 /// The set of binding names a (qualified) expression references.
-fn binding_refs(expr: &Expr) -> HashSet<String> {
+fn binding_refs(expr: &Expr) -> BTreeSet<String> {
     let mut cols = Vec::new();
     expr.collect_columns(&mut cols);
     cols.into_iter()
@@ -464,20 +466,17 @@ fn join_order(
     let mut remaining: Vec<Option<PlanNode>> = scans.into_iter().map(Some).collect();
 
     // Start from the smallest scan.
+    let est = |slot: &Option<PlanNode>| slot.as_ref().map_or(f64::INFINITY, PlanNode::est_rows);
     let start = (0..n)
-        .min_by(|&a, &b| {
-            remaining[a]
-                .as_ref()
-                .expect("present")
-                .est_rows()
-                .total_cmp(&remaining[b].as_ref().expect("present").est_rows())
-        })
+        .min_by(|&a, &b| est(&remaining[a]).total_cmp(&est(&remaining[b])))
         .ok_or_else(|| QccError::Planning("empty FROM list".into()))?;
-    let mut current = remaining[start].take().expect("present");
-    let mut in_tree: HashSet<String> = HashSet::new();
+    let mut current = remaining[start]
+        .take()
+        .ok_or_else(|| QccError::Planning("join start scan missing".into()))?;
+    let mut in_tree: BTreeSet<String> = BTreeSet::new();
     in_tree.insert(bindings[start].name.to_ascii_lowercase());
 
-    let mut used_edges: HashSet<usize> = HashSet::new();
+    let mut used_edges: BTreeSet<usize> = BTreeSet::new();
     let mut pending_residuals: Vec<Expr> = residuals.to_vec();
 
     while in_tree.len() < n {
@@ -488,9 +487,10 @@ fn join_order(
                 continue;
             };
             let key = b.name.to_ascii_lowercase();
-            let connected = edges.iter().enumerate().any(|(ei, e)| {
-                !used_edges.contains(&ei) && edge_joins(e, &in_tree, &key)
-            });
+            let connected = edges
+                .iter()
+                .enumerate()
+                .any(|(ei, e)| !used_edges.contains(&ei) && edge_joins(e, &in_tree, &key));
             let est = join_estimate(&current, scan, bindings, edges, &in_tree, &key, catalog);
             let better = match &best {
                 None => true,
@@ -502,8 +502,14 @@ fn join_order(
                 best = Some((i, est, connected));
             }
         }
-        let (next_idx, est_out, _) = best.expect("tables remain");
-        let next_scan = remaining[next_idx].take().expect("present");
+        let Some((next_idx, est_out, _)) = best else {
+            return Err(QccError::Planning(
+                "join enumeration stalled with tables remaining".into(),
+            ));
+        };
+        let next_scan = remaining[next_idx]
+            .take()
+            .ok_or_else(|| QccError::Planning("chosen join input already consumed".into()))?;
         let next_key = bindings[next_idx].name.to_ascii_lowercase();
 
         // Collect the join keys from unused edges between the tree and next.
@@ -578,7 +584,7 @@ fn join_order(
     Ok(current)
 }
 
-fn edge_joins(e: &JoinEdge, in_tree: &HashSet<String>, next: &str) -> bool {
+fn edge_joins(e: &JoinEdge, in_tree: &BTreeSet<String>, next: &str) -> bool {
     (in_tree.contains(&e.left_binding) && e.right_binding == next)
         || (in_tree.contains(&e.right_binding) && e.left_binding == next)
 }
@@ -589,7 +595,7 @@ fn join_estimate(
     next: &PlanNode,
     bindings: &[Binding],
     edges: &[JoinEdge],
-    in_tree: &HashSet<String>,
+    in_tree: &BTreeSet<String>,
     next_key: &str,
     catalog: &qcc_storage::Catalog,
 ) -> f64 {
@@ -605,11 +611,7 @@ fn join_estimate(
     est.max(1.0)
 }
 
-fn column_distinct(
-    col: &Expr,
-    bindings: &[Binding],
-    catalog: &qcc_storage::Catalog,
-) -> f64 {
+fn column_distinct(col: &Expr, bindings: &[Binding], catalog: &qcc_storage::Catalog) -> f64 {
     if let Expr::Column {
         table: Some(t),
         name,
@@ -651,10 +653,7 @@ fn finish_plan(
             SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
             SelectItem::Wildcard => false,
         })
-        || stmt
-            .having
-            .as_ref()
-            .is_some_and(Expr::contains_aggregate);
+        || stmt.having.as_ref().is_some_and(Expr::contains_aggregate);
 
     let mut plan = joined;
 
@@ -1114,7 +1113,9 @@ mod tests {
         let p = plan_one("SELECT * FROM orders WHERE total > 25.0");
         match p {
             PlanNode::SeqScan {
-                predicate, est_rows, ..
+                predicate,
+                est_rows,
+                ..
             } => {
                 assert!(predicate.is_some());
                 assert!(est_rows < 1000.0 && est_rows > 100.0, "est {est_rows}");

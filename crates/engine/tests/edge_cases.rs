@@ -29,10 +29,7 @@ fn engine() -> Engine {
         ]))
         .unwrap();
     }
-    let mut empty = Table::new(
-        "empty",
-        Schema::new(vec![Column::new("k", DataType::Int)]),
-    );
+    let mut empty = Table::new("empty", Schema::new(vec![Column::new("k", DataType::Int)]));
     let _ = &mut empty;
     let mut c = Catalog::new();
     c.register(t);
@@ -104,7 +101,10 @@ fn having_over_global_aggregate() {
     let (rows, _) = engine()
         .execute_sql("SELECT COUNT(*) AS n FROM t HAVING COUNT(*) > 100")
         .unwrap();
-    assert!(rows.is_empty(), "failed HAVING drops the single global group");
+    assert!(
+        rows.is_empty(),
+        "failed HAVING drops the single global group"
+    );
 }
 
 #[test]
@@ -141,9 +141,7 @@ fn arithmetic_on_null_columns_propagates() {
 #[test]
 fn self_join_with_aliases() {
     let (rows, _) = engine()
-        .execute_sql(
-            "SELECT x.a, y.a FROM t x JOIN t y ON x.a = y.b WHERE x.a IS NOT NULL",
-        )
+        .execute_sql("SELECT x.a, y.a FROM t x JOIN t y ON x.a = y.b WHERE x.a IS NOT NULL")
         .unwrap();
     // a values {1,2,3,5} vs b values {10,20,40,50}: no matches.
     assert!(rows.is_empty());

@@ -11,7 +11,7 @@
 use crate::nickname::NicknameCatalog;
 use qcc_common::{QccError, Result, Schema, ServerId, Value};
 use qcc_sql::{parse_select, BinaryOp, Expr, JoinClause, SelectItem, SelectStmt, TableRef};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One output column of a (non-full-pushdown) fragment.
 #[derive(Debug, Clone)]
@@ -125,7 +125,7 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
         schema: Schema,
     }
     let mut bindings: Vec<Binding> = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     for t in stmt.tables() {
         let def = catalog.get(&t.name)?;
         let name = t.binding_name().to_ascii_lowercase();
@@ -206,15 +206,10 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
         }
     }
 
-    let binding_group: HashMap<String, usize> = groups
+    let binding_group: BTreeMap<String, usize> = groups
         .iter()
         .enumerate()
-        .flat_map(|(gi, (members, _))| {
-            members
-                .iter()
-                .map(move |&bi| (bi, gi))
-                .collect::<Vec<_>>()
-        })
+        .flat_map(|(gi, (members, _))| members.iter().map(move |&bi| (bi, gi)).collect::<Vec<_>>())
         .map(|(bi, gi)| (bindings[bi].name.clone(), gi))
         .collect();
 
@@ -225,8 +220,14 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
         let (members, servers) = &groups[0];
         let frag = FragmentSpec {
             index: 0,
-            nicknames: members.iter().map(|&bi| bindings[bi].nickname.clone()).collect(),
-            bindings: members.iter().map(|&bi| bindings[bi].name.clone()).collect(),
+            nicknames: members
+                .iter()
+                .map(|&bi| bindings[bi].nickname.clone())
+                .collect(),
+            bindings: members
+                .iter()
+                .map(|&bi| bindings[bi].name.clone())
+                .collect(),
             stmt: qualified.clone(),
             candidate_servers: servers.clone(),
             output: vec![],
@@ -242,15 +243,15 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
 
     // Multi-group: build per-group fragments and the merge statement.
     // Classify conjuncts as local (all refs in one group) or cross-group.
-    let refs_of = |e: &Expr| -> HashSet<String> {
+    let refs_of = |e: &Expr| -> BTreeSet<String> {
         let mut cols = Vec::new();
         e.collect_columns(&mut cols);
         cols.into_iter()
             .filter_map(|(t, _)| t.as_ref().map(|s| s.to_ascii_lowercase()))
             .collect()
     };
-    let group_of_refs = |refs: &HashSet<String>| -> Option<usize> {
-        let gs: HashSet<usize> = refs
+    let group_of_refs = |refs: &BTreeSet<String>| -> Option<usize> {
+        let gs: BTreeSet<usize> = refs
             .iter()
             .filter_map(|b| binding_group.get(b).copied())
             .collect();
@@ -273,7 +274,7 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
     // Columns each fragment must ship: every column referenced outside the
     // fragment's local conjuncts (select list, cross conjuncts, group by,
     // having, order by) — or all columns on a bare wildcard.
-    let mut needed: HashSet<(String, String)> = HashSet::new();
+    let mut needed: BTreeSet<(String, String)> = BTreeSet::new();
     let mut note = |e: &Expr| {
         let mut cols = Vec::new();
         e.collect_columns(&mut cols);
@@ -313,7 +314,7 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
     // Build fragments.
     let mut fragments = Vec::with_capacity(groups.len());
     // (binding, column) -> (frag table binding, out column name)
-    let mut rewrite_map: HashMap<(String, String), (String, String)> = HashMap::new();
+    let mut rewrite_map: BTreeMap<(String, String), (String, String)> = BTreeMap::new();
     for (gi, (members, servers)) in groups.iter().enumerate() {
         let mut output = Vec::new();
         let mut items = Vec::new();
@@ -374,8 +375,14 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
 
         fragments.push(FragmentSpec {
             index: gi as u32,
-            nicknames: members.iter().map(|&bi| bindings[bi].nickname.clone()).collect(),
-            bindings: members.iter().map(|&bi| bindings[bi].name.clone()).collect(),
+            nicknames: members
+                .iter()
+                .map(|&bi| bindings[bi].nickname.clone())
+                .collect(),
+            bindings: members
+                .iter()
+                .map(|&bi| bindings[bi].name.clone())
+                .collect(),
             stmt: SelectStmt {
                 distinct: false,
                 items,
@@ -442,11 +449,7 @@ pub fn decompose(sql: &str, catalog: &NicknameCatalog) -> Result<DecomposedQuery
         from_rest: frag_tables,
         joins: vec![],
         where_clause: merge_where,
-        group_by: qualified
-            .group_by
-            .iter()
-            .map(rw)
-            .collect::<Result<_>>()?,
+        group_by: qualified.group_by.iter().map(rw).collect::<Result<_>>()?,
         having: qualified.having.as_ref().map(rw).transpose()?,
         order_by: qualified
             .order_by
@@ -497,10 +500,7 @@ fn combine_and(preds: &[Expr]) -> Option<Expr> {
 }
 
 /// Rewrite fully-qualified column refs through the fragment output map.
-fn rewrite_expr(
-    expr: &Expr,
-    map: &HashMap<(String, String), (String, String)>,
-) -> Result<Expr> {
+fn rewrite_expr(expr: &Expr, map: &BTreeMap<(String, String), (String, String)>) -> Result<Expr> {
     Ok(match expr {
         Expr::Column {
             table: Some(t),
@@ -787,17 +787,22 @@ mod tests {
             ]),
         );
         // accounts on S1 and replica R1; branches on S2 and replica R2.
-        c.add_source("accounts", ServerId::new("S1"), "accounts").unwrap();
-        c.add_source("accounts", ServerId::new("R1"), "accounts").unwrap();
-        c.add_source("branches", ServerId::new("S2"), "branches").unwrap();
-        c.add_source("branches", ServerId::new("R2"), "branches").unwrap();
+        c.add_source("accounts", ServerId::new("S1"), "accounts")
+            .unwrap();
+        c.add_source("accounts", ServerId::new("R1"), "accounts")
+            .unwrap();
+        c.add_source("branches", ServerId::new("S2"), "branches")
+            .unwrap();
+        c.add_source("branches", ServerId::new("R2"), "branches")
+            .unwrap();
         c
     }
 
     fn colocated_catalog() -> NicknameCatalog {
         let mut c = catalog();
         // Also host branches on S1 so single-fragment pushdown is possible.
-        c.add_source("branches", ServerId::new("S1"), "branches").unwrap();
+        c.add_source("branches", ServerId::new("S1"), "branches")
+            .unwrap();
         c
     }
 
@@ -857,7 +862,8 @@ mod tests {
     #[test]
     fn fragment_translation_to_server_tables() {
         let mut c = catalog();
-        c.add_source("accounts", ServerId::new("S9"), "acct_backup").unwrap();
+        c.add_source("accounts", ServerId::new("S9"), "acct_backup")
+            .unwrap();
         let d = decompose("SELECT id FROM accounts", &c).unwrap();
         let sql = d.fragments[0]
             .sql_for_server(&c, &ServerId::new("S9"))

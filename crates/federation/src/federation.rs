@@ -11,7 +11,7 @@ use qcc_engine::Engine;
 use qcc_netsim::{slowdown, LoadProfile, ServerLoad, SimClock};
 use qcc_storage::{Catalog, ColumnStats, Table, TableStats};
 use qcc_wrapper::Wrapper;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Integrator configuration.
@@ -74,7 +74,7 @@ pub struct Federation {
     config: FederationConfig,
     /// The explain table: query template → winning global plan signature
     /// (the paper stores the selected plan and its estimated costs here).
-    explain_table: Mutex<HashMap<String, String>>,
+    explain_table: Mutex<BTreeMap<String, String>>,
 }
 
 impl Federation {
@@ -93,7 +93,7 @@ impl Federation {
             clock,
             ii_load: ServerLoad::new(LoadProfile::Constant(0.0), 0.02),
             config,
-            explain_table: Mutex::new(HashMap::new()),
+            explain_table: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -130,7 +130,7 @@ impl Federation {
     }
 
     /// Snapshot of the explain table (template → winning plan signature).
-    pub fn explain_table(&self) -> HashMap<String, String> {
+    pub fn explain_table(&self) -> BTreeMap<String, String> {
         self.explain_table.lock().clone()
     }
 
@@ -308,10 +308,9 @@ impl Federation {
                 .choose_global(&decomposed.template_signature, &viable_owned)
                 .min(viable_owned.len() - 1);
             let chosen = &viable_owned[idx];
-            self.explain_table.lock().insert(
-                decomposed.template_signature.clone(),
-                chosen.signature(),
-            );
+            self.explain_table
+                .lock()
+                .insert(decomposed.template_signature.clone(), chosen.signature());
 
             match self.execute_global(qid, &decomposed, chosen) {
                 Ok((rows, fragment_times)) => {
@@ -332,7 +331,8 @@ impl Federation {
                         estimated_cost: chosen.total_cost(),
                     });
                 }
-                Err(QccError::ServerUnavailable(s)) | Err(QccError::ServerFault { server: s, .. }) => {
+                Err(QccError::ServerUnavailable(s))
+                | Err(QccError::ServerFault { server: s, .. }) => {
                     // Ban the failed server and re-route. The middleware
                     // has already recorded the failure (reliability input).
                     banned.insert(s);
@@ -376,19 +376,18 @@ impl Federation {
 
         match &decomposed.merge {
             MergeSpec::Passthrough => {
-                let rows = results.into_iter().next().map(|r| r.rows).unwrap_or_default();
+                let rows = results
+                    .into_iter()
+                    .next()
+                    .map(|r| r.rows)
+                    .unwrap_or_default();
                 Ok((rows, fragment_times))
             }
             MergeSpec::Merge { stmt } => {
                 // Register the shipped fragment results as temp tables and
                 // run the merge with the real engine.
                 let mut catalog = Catalog::new();
-                for (i, (frag, result)) in decomposed
-                    .fragments
-                    .iter()
-                    .zip(results)
-                    .enumerate()
-                {
+                for (i, (frag, result)) in decomposed.fragments.iter().zip(results).enumerate() {
                     let mut table = Table::new(frag_table(i), frag.output_schema());
                     table.insert_all(result.rows).map_err(|e| {
                         QccError::Execution(format!("fragment {i} result mismatch: {e}"))
@@ -398,8 +397,7 @@ impl Federation {
                 let engine = Engine::new(catalog);
                 let (rows, work) = engine.execute_sql(&stmt.to_string())?;
                 let rho = self.ii_load.utilization(self.clock.now());
-                let merge_ms =
-                    work.cpu_units / self.config.ii_speed * slowdown(rho, 1.0);
+                let merge_ms = work.cpu_units / self.config.ii_speed * slowdown(rho, 1.0);
                 self.clock.advance(SimDuration::from_millis(merge_ms));
                 Ok((rows, fragment_times))
             }
@@ -451,7 +449,10 @@ mod tests {
         let mut branches = Table::new("branches", branches_schema.clone());
         for i in 0..10i64 {
             branches
-                .insert(Row::new(vec![Value::Int(i), Value::Str(format!("city{i}"))]))
+                .insert(Row::new(vec![
+                    Value::Int(i),
+                    Value::Str(format!("city{i}")),
+                ]))
                 .unwrap();
         }
 
@@ -609,8 +610,10 @@ mod tests {
         fed.add_wrapper(Arc::new(RelationalWrapper::new(s1, Arc::new(net))));
         let err = fed.submit("SELECT COUNT(*) FROM branches").unwrap_err();
         assert!(matches!(err, QccError::NoViablePlan(_)), "{err}");
-        assert_eq!(fed.patroller().log()[0].status,
-            crate::patroller::QueryStatus::Failed(err.to_string()));
+        assert_eq!(
+            fed.patroller().log()[0].status,
+            crate::patroller::QueryStatus::Failed(err.to_string())
+        );
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub use middleware::{
     FragmentCandidate, GlobalCandidate, Middleware, PassthroughMiddleware, DEFAULT_UNCOSTED,
 };
 pub use nickname::{NicknameCatalog, NicknameDef, SourceMapping};
+pub use patroller::{QueryLogEntry, QueryPatroller, QueryStatus};
 pub use plancache::PlanCache;
 pub use report::render_explain;
-pub use patroller::{QueryLogEntry, QueryPatroller, QueryStatus};

@@ -135,10 +135,14 @@ mod tests {
         let mut c = NicknameCatalog::new();
         c.define("accounts", schema());
         c.define("branches", schema());
-        c.add_source("accounts", ServerId::new("S1"), "acct").unwrap();
-        c.add_source("accounts", ServerId::new("R1"), "acct").unwrap();
-        c.add_source("branches", ServerId::new("S1"), "branch").unwrap();
-        c.add_source("branches", ServerId::new("S2"), "branch").unwrap();
+        c.add_source("accounts", ServerId::new("S1"), "acct")
+            .unwrap();
+        c.add_source("accounts", ServerId::new("R1"), "acct")
+            .unwrap();
+        c.add_source("branches", ServerId::new("S1"), "branch")
+            .unwrap();
+        c.add_source("branches", ServerId::new("S2"), "branch")
+            .unwrap();
         c
     }
 
@@ -172,7 +176,8 @@ mod tests {
     #[test]
     fn duplicate_source_ignored() {
         let mut c = catalog();
-        c.add_source("accounts", ServerId::new("S1"), "acct").unwrap();
+        c.add_source("accounts", ServerId::new("S1"), "acct")
+            .unwrap();
         assert_eq!(c.get("accounts").unwrap().sources.len(), 2);
     }
 

@@ -117,7 +117,14 @@ mod tests {
         let log = p.log();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].status, QueryStatus::Completed);
-        assert_eq!(log[0].completed.unwrap().since(log[0].submitted).as_millis(), 42.0);
+        assert_eq!(
+            log[0]
+                .completed
+                .unwrap()
+                .since(log[0].submitted)
+                .as_millis(),
+            42.0
+        );
     }
 
     #[test]

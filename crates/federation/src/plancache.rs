@@ -10,12 +10,12 @@
 use parking_lot::Mutex;
 use qcc_common::ServerId;
 use qcc_wrapper::FragmentPlan;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Shared compile-time plan cache.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    entries: Mutex<HashMap<(ServerId, String), Vec<FragmentPlan>>>,
+    entries: Mutex<BTreeMap<(ServerId, String), Vec<FragmentPlan>>>,
     hits: Mutex<u64>,
     misses: Mutex<u64>,
 }

@@ -16,7 +16,11 @@ pub fn render_explain(decomposed: &DecomposedQuery, candidates: &[GlobalCandidat
     let _ = writeln!(out, "Template:        {}", decomposed.template_signature);
     let _ = writeln!(out);
 
-    let _ = writeln!(out, "Decomposition: {} fragment(s)", decomposed.fragments.len());
+    let _ = writeln!(
+        out,
+        "Decomposition: {} fragment(s)",
+        decomposed.fragments.len()
+    );
     for frag in &decomposed.fragments {
         let _ = writeln!(
             out,

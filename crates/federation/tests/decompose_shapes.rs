@@ -16,10 +16,22 @@ fn schema(cols: &[(&str, DataType)]) -> Schema {
 fn catalog() -> NicknameCatalog {
     let mut cat = NicknameCatalog::new();
     cat.define("a", schema(&[("id", DataType::Int), ("x", DataType::Int)]));
-    cat.define("b", schema(&[("id", DataType::Int), ("a_id", DataType::Int)]));
-    cat.define("c", schema(&[("id", DataType::Int), ("b_id", DataType::Int)]));
-    cat.define("d", schema(&[("id", DataType::Int), ("c_id", DataType::Int)]));
-    cat.define("e", schema(&[("id", DataType::Int), ("tag", DataType::Str)]));
+    cat.define(
+        "b",
+        schema(&[("id", DataType::Int), ("a_id", DataType::Int)]),
+    );
+    cat.define(
+        "c",
+        schema(&[("id", DataType::Int), ("b_id", DataType::Int)]),
+    );
+    cat.define(
+        "d",
+        schema(&[("id", DataType::Int), ("c_id", DataType::Int)]),
+    );
+    cat.define(
+        "e",
+        schema(&[("id", DataType::Int), ("tag", DataType::Str)]),
+    );
     for (nick, srv) in [
         ("a", "H0"),
         ("b", "H0"),
@@ -71,16 +83,9 @@ fn colocated_pair_stays_one_fragment_in_a_split_query() {
 fn replica_does_not_merge_unrelated_groups() {
     // a is on H0 and H3; e only on H3. A query over a and e CAN co-locate
     // on H3 — grouping should discover that.
-    let d = decompose(
-        "SELECT COUNT(*) FROM a JOIN e ON e.id = a.id",
-        &catalog(),
-    )
-    .unwrap();
+    let d = decompose("SELECT COUNT(*) FROM a JOIN e ON e.id = a.id", &catalog()).unwrap();
     assert_eq!(d.fragments.len(), 1, "H3 hosts both");
-    assert_eq!(
-        d.fragments[0].candidate_servers,
-        vec![ServerId::new("H3")]
-    );
+    assert_eq!(d.fragments[0].candidate_servers, vec![ServerId::new("H3")]);
     assert!(d.fragments[0].full_pushdown);
 }
 
@@ -114,11 +119,7 @@ fn cross_fragment_predicates_stay_at_the_integrator() {
 
 #[test]
 fn fragment_ships_only_needed_columns() {
-    let d = decompose(
-        "SELECT b.id FROM b JOIN c ON c.b_id = b.id",
-        &catalog(),
-    )
-    .unwrap();
+    let d = decompose("SELECT b.id FROM b JOIN c ON c.b_id = b.id", &catalog()).unwrap();
     let frag_c = d
         .fragments
         .iter()

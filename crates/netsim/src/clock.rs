@@ -1,49 +1,16 @@
 //! The shared virtual clock.
+//!
+//! `SimClock` now lives in `qcc-common::time` next to `SimTime`, so that
+//! every layer (including `core`, which must not depend on the network
+//! simulator for timekeeping) injects the same clock type; this module
+//! re-exports it for compatibility.
 
-use parking_lot::Mutex;
-use qcc_common::{SimDuration, SimTime};
-use std::sync::Arc;
-
-/// A shareable virtual clock. Cloning yields a handle onto the same
-/// timeline. Nothing in the workspace sleeps: components *advance* the
-/// clock by the durations their models compute.
-#[derive(Debug, Clone, Default)]
-pub struct SimClock {
-    inner: Arc<Mutex<SimTime>>,
-}
-
-impl SimClock {
-    /// A clock at the epoch.
-    pub fn new() -> Self {
-        SimClock::default()
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        *self.inner.lock()
-    }
-
-    /// Advance the clock by `d`, returning the new time.
-    pub fn advance(&self, d: SimDuration) -> SimTime {
-        let mut t = self.inner.lock();
-        *t += d;
-        *t
-    }
-
-    /// Jump directly to `t` if it is in the future (no-op otherwise —
-    /// virtual time never goes backwards). Returns the current time.
-    pub fn advance_to(&self, t: SimTime) -> SimTime {
-        let mut cur = self.inner.lock();
-        if t > *cur {
-            *cur = t;
-        }
-        *cur
-    }
-}
+pub use qcc_common::SimClock;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qcc_common::{SimDuration, SimTime};
 
     #[test]
     fn clones_share_the_timeline() {

@@ -109,7 +109,10 @@ mod tests {
     fn uncongested_link_time() {
         let l = Link::new(10.0, 1000.0, LoadProfile::Constant(0.0));
         let t = l.transfer_time(5000, SimTime::ZERO);
-        assert!((t.as_millis() - 15.0).abs() < 1e-9, "10ms RTT + 5ms transfer");
+        assert!(
+            (t.as_millis() - 15.0).abs() < 1e-9,
+            "10ms RTT + 5ms transfer"
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ mod tests {
         let p = LoadProfile::Constant(0.7);
         assert_eq!(p.level(SimTime::ZERO), 0.7);
         assert_eq!(p.level(SimTime::from_millis(1e6)), 0.7);
-        assert_eq!(LoadProfile::Constant(3.0).level(SimTime::ZERO), 1.0, "clamped");
+        assert_eq!(
+            LoadProfile::Constant(3.0).level(SimTime::ZERO),
+            1.0,
+            "clamped"
+        );
     }
 
     #[test]

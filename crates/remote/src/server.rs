@@ -202,7 +202,11 @@ impl RemoteServer {
             .iter()
             .filter_map(|(t, c)| {
                 contention
-                    .get(&format!("idx:{}.{}", t.to_ascii_lowercase(), c.to_ascii_lowercase()))
+                    .get(&format!(
+                        "idx:{}.{}",
+                        t.to_ascii_lowercase(),
+                        c.to_ascii_lowercase()
+                    ))
                     .copied()
             })
             .fold(0.0_f64, f64::max);
@@ -251,7 +255,9 @@ mod tests {
     #[test]
     fn explain_returns_cheapest_first() {
         let s = server(1.0);
-        let plans = s.explain("SELECT * FROM items WHERE v = 3", SimTime::ZERO).unwrap();
+        let plans = s
+            .explain("SELECT * FROM items WHERE v = 3", SimTime::ZERO)
+            .unwrap();
         assert!(!plans.is_empty());
         for w in plans.windows(2) {
             assert!(w[0].cost.total() <= w[1].cost.total());
@@ -271,7 +277,9 @@ mod tests {
     #[test]
     fn execute_returns_rows_and_time() {
         let s = server(1.0);
-        let plans = s.explain("SELECT COUNT(*) FROM items", SimTime::ZERO).unwrap();
+        let plans = s
+            .explain("SELECT COUNT(*) FROM items", SimTime::ZERO)
+            .unwrap();
         let r = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
         assert_eq!(r.rows[0].get(0), &Value::Int(10_000));
         assert!(r.elapsed.as_millis() > 0.0);
@@ -280,7 +288,9 @@ mod tests {
     #[test]
     fn load_slows_execution() {
         let s = server(1.0);
-        let plans = s.explain("SELECT COUNT(*) FROM items", SimTime::ZERO).unwrap();
+        let plans = s
+            .explain("SELECT COUNT(*) FROM items", SimTime::ZERO)
+            .unwrap();
         let idle = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
         s.load().set_background(LoadProfile::Constant(0.8));
         let loaded = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
@@ -296,7 +306,9 @@ mod tests {
     fn contention_targets_specific_tables() {
         let s = server(1.0);
         s.load().set_background(LoadProfile::Constant(0.7));
-        let plans = s.explain("SELECT COUNT(*) FROM items", SimTime::ZERO).unwrap();
+        let plans = s
+            .explain("SELECT COUNT(*) FROM items", SimTime::ZERO)
+            .unwrap();
         let before = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
         let mut map = HashMap::new();
         map.insert("items".to_string(), 5.0);
@@ -316,7 +328,9 @@ mod tests {
         let s = server(1.0);
         s.availability()
             .add_outage(SimTime::from_millis(10.0), SimTime::from_millis(20.0));
-        assert!(s.explain("SELECT * FROM items", SimTime::from_millis(15.0)).is_err());
+        assert!(s
+            .explain("SELECT * FROM items", SimTime::from_millis(15.0))
+            .is_err());
         let plans = s.explain("SELECT * FROM items", SimTime::ZERO).unwrap();
         assert!(matches!(
             s.execute(&plans[0].descriptor, SimTime::from_millis(15.0)),

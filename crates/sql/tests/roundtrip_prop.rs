@@ -1,211 +1,249 @@
-//! Property test: any statement the AST can express prints to SQL that
+//! Randomized test: any statement the AST can express prints to SQL that
 //! parses back to the identical AST.
+//!
+//! Uses the workspace's deterministic `Pcg32` generator rather than an
+//! external property-testing crate so the suite runs fully offline and
+//! every failure reproduces bit-identically from the fixed seed.
 
-use proptest::prelude::*;
-use qcc_common::Value;
+use qcc_common::{Pcg32, Value};
 use qcc_sql::{
     parse_select, AggFunc, BinaryOp, Expr, JoinClause, OrderItem, SelectItem, SelectStmt, TableRef,
     UnaryOp,
 };
 
-fn ident() -> impl Strategy<Value = String> {
+const CASES: usize = 256;
+
+fn ident(rng: &mut Pcg32) -> String {
     // Avoid reserved words and aggregate names by prefixing.
-    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("c_{s}"))
+    let len = rng.range_u64(1, 8) as usize;
+    let mut s = String::from("c_");
+    for i in 0..len {
+        let c = if i == 0 {
+            b'a' + rng.range_u64(0, 26) as u8
+        } else {
+            *rng.choose(b"abcdefghijklmnopqrstuvwxyz0123456789_")
+        };
+        s.push(c as char);
+    }
+    s
 }
 
-fn table_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("t_{s}"))
+fn table_name(rng: &mut Pcg32) -> String {
+    let mut s = ident(rng);
+    s.replace_range(0..1, "t");
+    s
 }
 
-fn literal() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i as i64))),
+fn literal(rng: &mut Pcg32) -> Expr {
+    match rng.range_u64(0, 4) {
+        0 => Expr::Literal(Value::Int(
+            rng.range_i64(i32::MIN as i64, i32::MAX as i64 + 1),
+        )),
         // Finite floats with exact decimal round-trip via Display.
-        (-1000i32..1000, 1u32..100)
-            .prop_map(|(a, b)| Expr::Literal(Value::Float(a as f64 + b as f64 / 128.0))),
-        "[a-z ]{0,8}".prop_map(|s| Expr::Literal(Value::Str(s))),
-        Just(Expr::Literal(Value::Null)),
-    ]
+        1 => {
+            let a = rng.range_i64(-1000, 1000) as f64;
+            let b = rng.range_u64(1, 100) as f64;
+            Expr::Literal(Value::Float(a + b / 128.0))
+        }
+        2 => {
+            let len = rng.range_u64(0, 9) as usize;
+            let s: String = (0..len)
+                .map(|_| *rng.choose(b"abcdefghijklmnopqrstuvwxyz ") as char)
+                .collect();
+            Expr::Literal(Value::Str(s))
+        }
+        _ => Expr::Literal(Value::Null),
+    }
 }
 
-fn column() -> impl Strategy<Value = Expr> {
-    (proptest::option::of(table_name()), ident())
-        .prop_map(|(table, name)| Expr::Column { table, name })
+fn column(rng: &mut Pcg32) -> Expr {
+    let table = if rng.next_f64() < 0.5 {
+        Some(table_name(rng))
+    } else {
+        None
+    };
+    Expr::Column {
+        table,
+        name: ident(rng),
+    }
 }
 
-fn scalar_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![literal(), column()];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinaryOp::Add),
-                    Just(BinaryOp::Sub),
-                    Just(BinaryOp::Mul),
-                    Just(BinaryOp::Div),
-                    Just(BinaryOp::Eq),
-                    Just(BinaryOp::Lt),
-                    Just(BinaryOp::GtEq),
-                    Just(BinaryOp::And),
-                    Just(BinaryOp::Or),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::Binary {
-                    op,
-                    left: Box::new(l),
-                    right: Box::new(r)
-                }),
-            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
-                expr: Box::new(e),
-                negated
-            }),
-            (inner.clone(), any::<bool>()).prop_map(|(e, n)| {
-                let op = if n { UnaryOp::Not } else { UnaryOp::Neg };
-                // Mirror the parser's constant fold: `-<numeric literal>`
-                // normalizes to a negative literal.
-                match (op, e) {
-                    (UnaryOp::Neg, Expr::Literal(Value::Int(i))) => {
-                        Expr::Literal(Value::Int(-i))
-                    }
-                    (UnaryOp::Neg, Expr::Literal(Value::Float(x))) => {
-                        Expr::Literal(Value::Float(-x))
-                    }
-                    (op, e) => Expr::Unary {
-                        op,
-                        expr: Box::new(e),
-                    },
-                }
-            }),
-            (
-                inner.clone(),
-                prop::collection::vec(literal(), 1..4),
-                any::<bool>()
-            )
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated
-                }),
-            (inner.clone(), literal(), literal(), any::<bool>()).prop_map(
-                |(e, lo, hi, negated)| Expr::Between {
-                    expr: Box::new(e),
-                    low: Box::new(lo),
-                    high: Box::new(hi),
-                    negated
-                }
-            ),
-            (inner, "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, pattern, negated)| Expr::Like {
-                expr: Box::new(e),
-                pattern,
-                negated
-            }),
-        ]
-    })
-}
-
-fn agg_expr() -> impl Strategy<Value = Expr> {
-    (
-        prop_oneof![
-            Just(AggFunc::Count),
-            Just(AggFunc::Sum),
-            Just(AggFunc::Avg),
-            Just(AggFunc::Min),
-            Just(AggFunc::Max)
-        ],
-        proptest::option::of(column()),
-        any::<bool>(),
-    )
-        .prop_map(|(func, arg, distinct)| {
-            // SUM(*) etc. is invalid; COUNT may omit the argument.
-            let arg = match (&func, arg) {
-                (AggFunc::Count, a) => a.map(Box::new),
-                (_, Some(a)) => Some(Box::new(a)),
-                (_, None) => Some(Box::new(Expr::col("c_fallback"))),
-            };
-            Expr::Agg {
-                func,
-                arg,
-                distinct,
+fn scalar_expr(rng: &mut Pcg32, depth: u32) -> Expr {
+    if depth == 0 || rng.next_f64() < 0.3 {
+        return if rng.next_f64() < 0.5 {
+            literal(rng)
+        } else {
+            column(rng)
+        };
+    }
+    match rng.range_u64(0, 6) {
+        0 => {
+            let op = *rng.choose(&[
+                BinaryOp::Add,
+                BinaryOp::Sub,
+                BinaryOp::Mul,
+                BinaryOp::Div,
+                BinaryOp::Eq,
+                BinaryOp::Lt,
+                BinaryOp::GtEq,
+                BinaryOp::And,
+                BinaryOp::Or,
+            ]);
+            Expr::Binary {
+                op,
+                left: Box::new(scalar_expr(rng, depth - 1)),
+                right: Box::new(scalar_expr(rng, depth - 1)),
             }
-        })
+        }
+        1 => Expr::IsNull {
+            expr: Box::new(scalar_expr(rng, depth - 1)),
+            negated: rng.next_f64() < 0.5,
+        },
+        2 => {
+            let op = if rng.next_f64() < 0.5 {
+                UnaryOp::Not
+            } else {
+                UnaryOp::Neg
+            };
+            let e = scalar_expr(rng, depth - 1);
+            // Mirror the parser's constant fold: `-<numeric literal>`
+            // normalizes to a negative literal.
+            match (op, e) {
+                (UnaryOp::Neg, Expr::Literal(Value::Int(i))) => Expr::Literal(Value::Int(-i)),
+                (UnaryOp::Neg, Expr::Literal(Value::Float(x))) => Expr::Literal(Value::Float(-x)),
+                (op, e) => Expr::Unary {
+                    op,
+                    expr: Box::new(e),
+                },
+            }
+        }
+        3 => {
+            let n = rng.range_u64(1, 4) as usize;
+            Expr::InList {
+                expr: Box::new(scalar_expr(rng, depth - 1)),
+                list: (0..n).map(|_| literal(rng)).collect(),
+                negated: rng.next_f64() < 0.5,
+            }
+        }
+        4 => Expr::Between {
+            expr: Box::new(scalar_expr(rng, depth - 1)),
+            low: Box::new(literal(rng)),
+            high: Box::new(literal(rng)),
+            negated: rng.next_f64() < 0.5,
+        },
+        _ => {
+            let len = rng.range_u64(0, 7) as usize;
+            let pattern: String = (0..len)
+                .map(|_| *rng.choose(b"abcdefghijklmnopqrstuvwxyz%_") as char)
+                .collect();
+            Expr::Like {
+                expr: Box::new(scalar_expr(rng, depth - 1)),
+                pattern,
+                negated: rng.next_f64() < 0.5,
+            }
+        }
+    }
 }
 
-fn select_stmt() -> impl Strategy<Value = SelectStmt> {
-    (
-        any::<bool>(),
-        prop::collection::vec(
-            prop_oneof![
-                Just(SelectItem::Wildcard),
-                (scalar_expr(), proptest::option::of(ident()))
-                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
-                (agg_expr(), proptest::option::of(ident()))
-                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
-            ],
-            1..4,
-        ),
-        (table_name(), proptest::option::of(ident())),
-        prop::collection::vec((table_name(), proptest::option::of(ident())), 0..2),
-        prop::collection::vec((table_name(), scalar_expr()), 0..2),
-        proptest::option::of(scalar_expr()),
-        prop::collection::vec(column(), 0..3),
-        proptest::option::of(scalar_expr()),
-        prop::collection::vec((column(), any::<bool>()), 0..3),
-        proptest::option::of(0u64..1000),
-    )
-        .prop_map(
-            |(
-                distinct,
-                items,
-                (from_name, from_alias),
-                rest,
-                joins,
-                where_clause,
-                group_by,
-                having,
-                order_by,
-                limit,
-            )| {
-                SelectStmt {
-                    distinct,
-                    items,
-                    from: TableRef {
-                        name: from_name,
-                        alias: from_alias,
-                    },
-                    from_rest: rest
-                        .into_iter()
-                        .map(|(name, alias)| TableRef { name, alias })
-                        .collect(),
-                    joins: joins
-                        .into_iter()
-                        .map(|(name, on)| JoinClause {
-                            table: TableRef { name, alias: None },
-                            on,
-                        })
-                        .collect(),
-                    where_clause,
-                    group_by,
-                    having,
-                    order_by: order_by
-                        .into_iter()
-                        .map(|(expr, desc)| OrderItem { expr, desc })
-                        .collect(),
-                    limit,
-                }
+fn agg_expr(rng: &mut Pcg32) -> Expr {
+    let func = *rng.choose(&[
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ]);
+    let arg = if rng.next_f64() < 0.7 {
+        Some(column(rng))
+    } else {
+        None
+    };
+    // SUM(*) etc. is invalid; COUNT may omit the argument.
+    let arg = match (&func, arg) {
+        (AggFunc::Count, a) => a.map(Box::new),
+        (_, Some(a)) => Some(Box::new(a)),
+        (_, None) => Some(Box::new(Expr::col("c_fallback"))),
+    };
+    Expr::Agg {
+        func,
+        arg,
+        distinct: rng.next_f64() < 0.5,
+    }
+}
+
+fn maybe<T>(rng: &mut Pcg32, f: impl FnOnce(&mut Pcg32) -> T) -> Option<T> {
+    if rng.next_f64() < 0.5 {
+        Some(f(rng))
+    } else {
+        None
+    }
+}
+
+fn select_stmt(rng: &mut Pcg32) -> SelectStmt {
+    let n_items = rng.range_u64(1, 4) as usize;
+    let items = (0..n_items)
+        .map(|_| match rng.range_u64(0, 3) {
+            0 => SelectItem::Wildcard,
+            1 => SelectItem::Expr {
+                expr: scalar_expr(rng, 3),
+                alias: maybe(rng, ident),
             },
-        )
+            _ => SelectItem::Expr {
+                expr: agg_expr(rng),
+                alias: maybe(rng, ident),
+            },
+        })
+        .collect();
+    let from = TableRef {
+        name: table_name(rng),
+        alias: maybe(rng, ident),
+    };
+    let n_rest = rng.range_u64(0, 2) as usize;
+    let from_rest = (0..n_rest)
+        .map(|_| TableRef {
+            name: table_name(rng),
+            alias: maybe(rng, ident),
+        })
+        .collect();
+    let n_joins = rng.range_u64(0, 2) as usize;
+    let joins = (0..n_joins)
+        .map(|_| JoinClause {
+            table: TableRef {
+                name: table_name(rng),
+                alias: None,
+            },
+            on: scalar_expr(rng, 3),
+        })
+        .collect();
+    let n_group = rng.range_u64(0, 3) as usize;
+    let n_order = rng.range_u64(0, 3) as usize;
+    SelectStmt {
+        distinct: rng.next_f64() < 0.5,
+        items,
+        from,
+        from_rest,
+        joins,
+        where_clause: maybe(rng, |r| scalar_expr(r, 3)),
+        group_by: (0..n_group).map(|_| column(rng)).collect(),
+        having: maybe(rng, |r| scalar_expr(r, 3)),
+        order_by: (0..n_order)
+            .map(|_| OrderItem {
+                expr: column(rng),
+                desc: rng.next_f64() < 0.5,
+            })
+            .collect(),
+        limit: maybe(rng, |r| r.range_u64(0, 1000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_parse_roundtrip(stmt in select_stmt()) {
+#[test]
+fn print_parse_roundtrip() {
+    let mut rng = Pcg32::seed_from(0x5e1ec7_57a7e);
+    for case in 0..CASES {
+        let stmt = select_stmt(&mut rng);
         let sql = stmt.to_string();
         let reparsed = parse_select(&sql)
-            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
-        prop_assert_eq!(stmt, reparsed, "sql: {}", sql);
+            .unwrap_or_else(|e| panic!("case {case}: failed to reparse `{sql}`: {e}"));
+        assert_eq!(stmt, reparsed, "case {case}: sql: {sql}");
     }
 }

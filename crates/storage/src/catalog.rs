@@ -160,10 +160,7 @@ mod tests {
         assert!(c.contains("orders"));
         assert!(c.contains("ORDERS"));
         assert_eq!(c.entry("orders").unwrap().stats.row_count, 50);
-        assert!(matches!(
-            c.entry("nope"),
-            Err(QccError::UnknownTable(_))
-        ));
+        assert!(matches!(c.entry("nope"), Err(QccError::UnknownTable(_))));
     }
 
     #[test]

@@ -238,7 +238,8 @@ mod tests {
         );
         t.insert(Row::new(vec![Value::Int(1), Value::from("x")]))
             .unwrap();
-        t.insert(Row::new(vec![Value::Int(1), Value::Null])).unwrap();
+        t.insert(Row::new(vec![Value::Int(1), Value::Null]))
+            .unwrap();
         t.insert(Row::new(vec![Value::Int(2), Value::from("y")]))
             .unwrap();
         let stats = TableStats::analyze(&t);
@@ -248,7 +249,10 @@ mod tests {
         assert_eq!(stats.columns[1].distinct, 2);
         assert_eq!(stats.columns[1].null_count, 1);
         assert!(stats.columns[0].histogram.is_some());
-        assert!(stats.columns[1].histogram.is_none(), "strings: no histogram");
+        assert!(
+            stats.columns[1].histogram.is_none(),
+            "strings: no histogram"
+        );
     }
 
     #[test]

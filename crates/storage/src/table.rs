@@ -181,8 +181,12 @@ mod tests {
     #[test]
     fn int_widens_to_float_column() {
         let mut t = table();
-        t.insert(Row::new(vec![Value::Int(1), Value::from("a"), Value::Int(3)]))
-            .unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(1),
+            Value::from("a"),
+            Value::Int(3),
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -205,6 +209,10 @@ mod tests {
         let touched = apply_update_batch(&mut t, 0.5, 100);
         assert_eq!(touched, 5);
         assert_eq!(t.rows()[0].get(0), &Value::Int(100));
-        assert_eq!(t.rows()[5].get(0), &Value::Int(5), "beyond fraction untouched");
+        assert_eq!(
+            t.rows()[5].get(0),
+            &Value::Int(5),
+            "beyond fraction untouched"
+        );
     }
 }

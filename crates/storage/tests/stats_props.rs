@@ -1,52 +1,66 @@
-//! Property tests for the statistics layer: selectivities are
+//! Randomized tests for the statistics layer: selectivities are
 //! probabilities, histograms are monotone CDFs, and index lookups agree
 //! with exhaustive scans.
+//!
+//! Driven by the workspace's deterministic `Pcg32` so the suite runs
+//! offline and failures reproduce from the fixed seeds.
 
-use proptest::prelude::*;
-use qcc_common::{Column, DataType, Row, Schema, Value};
+use qcc_common::{Column, DataType, Pcg32, Row, Schema, Value};
 use qcc_storage::{Histogram, Index, Table};
 use std::ops::Bound;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn histogram_cdf_is_monotone_and_bounded() {
+    let mut rng = Pcg32::seed_from(101);
+    for case in 0..128 {
+        let n = rng.range_u64(1, 500) as usize;
+        let mut values: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let n_probes = rng.range_u64(1, 20) as usize;
+        let mut probes: Vec<f64> = (0..n_probes).map(|_| rng.range_f64(-2e6, 2e6)).collect();
 
-    #[test]
-    fn histogram_cdf_is_monotone_and_bounded(
-        mut values in prop::collection::vec(-1e6f64..1e6, 1..500),
-        probes in prop::collection::vec(-2e6f64..2e6, 1..20),
-    ) {
         let h = Histogram::build(values.clone()).expect("non-empty");
         values.sort_by(f64::total_cmp);
-        let mut sorted_probes = probes.clone();
-        sorted_probes.sort_by(f64::total_cmp);
+        probes.sort_by(f64::total_cmp);
         let mut prev = 0.0;
-        for p in sorted_probes {
+        for p in probes {
             let sel = h.selectivity_le(p);
-            prop_assert!((0.0..=1.0).contains(&sel));
-            prop_assert!(sel + 1e-12 >= prev, "CDF must be monotone");
+            assert!((0.0..=1.0).contains(&sel), "case {case}: sel {sel}");
+            assert!(sel + 1e-12 >= prev, "case {case}: CDF must be monotone");
             prev = sel;
         }
-        prop_assert_eq!(h.selectivity_le(values[values.len() - 1]), 1.0);
-        prop_assert_eq!(h.selectivity_le(values[0] - 1.0), 0.0);
+        assert_eq!(h.selectivity_le(values[values.len() - 1]), 1.0);
+        assert_eq!(h.selectivity_le(values[0] - 1.0), 0.0);
     }
+}
 
-    #[test]
-    fn histogram_range_close_to_truth_on_uniform(lo in 0u32..800, width in 1u32..200) {
+#[test]
+fn histogram_range_close_to_truth_on_uniform() {
+    let mut rng = Pcg32::seed_from(102);
+    for case in 0..128 {
         // Uniform data: the histogram estimate must be within a few
         // percent of the exact answer.
+        let lo = rng.range_u64(0, 800) as u32;
+        let width = rng.range_u64(1, 200) as u32;
         let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
         let h = Histogram::build(values).expect("non-empty");
         let hi = (lo + width).min(999);
         let est = h.selectivity_range(Some(lo as f64), Some(hi as f64));
         let truth = (hi - lo) as f64 / 1000.0;
-        prop_assert!((est - truth).abs() < 0.08, "est {est} truth {truth}");
+        assert!(
+            (est - truth).abs() < 0.08,
+            "case {case}: est {est} truth {truth}"
+        );
     }
+}
 
-    #[test]
-    fn index_eq_agrees_with_scan(
-        keys in prop::collection::vec(0i64..50, 0..300),
-        probe in 0i64..60,
-    ) {
+#[test]
+fn index_eq_agrees_with_scan() {
+    let mut rng = Pcg32::seed_from(103);
+    for case in 0..128 {
+        let n = rng.range_u64(0, 300) as usize;
+        let keys: Vec<i64> = (0..n).map(|_| rng.range_i64(0, 50)).collect();
+        let probe = rng.range_i64(0, 60);
+
         let mut t = Table::new("t", Schema::new(vec![Column::new("k", DataType::Int)]));
         for k in &keys {
             t.insert(Row::new(vec![Value::Int(*k)])).unwrap();
@@ -54,16 +68,20 @@ proptest! {
         let idx = Index::build(&t, "k").unwrap();
         let via_index = idx.lookup_eq(&Value::Int(probe)).len();
         let via_scan = keys.iter().filter(|&&k| k == probe).count();
-        prop_assert_eq!(via_index, via_scan);
+        assert_eq!(via_index, via_scan, "case {case}: probe {probe}");
     }
+}
 
-    #[test]
-    fn index_range_agrees_with_scan(
-        keys in prop::collection::vec(-100i64..100, 0..300),
-        a in -120i64..120,
-        b in -120i64..120,
-    ) {
+#[test]
+fn index_range_agrees_with_scan() {
+    let mut rng = Pcg32::seed_from(104);
+    for case in 0..128 {
+        let n = rng.range_u64(0, 300) as usize;
+        let keys: Vec<i64> = (0..n).map(|_| rng.range_i64(-100, 100)).collect();
+        let a = rng.range_i64(-120, 120);
+        let b = rng.range_i64(-120, 120);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+
         let mut t = Table::new("t", Schema::new(vec![Column::new("k", DataType::Int)]));
         for k in &keys {
             t.insert(Row::new(vec![Value::Int(*k)])).unwrap();
@@ -76,6 +94,6 @@ proptest! {
             )
             .len();
         let via_scan = keys.iter().filter(|&&k| k >= lo && k < hi).count();
-        prop_assert_eq!(via_index, via_scan);
+        assert_eq!(via_index, via_scan, "case {case}: range [{lo}, {hi})");
     }
 }

@@ -78,12 +78,13 @@ impl Middleware for FixedRoutingMiddleware {
         plan: &FragmentPlan,
         at: SimTime,
     ) -> Result<WrapperResult> {
-        self.inner.execute_fragment(wrapper, query, fragment, plan, at)
+        self.inner
+            .execute_fragment(wrapper, query, fragment, plan, at)
     }
 
     fn choose_global(&self, query_sig: &str, candidates: &[GlobalCandidate]) -> usize {
-        if let Some(target) = QueryType::of_template(query_sig)
-            .and_then(|qt| self.assignment.get(&qt))
+        if let Some(target) =
+            QueryType::of_template(query_sig).and_then(|qt| self.assignment.get(&qt))
         {
             // Pick the cheapest candidate running entirely on the target
             // server; the assignment is absolute, not cost-based.

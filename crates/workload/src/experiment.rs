@@ -67,7 +67,13 @@ pub fn run_phases(
     warmup_rounds: u32,
 ) -> ExperimentResult {
     let scenario = Scenario::build_with(routing, config.clone());
-    run_phases_on(&scenario, routing, schedule, instances_per_type, warmup_rounds)
+    run_phases_on(
+        &scenario,
+        routing,
+        schedule,
+        instances_per_type,
+        warmup_rounds,
+    )
 }
 
 /// Like [`run_phases`], over an already-built scenario (ablations build
@@ -79,10 +85,13 @@ pub fn run_phases_on(
     instances_per_type: u32,
     warmup_rounds: u32,
 ) -> ExperimentResult {
-    let daemon = scenario
-        .qcc
-        .as_ref()
-        .map(|qcc| AvailabilityDaemon::new(std::sync::Arc::clone(qcc), scenario.wrappers.clone()));
+    let daemon = scenario.qcc.as_ref().map(|qcc| {
+        AvailabilityDaemon::new(
+            std::sync::Arc::clone(qcc),
+            scenario.wrappers.clone(),
+            scenario.clock.clone(),
+        )
+    });
 
     let mut phases = Vec::with_capacity(schedule.phases.len());
     for phase in &schedule.phases {
@@ -114,7 +123,7 @@ fn run_one_phase(
         }
         qcc.load_balancer.reset_period();
         if let Some(d) = daemon {
-            d.probe_all(scenario.clock.now());
+            d.probe_all();
         }
         // Paper §5.1 steps 3–4: "Query fragments ... are forwarded to the
         // *available servers* and the corresponding server response times
@@ -178,15 +187,18 @@ fn run_one_phase(
             sums[idx] += out.response_ms;
             counts[idx] += 1;
             if let Some(server) = out.servers.iter().next() {
-                *server_votes[idx]
-                    .entry(server.to_string())
-                    .or_insert(0) += 1;
+                *server_votes[idx].entry(server.to_string()).or_insert(0) += 1;
             }
         }
     }
 
-    let per_type_ms =
-        std::array::from_fn(|i| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 });
+    let per_type_ms = std::array::from_fn(|i| {
+        if counts[i] > 0 {
+            sums[i] / counts[i] as f64
+        } else {
+            0.0
+        }
+    });
     let per_type_server = std::array::from_fn(|i| {
         server_votes[i]
             .iter()
@@ -245,9 +257,7 @@ pub fn sensitivity_sweep(config: &ScenarioConfig, instances: u32) -> Vec<Sensiti
             for qt in ALL_QUERY_TYPES {
                 for i in 0..instances {
                     let at = scenario.clock.now();
-                    let (plans, took) = wrapper
-                        .plan(&qt.sql(i), at)
-                        .expect("healthy server plans");
+                    let (plans, took) = wrapper.plan(&qt.sql(i), at).expect("healthy server plans");
                     scenario.clock.advance(took);
                     let best = plans.first().expect("at least one plan");
                     let result = wrapper
@@ -366,9 +376,6 @@ mod tests {
         let server = &qcc.phases[0].per_type_server[QueryType::QT2.index()];
         assert_ne!(server, "S3", "QT2 re-routed away from loaded S3");
         // QT1 stays on S3 even though S3 is loaded.
-        assert_eq!(
-            qcc.phases[0].per_type_server[QueryType::QT1.index()],
-            "S3"
-        );
+        assert_eq!(qcc.phases[0].per_type_server[QueryType::QT1.index()], "S3");
     }
 }

@@ -21,7 +21,9 @@ pub mod querytypes;
 pub mod scenario;
 
 pub use baselines::{FixedRoutingMiddleware, FIXED_ASSIGNMENT_1, FIXED_ASSIGNMENT_2};
-pub use experiment::{run_phases, run_phases_on, sensitivity_sweep, ExperimentResult, PhaseResult, SensitivityPoint};
+pub use experiment::{
+    run_phases, run_phases_on, sensitivity_sweep, ExperimentResult, PhaseResult, SensitivityPoint,
+};
 pub use phases::{apply_phase, clear_phase, Phase, PhaseSchedule, HIGH_LOAD};
 pub use querytypes::{QueryType, ALL_QUERY_TYPES};
 pub use scenario::{Routing, Scenario, ScenarioConfig};

@@ -192,11 +192,15 @@ impl Scenario {
         let (middleware, qcc): (Arc<dyn Middleware>, Option<Arc<Qcc>>) = match routing {
             Routing::Baseline => (Arc::new(PassthroughMiddleware::with_cache()), None),
             Routing::Fixed1 => (
-                Arc::new(FixedRoutingMiddleware::new(crate::baselines::FIXED_ASSIGNMENT_1())),
+                Arc::new(FixedRoutingMiddleware::new(
+                    crate::baselines::FIXED_ASSIGNMENT_1(),
+                )),
                 None,
             ),
             Routing::Fixed2 => (
-                Arc::new(FixedRoutingMiddleware::new(crate::baselines::FIXED_ASSIGNMENT_2())),
+                Arc::new(FixedRoutingMiddleware::new(
+                    crate::baselines::FIXED_ASSIGNMENT_2(),
+                )),
                 None,
             ),
             Routing::Qcc => {
@@ -217,10 +221,8 @@ impl Scenario {
         );
         let mut wrappers: Vec<Arc<dyn Wrapper>> = Vec::new();
         for s in &servers {
-            let w: Arc<dyn Wrapper> = Arc::new(RelationalWrapper::new(
-                Arc::clone(s),
-                Arc::clone(&network),
-            ));
+            let w: Arc<dyn Wrapper> =
+                Arc::new(RelationalWrapper::new(Arc::clone(s), Arc::clone(&network)));
             federation.add_wrapper(Arc::clone(&w));
             wrappers.push(w);
         }

@@ -50,7 +50,9 @@ impl FileWrapper {
     /// Register a file under `path` (e.g. `"data/feeds.csv"`). The path
     /// doubles as the table name the federation layer maps nicknames to.
     pub fn add_file(&self, path: impl Into<String>, file: FlatFile) {
-        self.files.lock().insert(path.into().to_ascii_lowercase(), file);
+        self.files
+            .lock()
+            .insert(path.into().to_ascii_lowercase(), file);
     }
 
     /// The source's load model (file servers slow down under load too).

@@ -96,7 +96,9 @@ impl Wrapper for RelationalWrapper {
         let id = self.server.id().clone();
         let request = self.network.transfer_time(&id, 64, at)?;
         let service = self.server.ping(at + request)?;
-        let response = self.network.transfer_time(&id, 64, at + request + service)?;
+        let response = self
+            .network
+            .transfer_time(&id, 64, at + request + service)?;
         Ok(request + service + response)
     }
 }
@@ -128,7 +130,9 @@ mod tests {
     #[test]
     fn plan_returns_costed_fragments() {
         let w = setup(1.0);
-        let (plans, took) = w.plan("SELECT * FROM t WHERE a > 500", SimTime::ZERO).unwrap();
+        let (plans, took) = w
+            .plan("SELECT * FROM t WHERE a > 500", SimTime::ZERO)
+            .unwrap();
         assert!(!plans.is_empty());
         assert!(plans[0].cost.is_some());
         assert!(plans[0].descriptor.is_some());
@@ -155,7 +159,9 @@ mod tests {
     #[test]
     fn larger_results_take_longer_to_ship() {
         let w = setup(1.0);
-        let (small, _) = w.plan("SELECT * FROM t WHERE a < 10", SimTime::ZERO).unwrap();
+        let (small, _) = w
+            .plan("SELECT * FROM t WHERE a < 10", SimTime::ZERO)
+            .unwrap();
         let (large, _) = w.plan("SELECT * FROM t", SimTime::ZERO).unwrap();
         let rs = w.execute(&small[0], SimTime::ZERO).unwrap();
         let rl = w.execute(&large[0], SimTime::ZERO).unwrap();

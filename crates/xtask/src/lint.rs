@@ -1,0 +1,870 @@
+//! The `qcc-lint` engine: textual static analysis enforcing the
+//! workspace's determinism and reliability invariants.
+//!
+//! The rules (see DESIGN.md "Static analysis & invariants"):
+//!
+//! * **L1 clock discipline** — no `Instant::now()` / `SystemTime::now()`
+//!   outside `crates/common/src/time.rs`. Every duration in the system is
+//!   virtual (`SimTime`); a stray wall-clock read silently corrupts the
+//!   calibration ratios the paper's Figures 9–11 depend on.
+//! * **L2 determinism** — no `HashMap` / `HashSet` in cost, planning,
+//!   placement or load-balance modules. Iteration order of hashed
+//!   containers varies run to run, which makes plan choice and calibrated
+//!   cost numbers unrepeatable. Use `BTreeMap` / `BTreeSet` or sort.
+//! * **L3 panic-freedom** — no `.unwrap()` / `.expect(...)` / `panic!` /
+//!   `todo!` / `unimplemented!` in library code of the federation stack
+//!   (`core`, `engine`, `federation`, `wrapper`, `remote`). A mid-query
+//!   panic drops an observation and skews calibration; return `Result`
+//!   through `qcc-common::error` instead. Tests, benches and examples are
+//!   exempt.
+//! * **L4 lock discipline** — no `.lock().unwrap()` (poison-propagating
+//!   std idiom; use the workspace `parking_lot` shim) and no lock guard
+//!   held across a call into wrapper/remote execution (`.execute(`,
+//!   `.explain(`, `.ping(`) — holding integrator state locked while a
+//!   simulated remote "runs" serializes the very concurrency the load
+//!   balancer is supposed to exploit.
+//!
+//! Waivers: a violation is silenced by an inline comment
+//! `// qcc-lint: allow(L3): <justification>` either trailing on the
+//! offending line or on its own line directly above. The justification
+//! text is mandatory; a bare `allow(...)` is itself an error (`W0`).
+//!
+//! The analysis is deliberately token-level, not type-aware: it masks
+//! comments and string literals, then pattern-matches the remaining code.
+//! That makes it fast, dependency-free, and honest about what it can see
+//! — the rule set is phrased in terms of constructs a textual pass can
+//! ban outright.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Rule identifiers. `W0` is the meta-rule for malformed waivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Clock discipline.
+    L1,
+    /// Hashed-container determinism.
+    L2,
+    /// Panic-freedom.
+    L3,
+    /// Lock discipline.
+    L4,
+    /// Malformed waiver comment.
+    W0,
+}
+
+impl Rule {
+    /// All lintable rules (waivable ones; `W0` is not waivable).
+    pub const ALL: [Rule; 4] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4];
+
+    /// Parse a rule name as written in a waiver comment.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::W0 => "W0",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the offending construct.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The single file allowed to read the host clock.
+pub const CLOCK_ALLOWLIST: &str = "crates/common/src/time.rs";
+
+/// Module paths (prefix match) whose behavior must not depend on hashed
+/// iteration order: everything feeding cost numbers, plan choice,
+/// placement, or load-balance decisions.
+pub const ORDERED_MODULES: &[&str] = &[
+    "crates/core/src/",
+    "crates/federation/src/",
+    "crates/engine/src/cost.rs",
+    "crates/engine/src/plan.rs",
+    "crates/engine/src/planner.rs",
+];
+
+/// Crates whose library code must be panic-free (L3).
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/engine/src/",
+    "crates/federation/src/",
+    "crates/wrapper/src/",
+    "crates/remote/src/",
+];
+
+/// Call markers treated as "execution leaves the integrator" for L4:
+/// holding a guard across one of these serializes remote work.
+pub const REMOTE_CALL_MARKERS: &[&str] = &[".execute(", ".explain(", ".ping("];
+
+/// Paths never scanned: build output, the vendored shim (external-crate
+/// API surface, not simulation code), and the linter itself (its source
+/// necessarily spells out the banned patterns).
+pub const SKIP_PREFIXES: &[&str] = &["target/", "vendor/", "crates/xtask/"];
+
+/// Is this path test-like (exempt from L3/L4)?
+pub fn is_test_like(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// Should this path be scanned at all?
+pub fn is_scanned(path: &str) -> bool {
+    path.ends_with(".rs") && !SKIP_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Replace comments and string/char literal contents with spaces,
+/// preserving length and line structure so offsets map 1:1 onto the
+/// original. Pattern matching runs on this mask; waiver parsing runs on
+/// the raw text (it needs the comments).
+pub fn mask_noncode(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            St::Code => match b {
+                b'/' if next == Some(b'/') => {
+                    st = St::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'/' if next == Some(b'*') => {
+                    st = St::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Str;
+                    out.push(b'"');
+                }
+                b'r' if matches!(next, Some(b'"') | Some(b'#')) && !prev_is_ident(bytes, i) => {
+                    // Raw string r"..." or r#"..."# (count the hashes).
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(b' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(b);
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a lifetime is '<ident> not
+                    // followed by a closing quote ('a, 'static).
+                    let is_char = match (next, bytes.get(i + 2)) {
+                        (Some(b'\\'), _) => true,
+                        (Some(_), Some(b'\'')) => true,
+                        _ => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                    }
+                    out.push(b'\'');
+                }
+                _ => out.push(b),
+            },
+            St::LineComment => {
+                if b == b'\n' {
+                    st = St::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if b == b'\n' {
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                if b == b'/' && next == Some(b'*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(b' ');
+                    i += 2;
+                    continue;
+                }
+                if b == b'*' && next == Some(b'/') {
+                    out.push(b' ');
+                    i += 2;
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    continue;
+                }
+            }
+            St::Str => match b {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Code;
+                    out.push(b'"');
+                }
+                b'\n' => out.push(b'\n'),
+                _ => out.push(b' '),
+            },
+            St::RawStr(hashes) => {
+                if b == b'"' {
+                    // Close only on `"` followed by the right number of #.
+                    let closes = (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'));
+                    if closes {
+                        for _ in 0..=hashes as usize {
+                            out.push(b' ');
+                        }
+                        i += hashes as usize + 1;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+                out.push(if b == b'\n' { b'\n' } else { b' ' });
+            }
+            St::Char => match b {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    st = St::Code;
+                    out.push(b'\'');
+                }
+                _ => out.push(b' '),
+            },
+        }
+        i += 1;
+    }
+    out.truncate(bytes.len());
+    // The mask is pure ASCII by construction (non-ASCII bytes only occur
+    // inside literals/comments, which are spaced out — except identifiers,
+    // which Rust requires to be ASCII-ish in this codebase).
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Waivers parsed from a file: line number -> rules waived on that line.
+struct Waivers {
+    by_line: BTreeMap<usize, Vec<Rule>>,
+    malformed: Vec<(usize, String)>,
+    /// Waivers that matched at least one violation (for unused reporting).
+    used: std::cell::RefCell<std::collections::BTreeSet<usize>>,
+}
+
+const WAIVER_TAG: &str = "qcc-lint: allow(";
+
+fn parse_waivers(src: &str) -> Waivers {
+    let mut by_line = BTreeMap::new();
+    let mut malformed = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = raw.find(WAIVER_TAG) else {
+            continue;
+        };
+        // The tag must live in a `//` comment.
+        let Some(comment_pos) = raw.find("//") else {
+            malformed.push((lineno, "waiver outside a // comment".to_string()));
+            continue;
+        };
+        if comment_pos > pos {
+            malformed.push((lineno, "waiver outside a // comment".to_string()));
+            continue;
+        }
+        let after = &raw[pos + WAIVER_TAG.len()..];
+        let Some(close) = after.find(')') else {
+            malformed.push((lineno, "unterminated allow(...)".to_string()));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for part in after[..close].split(',') {
+            match Rule::parse(part) {
+                Some(r) => rules.push(r),
+                None => {
+                    malformed.push((lineno, format!("unknown rule `{}`", part.trim())));
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            continue;
+        }
+        // Mandatory justification: `): <non-empty text>`.
+        let rest = after[close + 1..].trim_start();
+        let justification = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            malformed.push((
+                lineno,
+                "waiver missing justification — write `qcc-lint: allow(Lx): <why>`".to_string(),
+            ));
+            continue;
+        }
+        // A standalone comment line waives the next line; a trailing
+        // comment waives its own line.
+        let standalone = raw.trim_start().starts_with("//");
+        let target = if standalone { lineno + 1 } else { lineno };
+        by_line.entry(target).or_insert_with(Vec::new).extend(rules);
+    }
+    Waivers {
+        by_line,
+        malformed,
+        used: std::cell::RefCell::new(std::collections::BTreeSet::new()),
+    }
+}
+
+impl Waivers {
+    fn covers(&self, line: usize, rule: Rule) -> bool {
+        let hit = self
+            .by_line
+            .get(&line)
+            .is_some_and(|rules| rules.contains(&rule));
+        if hit {
+            self.used.borrow_mut().insert(line);
+        }
+        hit
+    }
+}
+
+/// Ranges of lines (1-based, inclusive) inside `#[cfg(test)]` modules.
+fn test_mod_ranges(mask: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut open_at: Option<(i64, usize)> = None;
+    for (idx, line) in mask.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.contains("#[cfg(test)]") {
+            pending_attr = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_attr && open_at.is_none() {
+                        open_at = Some((depth, lineno));
+                        pending_attr = false;
+                    }
+                }
+                '}' => {
+                    if let Some((d, start)) = open_at {
+                        if depth == d {
+                            ranges.push((start, lineno));
+                            open_at = None;
+                        }
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some((_, start)) = open_at {
+        // Unterminated (shouldn't happen in valid Rust): exempt to EOF.
+        ranges.push((start, usize::MAX));
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Does `needle` occur in `line` as a standalone identifier (not part of
+/// a longer ident)?
+fn has_ident(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line.as_bytes()[at - 1].is_ascii_alphanumeric() && line.as_bytes()[at - 1] != b'_';
+        let end = at + needle.len();
+        let after_ok = end >= line.len()
+            || !line.as_bytes()[end].is_ascii_alphanumeric() && line.as_bytes()[end] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Lint one file's source. `path` must be workspace-relative with forward
+/// slashes; callers pre-filter with [`is_scanned`].
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mask = mask_noncode(src);
+    let waivers = parse_waivers(src);
+    let test_ranges = test_mod_ranges(&mask);
+    let test_like = is_test_like(path);
+
+    let l1_applies = path != CLOCK_ALLOWLIST;
+    let l2_applies = ORDERED_MODULES.iter().any(|m| path.starts_with(m)) && !test_like;
+    let l3_applies = PANIC_FREE_CRATES.iter().any(|m| path.starts_with(m)) && !test_like;
+    let l4_applies = !test_like;
+
+    let mut push = |rule: Rule, line: usize, message: String| {
+        if !waivers.covers(line, rule) {
+            out.push(Violation {
+                rule,
+                path: path.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    let mask_lines: Vec<&str> = mask.lines().collect();
+
+    // L4b state: live lock guards, (name, binding depth, bound at line).
+    let mut depth: i64 = 0;
+    let mut guards: Vec<(String, i64, usize)> = Vec::new();
+
+    for (idx, line) in mask_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test_mod = in_ranges(&test_ranges, lineno);
+
+        if l1_applies {
+            for pat in ["Instant::now(", "SystemTime::now("] {
+                if line.contains(pat) {
+                    push(
+                        Rule::L1,
+                        lineno,
+                        format!(
+                            "`{}` reads the host clock; all time in this workspace is \
+                             virtual — use the `qcc-common::time` clock (SimTime / \
+                             WallStopwatch)",
+                            pat.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+        }
+
+        if l2_applies && !in_test_mod {
+            for pat in ["HashMap", "HashSet"] {
+                if has_ident(line, pat) {
+                    push(
+                        Rule::L2,
+                        lineno,
+                        format!(
+                            "`{pat}` in an order-sensitive module: hashed iteration \
+                             order is nondeterministic — use BTreeMap/BTreeSet or an \
+                             explicit sort"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if l3_applies && !in_test_mod {
+            let hits: &[(&str, &str)] = &[
+                (".unwrap()", "return a Result via qcc-common::error instead"),
+                (".expect(", "return a Result via qcc-common::error instead"),
+                ("panic!", "return a Result via qcc-common::error instead"),
+                ("todo!", "unfinished code must not ship in library crates"),
+                (
+                    "unimplemented!",
+                    "unfinished code must not ship in library crates",
+                ),
+            ];
+            for (pat, why) in hits {
+                if line.contains(pat) {
+                    push(
+                        Rule::L3,
+                        lineno,
+                        format!(
+                            "`{}` can panic mid-query and corrupt calibration; {}",
+                            pat.trim_end_matches('('),
+                            why
+                        ),
+                    );
+                }
+            }
+        }
+
+        if l4_applies && !in_test_mod {
+            // L4a: poison-propagating std idiom, including when rustfmt
+            // splits the chain across lines.
+            let joined = if idx + 1 < mask_lines.len() {
+                format!("{}{}", line.trim_end(), mask_lines[idx + 1].trim_start())
+            } else {
+                line.to_string()
+            };
+            for pat in [".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"] {
+                if line.contains(pat) || joined.contains(pat) {
+                    push(
+                        Rule::L4,
+                        lineno,
+                        format!(
+                            "`{pat}` propagates mutex poisoning as a panic — use the \
+                             workspace parking_lot shim (lock() returns the guard)"
+                        ),
+                    );
+                }
+            }
+
+            // L4b: guard held across a remote/wrapper execution call.
+            let is_binding = line.contains(".lock()") && binding_name(line).is_some();
+            if !is_binding {
+                for marker in REMOTE_CALL_MARKERS {
+                    if line.contains(marker) {
+                        for (name, _, bound_at) in &guards {
+                            push(
+                                Rule::L4,
+                                lineno,
+                                format!(
+                                    "remote call `{}...)` while lock guard `{}` \
+                                     (taken at line {}) is held — drop the guard \
+                                     before leaving the integrator",
+                                    marker, name, bound_at
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Track guard lifetimes (after flagging, so a remote call on the
+        // guard's own last line is still caught). A guard bound at depth
+        // `d` dies the moment depth dips below `d` — walking the braces
+        // char-by-char catches `} else {` lines whose net change is zero.
+        if l4_applies && !in_test_mod && line.contains(".lock()") {
+            if let Some(name) = binding_name(line) {
+                guards.push((name, depth, lineno));
+            }
+        }
+        // Explicit drop ends the guard's life.
+        guards.retain(|(name, _, _)| !line.contains(format!("drop({name})").as_str()));
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|&(_, d, _)| depth >= d);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (line, msg) in &waivers.malformed {
+        out.push(Violation {
+            rule: Rule::W0,
+            path: path.to_string(),
+            line: *line,
+            message: msg.clone(),
+        });
+    }
+
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// `let guard = ....lock()...;` -> `guard`. Only simple identifier
+/// bindings are tracked (the only form this codebase uses).
+fn binding_name(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    // `let _guard = ...` is still a live guard; `let _ = ...` drops
+    // immediately and never holds the lock.
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    // Must actually be a binding of the lock result, not a pattern match.
+    rest[name.len()..]
+        .trim_start()
+        .starts_with('=')
+        .then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(path: &str, src: &str) -> Vec<(Rule, usize)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    const CORE: &str = "crates/core/src/sample.rs";
+
+    // ---- L1 ----
+
+    #[test]
+    fn l1_fires_on_instant_now() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::L1, 2)]);
+    }
+
+    #[test]
+    fn l1_fires_on_system_time_even_in_tests_dirs() {
+        let src = "fn f() { let t = SystemTime::now(); }\n";
+        assert_eq!(rules("crates/core/tests/t.rs", src), vec![(Rule::L1, 1)]);
+    }
+
+    #[test]
+    fn l1_exempts_the_virtual_clock_itself() {
+        let src = "pub fn now() -> Instant { Instant::now() }\n";
+        assert_eq!(rules(CLOCK_ALLOWLIST, src), vec![]);
+    }
+
+    #[test]
+    fn l1_ignores_comments_and_strings() {
+        let src = "// Instant::now() is banned\nfn f() { let s = \"Instant::now()\"; }\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    // ---- L2 ----
+
+    #[test]
+    fn l2_fires_in_ordered_modules_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::L2, 1)]);
+        assert_eq!(rules("crates/storage/src/table.rs", src), vec![]);
+    }
+
+    #[test]
+    fn l2_respects_word_boundaries() {
+        let src = "struct MyHashMapLike;\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn l2_exempts_cfg_test_modules() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let m: HashMap<u32, u32> = HashMap::new(); }\n}\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    // ---- L3 ----
+
+    #[test]
+    fn l3_fires_on_each_panicking_construct() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    panic!(\"no\");\n    todo!();\n    unimplemented!();\n}\n";
+        let got = rules(CORE, src);
+        assert_eq!(
+            got,
+            vec![
+                (Rule::L3, 2),
+                (Rule::L3, 3),
+                (Rule::L3, 4),
+                (Rule::L3, 5),
+                (Rule::L3, 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn l3_does_not_fire_on_non_panicking_cousins() {
+        let src = "fn f() {\n    x.unwrap_or(0);\n    x.unwrap_or_else(|| 1);\n    x.unwrap_or_default();\n    r.expect_err(\"e\");\n}\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn l3_exempts_test_paths_and_cfg_test() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(rules("crates/core/tests/t.rs", src), vec![]);
+        assert_eq!(rules("crates/core/benches/b.rs", src), vec![]);
+        assert_eq!(rules("examples/e.rs", src), vec![]);
+        let with_mod = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert_eq!(rules(CORE, with_mod), vec![]);
+    }
+
+    #[test]
+    fn l3_only_covers_the_federation_stack() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(rules("crates/sql/src/parser.rs", src), vec![]);
+        assert_eq!(rules("crates/common/src/rng.rs", src), vec![]);
+    }
+
+    #[test]
+    fn l3_still_fires_after_the_test_mod_closes() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn g() {}\n}\nfn f() { x.unwrap(); }\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::L3, 5)]);
+    }
+
+    // ---- L4 ----
+
+    #[test]
+    fn l4_fires_on_std_lock_unwrap_idiom() {
+        let src = "fn f() { let g = m.lock().unwrap(); }\n";
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![(Rule::L4, 1)]);
+    }
+
+    #[test]
+    fn l4_fires_when_rustfmt_splits_the_chain() {
+        let src = "fn f() {\n    let g = m\n        .lock()\n        .unwrap();\n}\n";
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![(Rule::L4, 3)]);
+    }
+
+    #[test]
+    fn l4_fires_on_guard_held_across_remote_call() {
+        let src =
+            "fn f() {\n    let state = self.state.lock();\n    server.execute(&plan, now);\n}\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::L4, 3)]);
+    }
+
+    #[test]
+    fn l4_quiet_when_guard_dropped_before_call() {
+        let src = "fn f() {\n    let state = self.state.lock();\n    drop(state);\n    server.execute(&plan, now);\n}\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn l4_quiet_when_guard_scope_closed_before_call() {
+        let src = "fn f() {\n    {\n        let state = self.state.lock();\n        state.touch();\n    }\n    server.execute(&plan, now);\n}\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn l4_quiet_on_transient_guard_expression() {
+        let src = "fn f() {\n    *self.hits.lock() += 1;\n    server.execute(&plan, now);\n}\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    // ---- waivers ----
+
+    #[test]
+    fn waiver_trailing_silences_its_line() {
+        let src = "fn f() { x.unwrap(); } // qcc-lint: allow(L3): invariant upheld by caller\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn waiver_standalone_silences_next_line() {
+        let src =
+            "// qcc-lint: allow(L3): cannot fail, len checked above\nfn f() { x.unwrap(); }\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn waiver_covers_only_named_rules() {
+        let src = "// qcc-lint: allow(L2): keyed lookups only, never iterated\nfn f(m: &HashMap<u32, u32>) { m.get(&1).unwrap(); }\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::L3, 2)]);
+    }
+
+    #[test]
+    fn waiver_with_multiple_rules() {
+        let src = "// qcc-lint: allow(L2, L3): test helper mirroring prod shape\nfn f(m: &HashMap<u32, u32>) { m.get(&1).unwrap(); }\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn waiver_without_justification_is_w0() {
+        let src = "fn f() { x.unwrap(); } // qcc-lint: allow(L3)\n";
+        let got = rules(CORE, src);
+        assert!(got.contains(&(Rule::W0, 1)), "got {got:?}");
+        assert!(
+            got.contains(&(Rule::L3, 1)),
+            "unjustified waiver must not silence"
+        );
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_w0() {
+        let src = "// qcc-lint: allow(L9): nope\nfn f() {}\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::W0, 1)]);
+    }
+
+    // ---- masking ----
+
+    #[test]
+    fn mask_preserves_line_structure() {
+        let src = "let s = \"panic!\"; // panic!\nx.f();\n";
+        let m = mask_noncode(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("x.f();"));
+    }
+
+    #[test]
+    fn mask_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"a \"quoted\" panic!\"#;\nlet c = '\"';\nlet l: &'static str = s;\ny.unwrap();\n";
+        let m = mask_noncode(src);
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("y.unwrap();"));
+        assert!(m.contains("'static"));
+    }
+
+    #[test]
+    fn mask_handles_nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment panic! */\nz.g();\n";
+        let m = mask_noncode(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("z.g();"));
+    }
+}

@@ -1,0 +1,200 @@
+//! `cargo xtask` — workspace automation. Dependency-free by design: it
+//! must run on a machine with no registry access.
+//!
+//! Subcommands:
+//!
+//! * `lint [--json] [PATH...]` — run the qcc-lint rules (L1–L4, see
+//!   `lint.rs` and DESIGN.md) over every tracked `.rs` file, or over the
+//!   given files/directories only. Exits nonzero if any unwaived
+//!   violation is found. `--json` emits a machine-readable summary on
+//!   stdout instead of the human format.
+
+mod lint;
+
+use lint::{Rule, Violation};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Collect workspace-relative (forward-slash) paths of every `.rs` file
+/// under `dir`, skipping hidden directories and the lint skip list.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("warning: cannot read {}: {err}", dir.display());
+            return;
+        }
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if path.is_dir() {
+            if !lint::SKIP_PREFIXES
+                .iter()
+                .any(|p| rel.starts_with(p.trim_end_matches('/')))
+            {
+                collect_rs_files(root, &path, out);
+            }
+        } else if lint::is_scanned(&rel) {
+            out.push(rel);
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(violations: &[Violation], files_scanned: usize) {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for r in Rule::ALL {
+        counts.insert(r.to_string(), 0);
+    }
+    counts.insert(Rule::W0.to_string(), 0);
+    for v in violations {
+        *counts.entry(v.rule.to_string()).or_insert(0) += 1;
+    }
+    let items: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                v.rule,
+                json_escape(&v.path),
+                v.line,
+                json_escape(&v.message)
+            )
+        })
+        .collect();
+    let count_items: Vec<String> = counts.iter().map(|(k, n)| format!("\"{k}\":{n}")).collect();
+    println!(
+        "{{\"files_scanned\":{},\"violation_count\":{},\"counts\":{{{}}},\"violations\":[{}]}}",
+        files_scanned,
+        violations.len(),
+        count_items.join(","),
+        items.join(",")
+    );
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut targets: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: cargo xtask lint [--json] [PATH...]");
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+
+    let root = workspace_root();
+    let mut files = Vec::new();
+    if targets.is_empty() {
+        collect_rs_files(&root, &root, &mut files);
+    } else {
+        for t in &targets {
+            let p = root.join(t);
+            if p.is_dir() {
+                collect_rs_files(&root, &p, &mut files);
+            } else {
+                let rel = t.replace('\\', "/");
+                if lint::is_scanned(&rel) {
+                    files.push(rel);
+                } else {
+                    eprintln!("warning: {t} is not a lintable path, skipping");
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        match std::fs::read_to_string(&full) {
+            Ok(src) => violations.extend(lint::lint_source(rel, &src)),
+            Err(err) => eprintln!("warning: cannot read {rel}: {err}"),
+        }
+    }
+
+    if json {
+        print_json(&violations, files.len());
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        let mut counts: BTreeMap<Rule, usize> = BTreeMap::new();
+        for v in &violations {
+            *counts.entry(v.rule).or_insert(0) += 1;
+        }
+        let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        if violations.is_empty() {
+            println!(
+                "qcc-lint: {} files scanned, 0 violations — clean",
+                files.len()
+            );
+        } else {
+            println!(
+                "qcc-lint: {} files scanned, {} violation(s) [{}]",
+                files.len(),
+                violations.len(),
+                summary.join(", ")
+            );
+        }
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("usage: cargo xtask <command>\n\ncommands:\n  lint [--json] [PATH...]   enforce workspace invariants L1-L4");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}` — try `cargo xtask lint`");
+            ExitCode::FAILURE
+        }
+    }
+}

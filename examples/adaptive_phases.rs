@@ -18,12 +18,18 @@ fn main() {
         ..ScenarioConfig::default()
     };
     let schedule = PhaseSchedule::paper_table1();
-    println!("Running {} phases × 4 query types × 4 instances, two routings...\n", schedule.phases.len());
+    println!(
+        "Running {} phases × 4 query types × 4 instances, two routings...\n",
+        schedule.phases.len()
+    );
 
     let fixed = run_phases(Routing::Fixed1, &config, &schedule, 4, 2);
     let qcc = run_phases(Routing::Qcc, &config, &schedule, 4, 2);
 
-    println!("{:<8} {:>12} {:>12} {:>8}   dynamic assignment", "phase", "fixed ms", "qcc ms", "gain");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}   dynamic assignment",
+        "phase", "fixed ms", "qcc ms", "gain"
+    );
     for (f, q) in fixed.phases.iter().zip(&qcc.phases) {
         let gain = 1.0 - q.avg_ms / f.avg_ms;
         let assignment: Vec<String> = ALL_QUERY_TYPES

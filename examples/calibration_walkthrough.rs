@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut network = Network::new();
     for id in ["S1", "S2"] {
-        network.add_link(ServerId::new(id), Link::new(3.0, 30_000.0, LoadProfile::Constant(0.0)));
+        network.add_link(
+            ServerId::new(id),
+            Link::new(3.0, 30_000.0, LoadProfile::Constant(0.0)),
+        );
     }
     let network = Arc::new(network);
 
@@ -88,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         qcc.middleware(),
         FederationConfig::default(),
     );
-    federation.add_wrapper(Arc::new(RelationalWrapper::new(Arc::clone(&s1), Arc::clone(&network))));
+    federation.add_wrapper(Arc::new(RelationalWrapper::new(
+        Arc::clone(&s1),
+        Arc::clone(&network),
+    )));
     federation.add_wrapper(Arc::new(RelationalWrapper::new(Arc::clone(&s2), network)));
 
     // Both sources are quietly under load the optimizer knows nothing

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut network = Network::new();
     for n in ["primary", "backup"] {
-        network.add_link(ServerId::new(n), Link::new(2.0, 50_000.0, LoadProfile::Constant(0.0)));
+        network.add_link(
+            ServerId::new(n),
+            Link::new(2.0, 50_000.0, LoadProfile::Constant(0.0)),
+        );
     }
     let network = Arc::new(network);
 
@@ -60,24 +63,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FederationConfig::default(),
     );
     let wrappers: Vec<Arc<dyn Wrapper>> = vec![
-        Arc::new(RelationalWrapper::new(Arc::clone(&primary), Arc::clone(&network))),
+        Arc::new(RelationalWrapper::new(
+            Arc::clone(&primary),
+            Arc::clone(&network),
+        )),
         Arc::new(RelationalWrapper::new(Arc::clone(&backup), network)),
     ];
     for w in &wrappers {
         federation.add_wrapper(Arc::clone(w));
     }
-    let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), wrappers);
+    let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), wrappers, clock.clone());
 
     // Schedule an outage of the primary on the virtual timeline.
     let outage_start = SimTime::from_millis(400.0);
     let outage_end = SimTime::from_millis(2_500.0);
     primary.availability().add_outage(outage_start, outage_end);
-    println!("primary will be down during [{outage_start}, t={:.0}ms)", outage_end.as_millis());
+    println!(
+        "primary will be down during [{outage_start}, t={:.0}ms)",
+        outage_end.as_millis()
+    );
 
     let sql = "SELECT v, COUNT(*) AS n FROM metrics WHERE v < 10 GROUP BY v";
     for step in 0..14 {
         // The daemon probes on its own cadence as virtual time advances.
-        daemon.run_due_probes(clock.now());
+        daemon.run_due_probes();
         match federation.submit(sql) {
             Ok(out) => {
                 let down = qcc.reliability.is_down(&ServerId::new("primary"));

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut network = Network::new();
     for n in ["old_db", "new_db"] {
-        network.add_link(ServerId::new(n), Link::new(2.0, 40_000.0, LoadProfile::Constant(0.0)));
+        network.add_link(
+            ServerId::new(n),
+            Link::new(2.0, 40_000.0, LoadProfile::Constant(0.0)),
+        );
     }
     let network = Arc::new(network);
 

@@ -42,8 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Network links from the integrator to each server.
     let mut network = Network::new();
-    network.add_link(ServerId::new("fast"), Link::new(5.0, 20_000.0, LoadProfile::Constant(0.0)));
-    network.add_link(ServerId::new("slow"), Link::new(5.0, 20_000.0, LoadProfile::Constant(0.0)));
+    network.add_link(
+        ServerId::new("fast"),
+        Link::new(5.0, 20_000.0, LoadProfile::Constant(0.0)),
+    );
+    network.add_link(
+        ServerId::new("slow"),
+        Link::new(5.0, 20_000.0, LoadProfile::Constant(0.0)),
+    );
     let network = Arc::new(network);
 
     // 4. Nicknames: `events` resolves to either replica.
@@ -61,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         qcc.middleware(),
         FederationConfig::default(),
     );
-    federation.add_wrapper(Arc::new(RelationalWrapper::new(Arc::clone(&fast), Arc::clone(&network))));
+    federation.add_wrapper(Arc::new(RelationalWrapper::new(
+        Arc::clone(&fast),
+        Arc::clone(&network),
+    )));
     federation.add_wrapper(Arc::new(RelationalWrapper::new(Arc::clone(&slow), network)));
 
     let sql = "SELECT kind, COUNT(*) AS n, AVG(amount) AS avg_amount \
@@ -81,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = federation.submit(sql)?;
         println!(
             "routed to {:?}, response {:.2} ms, {} rows",
-            out.servers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            out.servers
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
             out.response_ms,
             out.rows.len()
         );
@@ -99,7 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let factor = qcc.calibration.server_factor(&ServerId::new("fast"));
         println!(
             "query {i}: routed to {:?}, response {:.2} ms (fast's calibration factor: {factor:.2})",
-            out.servers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            out.servers
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
             out.response_ms,
         );
     }

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut network = Network::new();
     for s in &servers {
-        network.add_link(s.id().clone(), Link::new(3.0, 40_000.0, LoadProfile::Constant(0.0)));
+        network.add_link(
+            s.id().clone(),
+            Link::new(3.0, 40_000.0, LoadProfile::Constant(0.0)),
+        );
     }
     let network = Arc::new(network);
 
@@ -83,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = SimulatedFederation::from_servers(nicknames.clone(), &servers);
     let per_subset = sim.enumerate_by_subsets(q6)?;
     println!("Q6 alternative global plans (one winner per server subset,");
-    println!("derived from {} explain-mode runs over virtual tables):", sim.explain_runs());
+    println!(
+        "derived from {} explain-mode runs over virtual tables):",
+        sim.explain_runs()
+    );
     for (set, plan) in &per_subset {
         let names: Vec<String> = set.iter().map(|s| s.to_string()).collect();
         println!(
@@ -114,7 +120,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..12 {
         let out = federation.submit(q6)?;
         let set: Vec<String> = out.servers.iter().map(|s| s.to_string()).collect();
-        println!("   Q6 #{i:2}: servers {{{}}}, {:.2} ms", set.join(", "), out.response_ms);
+        println!(
+            "   Q6 #{i:2}: servers {{{}}}, {:.2} ms",
+            set.join(", "),
+            out.response_ms
+        );
         for s in set {
             *counts.entry(s).or_insert(0) += 1;
         }

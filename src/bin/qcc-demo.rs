@@ -70,8 +70,7 @@ fn main() {
             "help" => println!("{HELP}"),
             "sql" => match scenario.federation.submit(rest) {
                 Ok(out) => {
-                    let servers: Vec<String> =
-                        out.servers.iter().map(|s| s.to_string()).collect();
+                    let servers: Vec<String> = out.servers.iter().map(|s| s.to_string()).collect();
                     println!(
                         "→ {} row(s) from {{{}}} in {:.2} virtual ms (estimated {:.2})",
                         out.rows.len(),
@@ -96,14 +95,15 @@ fn main() {
             },
             "load" => {
                 let mut parts = rest.split_whitespace();
-                match (parts.next(), parts.next().and_then(|v| v.parse::<f64>().ok())) {
+                match (
+                    parts.next(),
+                    parts.next().and_then(|v| v.parse::<f64>().ok()),
+                ) {
                     (Some(name), Some(level)) if level >= 0.0 && level <= 1.0 => {
                         let id = name.to_ascii_uppercase();
                         if scenario.servers.iter().any(|s| s.id().as_str() == id) {
                             let server = scenario.server(&id);
-                            server
-                                .load()
-                                .set_background(LoadProfile::Constant(level));
+                            server.load().set_background(LoadProfile::Constant(level));
                             if level > 0.0 {
                                 server.set_contention(
                                     load_aware_federation::workload::scenario::contention_for(

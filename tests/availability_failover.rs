@@ -70,13 +70,16 @@ fn world(primary_fault_rate: f64) -> World {
         FederationConfig::default(),
     );
     let wrappers: Vec<Arc<dyn Wrapper>> = vec![
-        Arc::new(RelationalWrapper::new(Arc::clone(&primary), Arc::clone(&network))),
+        Arc::new(RelationalWrapper::new(
+            Arc::clone(&primary),
+            Arc::clone(&network),
+        )),
         Arc::new(RelationalWrapper::new(Arc::clone(&backup), network)),
     ];
     for w in &wrappers {
         federation.add_wrapper(Arc::clone(w));
     }
-    let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), wrappers);
+    let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), wrappers, clock.clone());
     World {
         primary,
         backup,
@@ -120,9 +123,13 @@ fn outage_triggers_reroute_and_recovery_restores() {
 
     // After the outage a daemon probe revives it...
     w.clock.advance(SimDuration::from_millis(2_000.0));
-    w.daemon.run_due_probes(w.clock.now());
+    w.daemon.run_due_probes();
     assert!(!w.qcc.reliability.is_down(&ServerId::new("primary")));
-    assert!(w.qcc.reliability.factor(&ServerId::new("primary")).is_finite());
+    assert!(w
+        .qcc
+        .reliability
+        .factor(&ServerId::new("primary"))
+        .is_finite());
 }
 
 #[test]
@@ -180,7 +187,10 @@ fn faults_are_retried_within_one_query() {
             ok += 1;
         }
     }
-    assert!(ok >= 18, "retry should mask most transient faults, got {ok}/20");
+    assert!(
+        ok >= 18,
+        "retry should mask most transient faults, got {ok}/20"
+    );
 }
 
 #[test]
@@ -222,8 +232,12 @@ fn baseline_without_qcc_does_not_track_availability() {
     let net = Arc::new(net);
     let mut nicknames = NicknameCatalog::new();
     nicknames.define("data", schema);
-    nicknames.add_source("data", ServerId::new("p"), "data").unwrap();
-    nicknames.add_source("data", ServerId::new("b"), "data").unwrap();
+    nicknames
+        .add_source("data", ServerId::new("p"), "data")
+        .unwrap();
+    nicknames
+        .add_source("data", ServerId::new("b"), "data")
+        .unwrap();
     let clock = SimClock::new();
     let mut fed = Federation::new(
         nicknames,
@@ -231,7 +245,10 @@ fn baseline_without_qcc_does_not_track_availability() {
         Arc::new(PassthroughMiddleware::default()),
         FederationConfig::default(),
     );
-    fed.add_wrapper(Arc::new(RelationalWrapper::new(Arc::clone(&p), Arc::clone(&net))));
+    fed.add_wrapper(Arc::new(RelationalWrapper::new(
+        Arc::clone(&p),
+        Arc::clone(&net),
+    )));
     fed.add_wrapper(Arc::new(RelationalWrapper::new(b, net)));
 
     p.availability()

@@ -43,8 +43,12 @@ fn world() -> World {
     let network = Arc::new(network);
     let mut nicknames = NicknameCatalog::new();
     nicknames.define("t", schema);
-    nicknames.add_source("t", ServerId::new("fast"), "t").unwrap();
-    nicknames.add_source("t", ServerId::new("slow"), "t").unwrap();
+    nicknames
+        .add_source("t", ServerId::new("fast"), "t")
+        .unwrap();
+    nicknames
+        .add_source("t", ServerId::new("slow"), "t")
+        .unwrap();
     let qcc = Qcc::new(QccConfig::default());
     let mut federation = Federation::new(
         nicknames,

@@ -53,7 +53,9 @@ fn run_batch(servers: &[Arc<RemoteServer>], assignment: &[usize]) -> f64 {
             .filter(|&(j, _)| j != i)
             .map(|(_, &srv)| servers[srv].load().begin_query())
             .collect();
-        let result = servers[target].execute(&plans[target], SimTime::ZERO).unwrap();
+        let result = servers[target]
+            .execute(&plans[target], SimTime::ZERO)
+            .unwrap();
         total += result.elapsed.as_millis();
         drop(guards);
     }

@@ -5,9 +5,7 @@
 use load_aware_federation::common::{Column, DataType, Row, Schema, ServerId, Value};
 use load_aware_federation::federation::{Federation, FederationConfig, NicknameCatalog};
 use load_aware_federation::netsim::{Link, Network, SimClock};
-use load_aware_federation::qcc::{
-    LoadBalanceMode, Qcc, QccConfig, SimulatedFederation,
-};
+use load_aware_federation::qcc::{LoadBalanceMode, Qcc, QccConfig, SimulatedFederation};
 use load_aware_federation::remote::{RemoteServer, ServerProfile};
 use load_aware_federation::storage::{Catalog, Table};
 use load_aware_federation::wrapper::RelationalWrapper;

@@ -118,10 +118,8 @@ fn congestion_shifts_routing_to_the_farther_server() {
 fn time_varying_congestion_follows_the_profile() {
     let w = world();
     // Congestion arrives as a step at t = 500ms on the near link.
-    w.near_link.set_congestion(LoadProfile::Steps(vec![(
-        SimTime::from_millis(500.0),
-        0.9,
-    )]));
+    w.near_link
+        .set_congestion(LoadProfile::Steps(vec![(SimTime::from_millis(500.0), 0.9)]));
     let mut before = Vec::new();
     let mut after = Vec::new();
     for _ in 0..20 {
@@ -147,9 +145,6 @@ fn transfer_time_scales_with_result_size() {
         .federation
         .submit("SELECT COUNT(*) FROM readings")
         .unwrap();
-    let large = w
-        .federation
-        .submit("SELECT id, grp FROM readings")
-        .unwrap();
+    let large = w.federation.submit("SELECT id, grp FROM readings").unwrap();
     assert!(large.response_ms > small.response_ms);
 }
