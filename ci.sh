@@ -7,11 +7,18 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test -q"
-cargo test -q --offline
+echo "==> cargo test -q (QCC_THREADS=1)"
+QCC_THREADS=1 cargo test -q --offline
+
+echo "==> cargo test -q (QCC_THREADS=8)"
+QCC_THREADS=8 cargo test -q --offline
 
 echo "==> cargo xtask lint"
 cargo xtask lint
+
+echo "==> bench smoke: scatter_speedup (tiny scale)"
+QCC_LARGE_ROWS=2000 QCC_SMALL_ROWS=100 QCC_INSTANCES=2 QCC_WARMUP=1 \
+    cargo bench -q --offline -p qcc-bench --bench scatter_speedup
 
 echo "==> cargo fmt --check"
 cargo fmt --check

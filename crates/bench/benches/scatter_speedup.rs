@@ -1,0 +1,143 @@
+//! Wall-clock speedup of the scatter-gather layer (PR 2's tentpole).
+//!
+//! Virtual time is untouched by the worker-pool width — the golden
+//! equivalence suite (`tests/parallel_determinism.rs`) proves results are
+//! byte-identical for any thread count. What parallelism buys is *host*
+//! wall-clock time: per-fragment EXPLAIN fan-out, parallel fragment
+//! execution, and batched query submission all scatter real CPU work
+//! (parse, plan, scan, join, merge) across workers.
+//!
+//! Three workloads, each at 1/2/4/8 worker threads:
+//!
+//! * `qt1 batches` — rounds of batched QT1 submissions (2-fragment join:
+//!   scatter width 2 per query, plus batch-level parallelism).
+//! * `qt4 batches` — rounds of batched QT4 submissions (3-table join:
+//!   the widest per-query fan-out in the workload).
+//! * `phase run`   — a full two-phase calibrated experiment, warmup and
+//!   measurement included.
+//!
+//! Speedup is bounded above by the host's physical parallelism: on an
+//! N-core machine the curve flattens at ~N×, and on a single-core host
+//! every row measures ~1.0× — the numbers report what the *host* can
+//! exploit, not what the layer offers.
+
+use qcc_bench::BenchScale;
+use qcc_common::WallStopwatch;
+use qcc_workload::experiment::run_phases_on;
+use qcc_workload::{PhaseSchedule, QueryType, Routing, Scenario, ScenarioConfig};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config_with_threads(base: &ScenarioConfig, threads: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        threads,
+        ..base.clone()
+    }
+}
+
+/// Time `rounds` batched submissions of `qt` on a fresh scenario and
+/// return (wall ms, virtual avg ms) — the virtual number must not move
+/// with the thread count.
+fn time_batches(base: &ScenarioConfig, threads: usize, qt: QueryType, rounds: u32) -> (f64, f64) {
+    let scenario = Scenario::build_with(Routing::Qcc, config_with_threads(base, threads));
+    let mut virtual_ms = 0.0;
+    let mut n = 0u32;
+    let sw = WallStopwatch::start();
+    for round in 0..rounds {
+        let sqls: Vec<String> = (0..4).map(|k| qt.sql(round * 4 + k)).collect();
+        for outcome in scenario.federation.submit_batch(&sqls) {
+            let out = outcome.expect("bench queries succeed");
+            virtual_ms += out.response_ms;
+            n += 1;
+        }
+    }
+    let wall_ms = sw.elapsed_nanos() as f64 / 1e6;
+    (wall_ms, virtual_ms / n as f64)
+}
+
+/// Time a full two-phase calibrated run; returns (wall ms, virtual avg ms
+/// of the final phase).
+fn time_phase_run(scale: &BenchScale, threads: usize) -> (f64, f64) {
+    let scenario = Scenario::build_with(Routing::Qcc, config_with_threads(&scale.config, threads));
+    let schedule = PhaseSchedule {
+        phases: PhaseSchedule::paper_table1().phases[..2].to_vec(),
+    };
+    let sw = WallStopwatch::start();
+    let result = run_phases_on(
+        &scenario,
+        Routing::Qcc,
+        &schedule,
+        scale.instances,
+        scale.warmup,
+    );
+    let wall_ms = sw.elapsed_nanos() as f64 / 1e6;
+    (
+        wall_ms,
+        result.phases.last().map(|p| p.avg_ms).unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "scatter-gather wall-clock speedup (host parallelism: {host_cores} core{})",
+        if host_cores == 1 { "" } else { "s" }
+    );
+    if host_cores == 1 {
+        println!(
+            "note: single-core host — worker pools cannot overlap, so every\n\
+             measured speedup is ~1.0x; the determinism columns are the\n\
+             meaningful signal here (virtual ms must not move with threads)."
+        );
+    }
+    let rounds = (scale.instances / 2).max(2);
+
+    for (name, run) in [
+        (
+            "qt1 batches",
+            Box::new(|t: usize| time_batches(&scale.config, t, QueryType::QT1, rounds))
+                as Box<dyn Fn(usize) -> (f64, f64)>,
+        ),
+        (
+            "qt4 batches",
+            Box::new(|t: usize| time_batches(&scale.config, t, QueryType::QT4, rounds)),
+        ),
+        ("phase run", Box::new(|t: usize| time_phase_run(&scale, t))),
+    ] {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut base_wall = 0.0;
+        let mut base_virtual_bits = 0u64;
+        for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
+            let (wall_ms, virtual_ms) = run(threads);
+            if i == 0 {
+                base_wall = wall_ms;
+                base_virtual_bits = virtual_ms.to_bits();
+            }
+            rows.push(vec![
+                threads.to_string(),
+                format!("{wall_ms:.1}"),
+                format!("{:.2}x", base_wall / wall_ms),
+                format!("{virtual_ms:.2}"),
+                if virtual_ms.to_bits() == base_virtual_bits {
+                    "identical".to_string()
+                } else {
+                    "DIVERGED".to_string()
+                },
+            ]);
+        }
+        qcc_bench::print_table(
+            &format!("{name} at 1/2/4/8 threads"),
+            &[
+                "threads".to_string(),
+                "wall ms".to_string(),
+                "speedup".to_string(),
+                "virtual ms".to_string(),
+                "determinism".to_string(),
+            ],
+            &rows,
+        );
+    }
+}

@@ -13,6 +13,7 @@ pub mod error;
 pub mod ids;
 pub mod rng;
 pub mod row;
+pub mod scatter;
 pub mod stats;
 pub mod time;
 pub mod value;
@@ -22,6 +23,7 @@ pub use error::{QccError, Result};
 pub use ids::{FragmentId, QueryId, ServerId};
 pub use rng::Pcg32;
 pub use row::{Column, Row, Schema};
+pub use scatter::{default_threads, scatter_indexed};
 pub use stats::{Ema, RunningStats, SlidingWindow};
 pub use time::{SimClock, SimDuration, SimTime, WallStopwatch};
 pub use value::{DataType, Value};

@@ -122,6 +122,17 @@ impl Div<f64> for SimDuration {
 /// current time" take a `SimClock` (or an explicit `SimTime`) so that
 /// tests and experiments control the timeline; reading the host clock is
 /// banned everywhere outside this file.
+///
+/// # Coordinator-only advance contract
+///
+/// Under scatter-gather parallelism (see `qcc_common::scatter` and
+/// DESIGN.md "Threading model"), **only the coordinating thread of a
+/// scatter unit may advance a shared clock**, and only *after* the gather
+/// barrier — by the maximum of the durations its workers reported.
+/// Workers never touch the shared timeline; a worker that needs a local
+/// timeline forks a private clock from the coordinator's snapshot with
+/// [`SimClock::at`]. This keeps virtual time a pure function of the
+/// workload, identical for any worker-thread count.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
     inner: std::sync::Arc<parking_lot::Mutex<SimTime>>,
@@ -131,6 +142,19 @@ impl SimClock {
     /// A clock at the epoch.
     pub fn new() -> Self {
         SimClock::default()
+    }
+
+    /// A new, *independent* clock whose timeline starts at `t`.
+    ///
+    /// Unlike [`Clone`], the returned clock shares nothing with any other
+    /// clock. Scatter workers fork one from the coordinator's snapshot so
+    /// each unit of work advances a private timeline; the coordinator
+    /// later reconciles the shared clock per the coordinator-only advance
+    /// contract (see the type-level docs).
+    pub fn at(t: SimTime) -> Self {
+        SimClock {
+            inner: std::sync::Arc::new(parking_lot::Mutex::new(t)),
+        }
     }
 
     /// Current virtual time.
@@ -227,6 +251,17 @@ mod tests {
     fn negative_durations_clamp() {
         assert_eq!(SimDuration::from_millis(-5.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis(4.0) * -1.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn forked_clock_is_independent() {
+        let shared = SimClock::new();
+        shared.advance(SimDuration::from_millis(7.0));
+        let fork = SimClock::at(shared.now());
+        assert_eq!(fork.now(), shared.now());
+        fork.advance(SimDuration::from_millis(100.0));
+        assert_eq!(shared.now().as_millis(), 7.0);
+        assert_eq!(fork.now().as_millis(), 107.0);
     }
 
     #[test]

@@ -64,17 +64,37 @@ impl LoadBalancer {
     }
 
     /// Choose a candidate index for this query. `candidates` must be
-    /// non-empty.
+    /// non-empty. Equivalent to [`LoadBalancer::peek`] immediately
+    /// followed by [`LoadBalancer::commit`].
     pub fn choose(&self, template: &str, candidates: &[GlobalCandidate]) -> usize {
+        let (pick, commit) = self.peek(template, candidates);
+        self.commit(template, commit);
+        pick
+    }
+
+    /// Decide a candidate index *without* mutating any state, returning
+    /// the pick plus the [`ChoiceCommit`] that records it.
+    ///
+    /// This is the scatter-safe half of [`LoadBalancer::choose`]: workers
+    /// peek against frozen state, and the coordinator applies the commits
+    /// at the gather barrier in deterministic order. The decision is made
+    /// as if the template's frequency had already been incremented, so
+    /// `peek`+`commit` replays the exact sequence `choose` produces.
+    pub fn peek(&self, template: &str, candidates: &[GlobalCandidate]) -> (usize, ChoiceCommit) {
         debug_assert!(!candidates.is_empty());
+        const NO_ROTATION: ChoiceCommit = ChoiceCommit {
+            rotated: false,
+            cluster_len: 0,
+        };
         let cheapest_idx = argmin(candidates);
 
-        // Track template frequency.
-        let frequency = {
-            let mut st = self.state.lock();
-            let t = st.entry(template.to_owned()).or_default();
-            t.frequency += 1;
-            t.frequency
+        // The frequency this query brings the template to (state itself
+        // is untouched until commit).
+        let (frequency, cursor) = {
+            let st = self.state.lock();
+            st.get(template)
+                .map(|t| (t.frequency + 1, t.cursor))
+                .unwrap_or((1, 0))
         };
 
         // Re-calibration exploration: every Nth query of a template goes
@@ -87,12 +107,12 @@ impl LoadBalancer {
             && candidates.len() > 1
         {
             if let Some(alt) = best_alternative(candidates, cheapest_idx) {
-                return alt;
+                return (alt, NO_ROTATION);
             }
         }
 
         if self.mode == LoadBalanceMode::Disabled || candidates.len() == 1 {
-            return cheapest_idx;
+            return (cheapest_idx, NO_ROTATION);
         }
 
         // Dominance elimination: cheapest plan per server set.
@@ -119,12 +139,12 @@ impl LoadBalancer {
         let cheapest = survivors[0];
         let cheapest_cost = candidates[cheapest].total_cost();
         if !cheapest_cost.is_finite() || cheapest_cost <= 0.0 {
-            return cheapest;
+            return (cheapest, NO_ROTATION);
         }
 
         // Workload threshold: only rotate heavy templates.
         if cheapest_cost * frequency as f64 <= self.threshold {
-            return cheapest;
+            return (cheapest, NO_ROTATION);
         }
 
         // Cluster within the band (and, at fragment level, with identical
@@ -144,16 +164,40 @@ impl LoadBalancer {
             })
             .collect();
         if cluster.len() <= 1 {
-            return cheapest;
+            return (cheapest, NO_ROTATION);
         }
 
-        // Round-robin over the cluster.
+        // Round-robin over the cluster (cursor advances at commit).
+        let pick = cluster[cursor % cluster.len()];
+        (
+            pick,
+            ChoiceCommit {
+                rotated: true,
+                cluster_len: cluster.len(),
+            },
+        )
+    }
+
+    /// Apply the state transition of a decision returned by
+    /// [`LoadBalancer::peek`]: bump the template's frequency and, if the
+    /// pick came from the rotation cluster, advance the cursor.
+    pub fn commit(&self, template: &str, commit: ChoiceCommit) {
         let mut st = self.state.lock();
         let t = st.entry(template.to_owned()).or_default();
-        let pick = cluster[t.cursor % cluster.len()];
-        t.cursor = (t.cursor + 1) % cluster.len();
-        pick
+        t.frequency += 1;
+        if commit.rotated && commit.cluster_len > 0 {
+            t.cursor = (t.cursor + 1) % commit.cluster_len;
+        }
     }
+}
+
+/// The deferred state transition of one [`LoadBalancer::peek`] decision.
+#[derive(Debug, Clone, Copy)]
+pub struct ChoiceCommit {
+    /// The pick came from the rotation cluster, so the cursor advances.
+    rotated: bool,
+    /// Cluster size at decision time (the cursor wraps modulo this).
+    cluster_len: usize,
 }
 
 /// The cheapest candidate whose server set differs from `cheapest`'s.
@@ -351,6 +395,21 @@ mod tests {
         lb.reset_period();
         // Frequency reset: back below the threshold.
         assert_eq!(lb.choose("q", &cands), 0);
+    }
+
+    #[test]
+    fn peek_is_pure_until_commit() {
+        let lb = balancer(LoadBalanceMode::GlobalLevel, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "a")], 0.0),
+            candidate(&[("S2", 10.0, "a")], 0.0),
+        ];
+        let (p1, _) = lb.peek("q", &cands);
+        let (p2, c2) = lb.peek("q", &cands);
+        assert_eq!(p1, p2, "peek does not advance the cursor");
+        lb.commit("q", c2);
+        let (p3, _) = lb.peek("q", &cands);
+        assert_ne!(p2, p3, "commit advances the cursor");
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! The meta-wrapper: the middleware that records everything and calibrates
 //! costs on the way through (paper §2, Figures 3–5).
+//!
+//! Under scatter-gather parallelism the meta-wrapper is called from worker
+//! threads, so it follows the frozen-state/deferred-effects discipline
+//! (DESIGN.md "Threading model"): every *read* (reliability factors,
+//! calibration factors, plan-cache probes, load-balancer peeks) sees the
+//! state frozen at scatter time, and every *write* (records, calibration
+//! samples, reliability outcomes, cache inserts, balancer commits) is
+//! pushed into the caller's [`Deferred`] buffer and applied at the gather
+//! barrier in task order. Each observation defers exactly one closure —
+//! one lock acquisition sequence per observation, not per field.
 
 use crate::records::{ErrorRecord, FragmentCompileRecord, FragmentRunRecord};
 use crate::Qcc;
-use qcc_common::{Cost, FragmentId, QccError, QueryId, Result, SimDuration, SimTime};
-use qcc_federation::{FragmentCandidate, GlobalCandidate, Middleware, DEFAULT_UNCOSTED};
+use qcc_common::{Cost, FragmentId, QccError, QueryId, Result, ServerId, SimDuration, SimTime};
+use qcc_federation::{Deferred, FragmentCandidate, GlobalCandidate, Middleware, DEFAULT_UNCOSTED};
 use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
 use std::sync::Arc;
 
@@ -34,6 +44,7 @@ impl Middleware for MetaWrapper {
         fragment: FragmentId,
         sql: &str,
         at: SimTime,
+        effects: &mut Deferred,
     ) -> Result<(Vec<FragmentCandidate>, SimDuration)> {
         let server = wrapper.server_id().clone();
 
@@ -55,25 +66,32 @@ impl Middleware for MetaWrapper {
             Some(plans) => (plans, SimDuration::ZERO),
             None => match wrapper.plan(sql, at) {
                 Ok((plans, took)) => {
-                    if self.qcc.config.plan_cache {
-                        self.qcc.plan_cache.put(&server, sql, plans.clone());
-                    }
-                    self.qcc.reliability.record_success(&server);
+                    let plans = Arc::new(plans);
+                    let qcc = self.qcc.clone();
+                    let (srv, sql_key, stored) = (server.clone(), sql.to_owned(), plans.clone());
+                    effects.defer(move || {
+                        if qcc.config.plan_cache {
+                            qcc.plan_cache.put_shared(&srv, &sql_key, stored);
+                        }
+                        qcc.reliability.record_success(&srv);
+                    });
                     (plans, took)
                 }
                 Err(e) => {
-                    self.record_failure(&server, &e, at);
+                    self.defer_failure(effects, &server, &e, at);
                     return Err(e);
                 }
             },
         };
 
         let reliability = self.qcc.reliability.factor(&server);
+        let mut compiles = Vec::with_capacity(plans.len());
         let candidates = plans
-            .into_iter()
+            .iter()
+            .cloned()
             .map(|plan| {
                 // Record item (c)+(d): outgoing fragments and mappings.
-                self.qcc.records.record_compile(FragmentCompileRecord {
+                compiles.push(FragmentCompileRecord {
                     query,
                     fragment,
                     server: server.clone(),
@@ -96,6 +114,12 @@ impl Middleware for MetaWrapper {
                 }
             })
             .collect();
+        let qcc = self.qcc.clone();
+        effects.defer(move || {
+            for record in compiles {
+                qcc.records.record_compile(record);
+            }
+        });
         Ok((candidates, took))
     }
 
@@ -106,11 +130,11 @@ impl Middleware for MetaWrapper {
         fragment: FragmentId,
         plan: &FragmentPlan,
         at: SimTime,
+        effects: &mut Deferred,
     ) -> Result<WrapperResult> {
         let server = wrapper.server_id().clone();
         match wrapper.execute(plan, at) {
             Ok(result) => {
-                self.qcc.reliability.record_success(&server);
                 let observed = result.response_time.as_millis();
                 // Record item (e): the fragment's observed response time,
                 // and feed the calibration window with the observed ÷
@@ -120,7 +144,7 @@ impl Middleware for MetaWrapper {
                 // ever become cost-comparable (§2: "when wrappers do not
                 // provide cost estimation").
                 let est = plan.cost.map(|c| c.total()).unwrap_or(DEFAULT_UNCOSTED);
-                self.qcc.records.record_run(FragmentRunRecord {
+                let run = FragmentRunRecord {
                     query,
                     fragment,
                     server: server.clone(),
@@ -128,14 +152,18 @@ impl Middleware for MetaWrapper {
                     estimated_total: Some(est),
                     observed_ms: observed,
                     at,
+                };
+                let qcc = self.qcc.clone();
+                effects.defer(move || {
+                    qcc.reliability.record_success(&run.server);
+                    qcc.calibration
+                        .record_fragment(&run.server, &run.signature, est, observed);
+                    qcc.records.record_run(run);
                 });
-                self.qcc
-                    .calibration
-                    .record_fragment(&server, &plan.signature, est, observed);
                 Ok(result)
             }
             Err(e) => {
-                self.record_failure(&server, &e, at);
+                self.defer_failure(effects, &server, &e, at);
                 Err(e)
             }
         }
@@ -148,11 +176,20 @@ impl Middleware for MetaWrapper {
         cost.calibrate(self.qcc.calibration.ii_factor(""))
     }
 
-    fn choose_global(&self, query_sig: &str, candidates: &[GlobalCandidate]) -> usize {
+    fn choose_global(
+        &self,
+        query_sig: &str,
+        candidates: &[GlobalCandidate],
+        effects: &mut Deferred,
+    ) -> usize {
         if candidates.is_empty() {
             return 0;
         }
-        self.qcc.load_balancer.choose(query_sig, candidates)
+        let (pick, commit) = self.qcc.load_balancer.peek(query_sig, candidates);
+        let qcc = self.qcc.clone();
+        let sig = query_sig.to_owned();
+        effects.defer(move || qcc.load_balancer.commit(&sig, commit));
+        pick
     }
 
     fn observe_query(
@@ -161,34 +198,39 @@ impl Middleware for MetaWrapper {
         query_sig: &str,
         estimated_total: f64,
         observed_ms: f64,
+        effects: &mut Deferred,
     ) {
-        self.qcc
-            .calibration
-            .record_ii(query_sig, estimated_total, observed_ms);
-        self.qcc
-            .calibration
-            .record_ii("", estimated_total, observed_ms);
+        let qcc = self.qcc.clone();
+        let sig = query_sig.to_owned();
+        effects.defer(move || {
+            qcc.calibration
+                .record_ii(&sig, estimated_total, observed_ms);
+            qcc.calibration.record_ii("", estimated_total, observed_ms);
+        });
     }
 }
 
 impl MetaWrapper {
-    fn record_failure(&self, server: &qcc_common::ServerId, e: &QccError, at: SimTime) {
-        self.qcc.records.record_error(ErrorRecord {
+    fn defer_failure(&self, effects: &mut Deferred, server: &ServerId, e: &QccError, at: SimTime) {
+        let record = ErrorRecord {
             server: server.clone(),
             message: e.to_string(),
             at,
-        });
-        match e {
-            QccError::ServerUnavailable(_) => {
-                self.qcc.reliability.record_unreachable(server, at);
+        };
+        let unreachable = matches!(e, QccError::ServerUnavailable(_));
+        let fault = matches!(e, QccError::ServerFault { .. });
+        let qcc = self.qcc.clone();
+        effects.defer(move || {
+            let server = record.server.clone();
+            qcc.records.record_error(record);
+            if unreachable {
+                qcc.reliability.record_unreachable(&server, at);
                 // While unreachable the server's catalog may change;
                 // cached plans for it are no longer trustworthy.
-                self.qcc.plan_cache.invalidate_server(server);
+                qcc.plan_cache.invalidate_server(&server);
+            } else if fault {
+                qcc.reliability.record_fault(&server);
             }
-            QccError::ServerFault { .. } => {
-                self.qcc.reliability.record_fault(server);
-            }
-            _ => {}
-        }
+        });
     }
 }

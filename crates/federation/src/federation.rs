@@ -2,11 +2,13 @@
 //! remotely, merge locally.
 
 use crate::decompose::{decompose, frag_table, DecomposedQuery, MergeSpec};
-use crate::middleware::{FragmentCandidate, GlobalCandidate, Middleware};
+use crate::middleware::{Deferred, FragmentCandidate, GlobalCandidate, Middleware};
 use crate::nickname::NicknameCatalog;
 use crate::patroller::QueryPatroller;
 use parking_lot::Mutex;
-use qcc_common::{Cost, FragmentId, QccError, QueryId, Result, Row, ServerId, SimDuration};
+use qcc_common::{
+    scatter_indexed, Cost, FragmentId, QccError, QueryId, Result, Row, ServerId, SimDuration,
+};
 use qcc_engine::Engine;
 use qcc_netsim::{slowdown, LoadProfile, ServerLoad, SimClock};
 use qcc_storage::{Catalog, ColumnStats, Table, TableStats};
@@ -24,6 +26,11 @@ pub struct FederationConfig {
     /// How many times a query is re-routed after a fragment failure before
     /// giving up.
     pub retry_limit: usize,
+    /// Worker-pool width for scatter-gather fan-out (compile-time EXPLAIN
+    /// dispatch, fragment execution, `submit_batch`). Results are
+    /// byte-identical for any value ≥ 1; this only trades wall-clock time
+    /// (see DESIGN.md "Threading model").
+    pub threads: usize,
 }
 
 impl Default for FederationConfig {
@@ -32,6 +39,7 @@ impl Default for FederationConfig {
             ii_speed: 1.0,
             max_global_candidates: 64,
             retry_limit: 2,
+            threads: qcc_common::default_threads(),
         }
     }
 }
@@ -117,6 +125,11 @@ impl Federation {
         &self.clock
     }
 
+    /// The integrator configuration.
+    pub fn config(&self) -> &FederationConfig {
+        &self.config
+    }
+
     /// The integrator's own load model (§3.2: II load affects merge cost).
     pub fn ii_load(&self) -> &ServerLoad {
         &self.ii_load
@@ -135,43 +148,98 @@ impl Federation {
     }
 
     /// Compile a query: decompose and enumerate global candidates with
-    /// (possibly calibrated) costs. Advances the clock by the EXPLAIN
-    /// round trips. Does not execute.
+    /// (possibly calibrated) costs. Advances the clock by the slowest
+    /// EXPLAIN round trip (they are dispatched concurrently). Does not
+    /// execute.
     pub fn explain_global(&self, sql: &str) -> Result<CompiledGlobal> {
         let qid = QueryId(u64::MAX); // sentinel: not a logged submission
-        self.compile(qid, sql)
+        let mut effects = Deferred::new();
+        let compiled = self.compile(qid, sql, &self.clock, &mut effects);
+        effects.apply();
+        compiled
     }
 
-    fn compile(&self, qid: QueryId, sql: &str) -> Result<CompiledGlobal> {
+    fn compile(
+        &self,
+        qid: QueryId,
+        sql: &str,
+        clock: &SimClock,
+        effects: &mut Deferred,
+    ) -> Result<CompiledGlobal> {
         let decomposed = decompose(sql, &self.nicknames)?;
 
-        // Per fragment: all candidate (server, plan) pairs.
-        let mut per_fragment: Vec<Vec<FragmentCandidate>> = Vec::new();
-        for frag in &decomposed.fragments {
+        // Scatter: every (fragment, candidate server) EXPLAIN is
+        // dispatched concurrently at one snapshot — the MW fans the
+        // requests out, so virtual time advances by the slowest round
+        // trip, not the sum. Results gather in (fragment, server) task
+        // order, making the outcome independent of the thread count.
+        struct ExplainTask<'a> {
+            slot: usize,
+            fid: FragmentId,
+            wrapper: &'a Arc<dyn Wrapper>,
+            frag_sql: String,
+        }
+        let mut tasks: Vec<ExplainTask<'_>> = Vec::new();
+        for (slot, frag) in decomposed.fragments.iter().enumerate() {
             let fid = FragmentId::new(qid, frag.index);
-            let mut candidates = Vec::new();
             for server in &frag.candidate_servers {
                 let Ok(wrapper) = self.wrapper(server) else {
                     continue;
                 };
-                let frag_sql = frag.sql_for_server(&self.nicknames, server)?;
-                let at = self.clock.now();
-                match self
-                    .middleware
-                    .plan_fragment(wrapper.as_ref(), qid, fid, &frag_sql, at)
-                {
-                    Ok((plans, took)) => {
-                        self.clock.advance(took);
-                        candidates.extend(plans);
+                tasks.push(ExplainTask {
+                    slot,
+                    fid,
+                    wrapper,
+                    frag_sql: frag.sql_for_server(&self.nicknames, server)?,
+                });
+            }
+        }
+        let at = clock.now();
+        let outcomes = scatter_indexed(tasks.len(), self.config.threads, |i| {
+            let t = &tasks[i];
+            let mut local = Deferred::new();
+            let result = self.middleware.plan_fragment(
+                t.wrapper.as_ref(),
+                qid,
+                t.fid,
+                &t.frag_sql,
+                at,
+                &mut local,
+            );
+            (result, local)
+        });
+
+        // Gather barrier: merge deferred effects and bucket candidates in
+        // task order; one clock advance for the whole EXPLAIN fan-out.
+        let mut per_fragment: Vec<Vec<FragmentCandidate>> =
+            decomposed.fragments.iter().map(|_| Vec::new()).collect();
+        let mut slowest = SimDuration::ZERO;
+        let mut fatal = None;
+        for (task, (result, local)) in tasks.iter().zip(outcomes) {
+            effects.merge(local);
+            match result {
+                Ok((plans, took)) => {
+                    slowest = slowest.max(took);
+                    per_fragment[task.slot].extend(plans);
+                }
+                Err(QccError::ServerUnavailable(_)) | Err(QccError::ServerFault { .. }) => {
+                    // A down server contributes no candidates; the MW has
+                    // recorded the failure.
+                }
+                Err(e) => {
+                    if fatal.is_none() {
+                        fatal = Some(e);
                     }
-                    Err(QccError::ServerUnavailable(_)) | Err(QccError::ServerFault { .. }) => {
-                        // A down server contributes no candidates; the MW
-                        // has recorded the failure.
-                        continue;
-                    }
-                    Err(e) => return Err(e),
                 }
             }
+        }
+        clock.advance(slowest);
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+
+        for (slot, frag) in decomposed.fragments.iter().enumerate() {
+            let candidates = &mut per_fragment[slot];
             if candidates.is_empty() {
                 return Err(QccError::NoViablePlan(format!(
                     "no server could plan fragment {} ({})",
@@ -186,7 +254,7 @@ impl Federation {
                 .cloned()
                 .collect();
             if !finite.is_empty() {
-                candidates = finite;
+                *candidates = finite;
             }
             // Keep the cheapest plans first so candidate capping keeps the
             // most promising combinations.
@@ -195,24 +263,35 @@ impl Federation {
                     .total()
                     .total_cmp(&b.effective_cost.total())
             });
-            per_fragment.push(candidates);
         }
 
-        // Cartesian product, capped.
-        let mut combos: Vec<Vec<FragmentCandidate>> = vec![vec![]];
-        for frag_cands in &per_fragment {
-            let mut next = Vec::new();
-            'outer: for combo in &combos {
-                for cand in frag_cands {
-                    if next.len() >= self.config.max_global_candidates {
-                        break 'outer;
-                    }
-                    let mut c = combo.clone();
-                    c.push(cand.clone());
-                    next.push(c);
+        // Capped Cartesian product, enumerated as index vectors in
+        // lexicographic order (rightmost fragment varies fastest — the
+        // same first-`cap` set the old combo-cloning loop produced);
+        // only the surviving combinations materialize candidate clones.
+        let cap = self.config.max_global_candidates;
+        let mut combos: Vec<Vec<FragmentCandidate>> = Vec::new();
+        let mut odometer = vec![0usize; per_fragment.len()];
+        'enumerate: while combos.len() < cap {
+            combos.push(
+                odometer
+                    .iter()
+                    .zip(&per_fragment)
+                    .map(|(&i, cands)| cands[i].clone())
+                    .collect(),
+            );
+            let mut pos = per_fragment.len();
+            loop {
+                if pos == 0 {
+                    break 'enumerate; // every combination enumerated
                 }
+                pos -= 1;
+                odometer[pos] += 1;
+                if odometer[pos] < per_fragment[pos].len() {
+                    break;
+                }
+                odometer[pos] = 0;
             }
-            combos = next;
         }
 
         let mut candidates: Vec<GlobalCandidate> = combos
@@ -272,7 +351,10 @@ impl Federation {
     pub fn submit(&self, sql: &str) -> Result<QueryOutcome> {
         let submitted = self.clock.now();
         let qid = self.patroller.record_submit(sql, submitted);
-        match self.run(qid, sql) {
+        let mut effects = Deferred::new();
+        let result = self.run(qid, sql, &self.clock, &mut effects);
+        effects.apply();
+        match result {
             Ok(outcome) => {
                 self.patroller.record_complete(qid, self.clock.now());
                 Ok(outcome)
@@ -285,9 +367,56 @@ impl Federation {
         }
     }
 
-    fn run(&self, qid: QueryId, sql: &str) -> Result<QueryOutcome> {
-        let submitted = self.clock.now();
-        let (decomposed, mut candidates) = self.compile(qid, sql)?;
+    /// Submit a batch of federated queries that logically start at the
+    /// same instant, spread across the scatter worker pool.
+    ///
+    /// Each query runs against a private clock forked from the shared
+    /// snapshot ([`SimClock::at`]); the coordinator gathers in
+    /// submission-index order, applying each query's deferred side
+    /// effects and patroller completion before the next query's, then
+    /// advances the shared clock once — to the latest per-query end time.
+    /// Every query in the batch therefore routes against the same frozen
+    /// adaptive state (load balancer, calibration, reliability):
+    /// adaptation happens at batch granularity, and the outcomes are
+    /// byte-identical for any `threads` setting, including 1.
+    pub fn submit_batch(&self, sqls: &[String]) -> Vec<Result<QueryOutcome>> {
+        let t0 = self.clock.now();
+        let qids: Vec<QueryId> = sqls
+            .iter()
+            .map(|sql| self.patroller.record_submit(sql, t0))
+            .collect();
+        let outcomes = scatter_indexed(sqls.len(), self.config.threads, |i| {
+            let clock = SimClock::at(t0);
+            let mut local = Deferred::new();
+            let result = self.run(qids[i], &sqls[i], &clock, &mut local);
+            (result, local, clock.now())
+        });
+        let mut latest = t0;
+        let mut out = Vec::with_capacity(sqls.len());
+        for (i, (result, local, end)) in outcomes.into_iter().enumerate() {
+            local.apply();
+            match &result {
+                Ok(_) => self.patroller.record_complete(qids[i], end),
+                Err(e) => self.patroller.record_failure(qids[i], end, e.to_string()),
+            }
+            if end > latest {
+                latest = end;
+            }
+            out.push(result);
+        }
+        self.clock.advance_to(latest);
+        out
+    }
+
+    fn run(
+        &self,
+        qid: QueryId,
+        sql: &str,
+        clock: &SimClock,
+        effects: &mut Deferred,
+    ) -> Result<QueryOutcome> {
+        let submitted = clock.now();
+        let (decomposed, mut candidates) = self.compile(qid, sql, clock, effects)?;
         if candidates.is_empty() {
             return Err(QccError::NoViablePlan("no global candidates".into()));
         }
@@ -305,21 +434,26 @@ impl Federation {
             let viable_owned: Vec<GlobalCandidate> = viable.into_iter().cloned().collect();
             let idx = self
                 .middleware
-                .choose_global(&decomposed.template_signature, &viable_owned)
+                .choose_global(&decomposed.template_signature, &viable_owned, effects)
                 .min(viable_owned.len() - 1);
             let chosen = &viable_owned[idx];
+            // Inline (not deferred) by design: within one batch every
+            // query sees the same frozen routing state, so same-template
+            // queries write the same winner — the table's contents are
+            // deterministic even though the write order is not.
             self.explain_table
                 .lock()
                 .insert(decomposed.template_signature.clone(), chosen.signature());
 
-            match self.execute_global(qid, &decomposed, chosen) {
+            match self.execute_global(qid, &decomposed, chosen, clock, effects) {
                 Ok((rows, fragment_times)) => {
-                    let response_ms = self.clock.now().since(submitted).as_millis();
+                    let response_ms = clock.now().since(submitted).as_millis();
                     self.middleware.observe_query(
                         qid,
                         &decomposed.template_signature,
                         chosen.total_cost(),
                         response_ms,
+                        effects,
                     );
                     return Ok(QueryOutcome {
                         id: qid,
@@ -347,32 +481,62 @@ impl Federation {
         )))
     }
 
-    /// Execute the fragments of a chosen global plan (logically in
-    /// parallel: the clock advances by the slowest fragment) and merge.
+    /// Execute the fragments of a chosen global plan in parallel worker
+    /// threads — every fragment stamped with the shared `start` snapshot,
+    /// results gathered in fragment-index order, one coordinator-side
+    /// clock advance by the slowest fragment — then merge.
     fn execute_global(
         &self,
         qid: QueryId,
         decomposed: &DecomposedQuery,
         chosen: &GlobalCandidate,
+        clock: &SimClock,
+        effects: &mut Deferred,
     ) -> Result<(Vec<Row>, FragmentTimes)> {
-        let start = self.clock.now();
+        let start = clock.now();
+        let outcomes = scatter_indexed(chosen.fragments.len(), self.config.threads, |i| {
+            let cand = &chosen.fragments[i];
+            let mut local = Deferred::new();
+            let result = self.wrapper(&cand.plan.server).and_then(|wrapper| {
+                self.middleware.execute_fragment(
+                    wrapper.as_ref(),
+                    qid,
+                    cand.fragment,
+                    &cand.plan,
+                    start,
+                    &mut local,
+                )
+            });
+            (result, local)
+        });
+
+        // Gather barrier: every fragment ran, so every fragment's
+        // observations are merged (in index order) before the first error
+        // — if any — is surfaced.
         let mut results = Vec::with_capacity(chosen.fragments.len());
         let mut slowest = SimDuration::ZERO;
         let mut fragment_times = Vec::new();
-        for cand in &chosen.fragments {
-            let wrapper = self.wrapper(&cand.plan.server)?;
-            let result = self.middleware.execute_fragment(
-                wrapper.as_ref(),
-                qid,
-                cand.fragment,
-                &cand.plan,
-                start,
-            )?;
-            slowest = slowest.max(result.response_time);
-            fragment_times.push((cand.plan.server.clone(), result.response_time.as_millis()));
-            results.push(result);
+        let mut first_err = None;
+        for (cand, (result, local)) in chosen.fragments.iter().zip(outcomes) {
+            effects.merge(local);
+            match result {
+                Ok(result) => {
+                    slowest = slowest.max(result.response_time);
+                    fragment_times
+                        .push((cand.plan.server.clone(), result.response_time.as_millis()));
+                    results.push(result);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
         }
-        self.clock.advance(slowest);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        clock.advance(slowest);
 
         match &decomposed.merge {
             MergeSpec::Passthrough => {
@@ -396,9 +560,9 @@ impl Federation {
                 }
                 let engine = Engine::new(catalog);
                 let (rows, work) = engine.execute_sql(&stmt.to_string())?;
-                let rho = self.ii_load.utilization(self.clock.now());
+                let rho = self.ii_load.utilization(clock.now());
                 let merge_ms = work.cpu_units / self.config.ii_speed * slowdown(rho, 1.0);
-                self.clock.advance(SimDuration::from_millis(merge_ms));
+                clock.advance(SimDuration::from_millis(merge_ms));
                 Ok((rows, fragment_times))
             }
         }

@@ -32,7 +32,8 @@ pub mod report;
 pub use decompose::{decompose, DecomposedQuery, FragmentSpec, MergeSpec};
 pub use federation::{Federation, FederationConfig, QueryOutcome};
 pub use middleware::{
-    FragmentCandidate, GlobalCandidate, Middleware, PassthroughMiddleware, DEFAULT_UNCOSTED,
+    Deferred, FragmentCandidate, GlobalCandidate, Middleware, PassthroughMiddleware,
+    DEFAULT_UNCOSTED,
 };
 pub use nickname::{NicknameCatalog, NicknameDef, SourceMapping};
 pub use patroller::{QueryLogEntry, QueryPatroller, QueryStatus};

@@ -14,6 +14,66 @@
 use qcc_common::{Cost, FragmentId, QueryId, Result, ServerId, SimDuration, SimTime};
 use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// Deferred shared-state writes gathered during a scatter unit.
+///
+/// Middleware calls made from scatter workers must not mutate shared
+/// state directly — at one thread the scatter runs inline (earlier tasks'
+/// writes would be visible to later tasks), at eight threads it
+/// interleaves, and the results would differ. Instead, every side effect
+/// (statistics records, calibration samples, plan-cache inserts, load
+/// balancer commits) is pushed into a `Deferred` buffer; the coordinator
+/// applies the buffers **at the gather barrier, in task-index order**, so
+/// the sequence of shared-state mutations is identical for any thread
+/// count. See DESIGN.md "Threading model".
+#[derive(Default)]
+pub struct Deferred {
+    effects: Vec<Box<dyn FnOnce() + Send>>,
+}
+
+impl Deferred {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Deferred::default()
+    }
+
+    /// Queue one side effect to run at the gather barrier.
+    pub fn defer(&mut self, effect: impl FnOnce() + Send + 'static) {
+        self.effects.push(Box::new(effect));
+    }
+
+    /// Append another buffer's effects after this one's (coordinator use:
+    /// merge per-task buffers in task-index order).
+    pub fn merge(&mut self, mut other: Deferred) {
+        self.effects.append(&mut other.effects);
+    }
+
+    /// Run every queued effect, in the order queued.
+    pub fn apply(self) {
+        for effect in self.effects {
+            effect();
+        }
+    }
+
+    /// Number of queued effects.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+}
+
+impl fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deferred")
+            .field("effects", &self.effects.len())
+            .finish()
+    }
+}
 
 /// Cost assigned to fragment plans whose wrapper reports none (file
 /// wrappers). The value is deliberately arbitrary — the paper's point is
@@ -75,6 +135,12 @@ impl GlobalCandidate {
 }
 
 /// The seam between II and the wrappers.
+///
+/// Every method that mutates middleware state takes an `effects` buffer:
+/// implementations must read shared state freely but push all *writes*
+/// into `effects` (see [`Deferred`]). Callers apply the buffers at their
+/// gather barriers in deterministic order. Single-threaded callers pass a
+/// buffer and apply it immediately — the observable behaviour is the same.
 pub trait Middleware: Send + Sync {
     /// Compile time: forward an EXPLAIN to a wrapper. Implementations may
     /// record the request and calibrate the returned costs.
@@ -85,6 +151,7 @@ pub trait Middleware: Send + Sync {
         fragment: FragmentId,
         sql: &str,
         at: SimTime,
+        effects: &mut Deferred,
     ) -> Result<(Vec<FragmentCandidate>, SimDuration)>;
 
     /// Runtime: forward an EXECUTE to a wrapper. Implementations record
@@ -96,10 +163,11 @@ pub trait Middleware: Send + Sync {
         fragment: FragmentId,
         plan: &FragmentPlan,
         at: SimTime,
+        effects: &mut Deferred,
     ) -> Result<WrapperResult>;
 
     /// Calibrate the integrator-side merge cost (the paper's workload cost
-    /// calibration factor, §3.2). Identity by default.
+    /// calibration factor, §3.2). Identity by default. Read-only.
     fn calibrate_integration(&self, cost: Cost) -> Cost {
         cost
     }
@@ -108,8 +176,14 @@ pub trait Middleware: Send + Sync {
     /// default picks the lowest total cost — classic cost-based II. A QCC
     /// may instead rotate among near-equal plans for load distribution
     /// (§4.2). `query_sig` identifies the *query template* so rotation
-    /// state survives across repeated similar queries.
-    fn choose_global(&self, _query_sig: &str, candidates: &[GlobalCandidate]) -> usize {
+    /// state survives across repeated similar queries; frequency/cursor
+    /// updates go through `effects`.
+    fn choose_global(
+        &self,
+        _query_sig: &str,
+        candidates: &[GlobalCandidate],
+        _effects: &mut Deferred,
+    ) -> usize {
         candidates
             .iter()
             .enumerate()
@@ -127,6 +201,7 @@ pub trait Middleware: Send + Sync {
         _query_sig: &str,
         _estimated_total: f64,
         _observed_ms: f64,
+        _effects: &mut Deferred,
     ) {
     }
 }
@@ -160,6 +235,7 @@ impl Middleware for PassthroughMiddleware {
         fragment: FragmentId,
         sql: &str,
         at: SimTime,
+        effects: &mut Deferred,
     ) -> Result<(Vec<FragmentCandidate>, SimDuration)> {
         let server = wrapper.server_id();
         let cached = self.cache.as_deref().and_then(|c| c.get(server, sql));
@@ -167,15 +243,18 @@ impl Middleware for PassthroughMiddleware {
             Some(plans) => (plans, SimDuration::ZERO),
             None => {
                 let (plans, took) = wrapper.plan(sql, at)?;
-                if let Some(c) = self.cache.as_deref() {
-                    c.put(server, sql, plans.clone());
+                let plans = std::sync::Arc::new(plans);
+                if let Some(c) = self.cache.clone() {
+                    let (server, sql, plans) = (server.clone(), sql.to_owned(), plans.clone());
+                    effects.defer(move || c.put_shared(&server, &sql, plans));
                 }
                 (plans, took)
             }
         };
         Ok((
             plans
-                .into_iter()
+                .iter()
+                .cloned()
                 .map(|plan| FragmentCandidate {
                     fragment,
                     effective_cost: plan.cost.unwrap_or(Cost::fixed(DEFAULT_UNCOSTED)),
@@ -193,6 +272,7 @@ impl Middleware for PassthroughMiddleware {
         _fragment: FragmentId,
         plan: &FragmentPlan,
         at: SimTime,
+        _effects: &mut Deferred,
     ) -> Result<WrapperResult> {
         wrapper.execute(plan, at)
     }
@@ -242,7 +322,26 @@ mod tests {
         };
         let cands = vec![mk(10.0), mk(3.0), mk(7.0)];
         let mw = PassthroughMiddleware::default();
-        assert_eq!(mw.choose_global("q", &cands), 1);
+        assert_eq!(mw.choose_global("q", &cands, &mut Deferred::new()), 1);
+    }
+
+    #[test]
+    fn deferred_applies_in_queue_order() {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+        let seen: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut a = Deferred::new();
+        let mut b = Deferred::new();
+        for (buf, v) in [(&mut a, 1), (&mut b, 2)] {
+            let seen = seen.clone();
+            buf.defer(move || seen.lock().push(v));
+        }
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        a.apply();
+        assert_eq!(*seen.lock(), vec![1, 2]);
     }
 
     #[test]

@@ -6,18 +6,25 @@
 //! EXPLAIN response keyed by (server, exact fragment SQL); on a hit the
 //! meta-wrapper re-applies the *current* calibration factors to the
 //! cached raw estimates and skips the network round trip entirely.
+//!
+//! Values are `Arc<Vec<FragmentPlan>>` so a hit is a pointer bump, not a
+//! deep clone of plan descriptors, and the hit/miss counters are lock-free
+//! atomics — under compile-time fan-out every worker thread probes the
+//! cache concurrently, so `get` takes exactly one short map lock.
 
 use parking_lot::Mutex;
 use qcc_common::ServerId;
 use qcc_wrapper::FragmentPlan;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Shared compile-time plan cache.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    entries: Mutex<BTreeMap<(ServerId, String), Vec<FragmentPlan>>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    entries: Mutex<BTreeMap<ServerId, BTreeMap<String, Arc<Vec<FragmentPlan>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl PlanCache {
@@ -27,31 +34,41 @@ impl PlanCache {
     }
 
     /// Cached wrapper plans for this (server, fragment SQL), if any.
-    pub fn get(&self, server: &ServerId, sql: &str) -> Option<Vec<FragmentPlan>> {
+    /// Hits share the stored vector; nothing is deep-cloned.
+    pub fn get(&self, server: &ServerId, sql: &str) -> Option<Arc<Vec<FragmentPlan>>> {
         let found = self
             .entries
             .lock()
-            .get(&(server.clone(), sql.to_owned()))
+            .get(server)
+            .and_then(|per_server| per_server.get(sql))
             .cloned();
         if found.is_some() {
-            *self.hits.lock() += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            *self.misses.lock() += 1;
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
     /// Store a wrapper's EXPLAIN response.
     pub fn put(&self, server: &ServerId, sql: &str, plans: Vec<FragmentPlan>) {
+        self.put_shared(server, sql, Arc::new(plans));
+    }
+
+    /// Store an already-shared EXPLAIN response (avoids re-wrapping when
+    /// the caller keeps a handle too).
+    pub fn put_shared(&self, server: &ServerId, sql: &str, plans: Arc<Vec<FragmentPlan>>) {
         self.entries
             .lock()
-            .insert((server.clone(), sql.to_owned()), plans);
+            .entry(server.clone())
+            .or_default()
+            .insert(sql.to_owned(), plans);
     }
 
     /// Drop every cached plan for one server (e.g. after it was down —
     /// its catalog may have changed while unreachable).
     pub fn invalidate_server(&self, server: &ServerId) {
-        self.entries.lock().retain(|(s, _), _| s != server);
+        self.entries.lock().remove(server);
     }
 
     /// Drop everything.
@@ -61,17 +78,20 @@ impl PlanCache {
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().values().map(BTreeMap::len).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.len() == 0
     }
 }
 
@@ -101,6 +121,16 @@ mod tests {
     }
 
     #[test]
+    fn hits_share_the_stored_vector() {
+        let c = PlanCache::new();
+        let s = ServerId::new("S1");
+        c.put(&s, "q", vec![plan("S1")]);
+        let a = c.get(&s, "q").unwrap();
+        let b = c.get(&s, "q").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
     fn keys_are_per_server_and_sql() {
         let c = PlanCache::new();
         c.put(&ServerId::new("S1"), "q", vec![plan("S1")]);
@@ -116,6 +146,7 @@ mod tests {
         c.invalidate_server(&ServerId::new("S1"));
         assert!(c.get(&ServerId::new("S1"), "q").is_none());
         assert!(c.get(&ServerId::new("S2"), "q").is_some());
+        assert_eq!(c.len(), 1);
         c.clear();
         assert!(c.is_empty());
     }

@@ -10,7 +10,9 @@
 
 use crate::querytypes::QueryType;
 use qcc_common::{FragmentId, QueryId, Result, ServerId, SimDuration, SimTime};
-use qcc_federation::{FragmentCandidate, GlobalCandidate, Middleware, PassthroughMiddleware};
+use qcc_federation::{
+    Deferred, FragmentCandidate, GlobalCandidate, Middleware, PassthroughMiddleware,
+};
 use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
 use std::collections::HashMap;
 
@@ -66,8 +68,10 @@ impl Middleware for FixedRoutingMiddleware {
         fragment: FragmentId,
         sql: &str,
         at: SimTime,
+        effects: &mut Deferred,
     ) -> Result<(Vec<FragmentCandidate>, SimDuration)> {
-        self.inner.plan_fragment(wrapper, query, fragment, sql, at)
+        self.inner
+            .plan_fragment(wrapper, query, fragment, sql, at, effects)
     }
 
     fn execute_fragment(
@@ -77,12 +81,18 @@ impl Middleware for FixedRoutingMiddleware {
         fragment: FragmentId,
         plan: &FragmentPlan,
         at: SimTime,
+        effects: &mut Deferred,
     ) -> Result<WrapperResult> {
         self.inner
-            .execute_fragment(wrapper, query, fragment, plan, at)
+            .execute_fragment(wrapper, query, fragment, plan, at, effects)
     }
 
-    fn choose_global(&self, query_sig: &str, candidates: &[GlobalCandidate]) -> usize {
+    fn choose_global(
+        &self,
+        query_sig: &str,
+        candidates: &[GlobalCandidate],
+        effects: &mut Deferred,
+    ) -> usize {
         if let Some(target) =
             QueryType::of_template(query_sig).and_then(|qt| self.assignment.get(&qt))
         {
@@ -101,7 +111,7 @@ impl Middleware for FixedRoutingMiddleware {
             }
         }
         // Unknown template or target unavailable: fall back to cost.
-        self.inner.choose_global(query_sig, candidates)
+        self.inner.choose_global(query_sig, candidates, effects)
     }
 }
 

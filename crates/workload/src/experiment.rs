@@ -136,31 +136,46 @@ fn run_one_phase(
                 let Ok((_, candidates)) = scenario.federation.explain_global(&sql) else {
                     continue;
                 };
+                // One probe per distinct (server, plan shape).
                 let mut observed: std::collections::HashSet<String> =
                     std::collections::HashSet::new();
+                let mut probes = Vec::new();
                 for cand in &candidates {
                     for fc in &cand.fragments {
                         let key = format!("{}#{}", fc.plan.server, fc.plan.signature);
                         if !observed.insert(key) {
                             continue;
                         }
-                        let Ok(wrapper) = scenario.federation.wrapper(&fc.plan.server) else {
-                            continue;
-                        };
-                        let at = scenario.clock.now();
-                        if let Ok(result) = wrapper.execute(&fc.plan, at) {
-                            scenario.clock.advance(result.response_time);
-                            if let Some(est) = fc.plan.cost {
-                                qcc.calibration.record_fragment(
-                                    &fc.plan.server,
-                                    &fc.plan.signature,
-                                    est.total(),
-                                    result.response_time.as_millis(),
-                                );
-                            }
+                        if let Ok(wrapper) = scenario.federation.wrapper(&fc.plan.server) {
+                            let wrapper = std::sync::Arc::clone(wrapper);
+                            probes.push((fc, wrapper));
                         }
                     }
                 }
+                // Scatter the probes at one snapshot (they are pure given
+                // the timestamp), gather in probe order, record the
+                // observations sequentially, and advance the clock once —
+                // by the slowest probe.
+                let at = scenario.clock.now();
+                let threads = scenario.federation.config().threads;
+                let results = qcc_common::scatter_indexed(probes.len(), threads, |i| {
+                    let (fc, wrapper) = &probes[i];
+                    wrapper.execute(&fc.plan, at).ok()
+                });
+                let mut slowest = qcc_common::SimDuration::ZERO;
+                for ((fc, _), result) in probes.iter().zip(results) {
+                    let Some(result) = result else { continue };
+                    slowest = slowest.max(result.response_time);
+                    if let Some(est) = fc.plan.cost {
+                        qcc.calibration.record_fragment(
+                            &fc.plan.server,
+                            &fc.plan.signature,
+                            est.total(),
+                            result.response_time.as_millis(),
+                        );
+                    }
+                }
+                scenario.clock.advance(slowest);
             }
         }
     }
@@ -178,11 +193,13 @@ fn run_one_phase(
     let mut counts = [0u32; 4];
     let mut server_votes: [HashMap<String, u32>; 4] = Default::default();
     for i in 0..instances_per_type {
-        for qt in ALL_QUERY_TYPES {
-            let out = scenario
-                .federation
-                .submit(&qt.sql(i))
-                .expect("experiment workload queries succeed");
+        // One batch per instance round: the four query types arrive
+        // together (the paper's concurrent clients), routed against the
+        // same frozen adaptive state and executed in parallel workers.
+        let sqls: Vec<String> = ALL_QUERY_TYPES.iter().map(|qt| qt.sql(i)).collect();
+        let outcomes = scenario.federation.submit_batch(&sqls);
+        for (qt, outcome) in ALL_QUERY_TYPES.iter().zip(outcomes) {
+            let out = outcome.expect("experiment workload queries succeed");
             let idx = qt.index();
             sums[idx] += out.response_ms;
             counts[idx] += 1;

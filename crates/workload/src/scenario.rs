@@ -41,6 +41,10 @@ pub struct ScenarioConfig {
     pub link_rtt_ms: f64,
     /// Link bandwidth in bytes per virtual ms.
     pub link_bandwidth: f64,
+    /// Scatter worker-pool width for the federation (EXPLAIN fan-out,
+    /// fragment execution, batched submission). Purely a wall-clock knob:
+    /// results are byte-identical for any value ≥ 1.
+    pub threads: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -51,6 +55,7 @@ impl Default for ScenarioConfig {
             seed: 0x5eed,
             link_rtt_ms: 2.0,
             link_bandwidth: 50_000.0,
+            threads: qcc_common::default_threads(),
         }
     }
 }
@@ -119,6 +124,7 @@ impl Scenario {
     /// Build with a custom QCC configuration (ablations tune windows,
     /// bands, thresholds and balancing modes through this).
     pub fn build_with_qcc(qcc_config: QccConfig, config: ScenarioConfig) -> Scenario {
+        let threads = config.threads;
         let mut scenario = Scenario::build_with(Routing::Baseline, config);
         let qcc = Qcc::new(qcc_config);
         // Rebuild the federation around the QCC middleware, reusing the
@@ -127,7 +133,10 @@ impl Scenario {
             rebuild_nicknames(&scenario),
             scenario.clock.clone(),
             qcc.middleware(),
-            FederationConfig::default(),
+            FederationConfig {
+                threads,
+                ..FederationConfig::default()
+            },
         );
         for w in &scenario.wrappers {
             federation.add_wrapper(Arc::clone(w));
@@ -217,7 +226,10 @@ impl Scenario {
             nicknames,
             clock.clone(),
             middleware,
-            FederationConfig::default(),
+            FederationConfig {
+                threads: config.threads,
+                ..FederationConfig::default()
+            },
         );
         let mut wrappers: Vec<Arc<dyn Wrapper>> = Vec::new();
         for s in &servers {

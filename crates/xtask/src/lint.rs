@@ -23,6 +23,13 @@
 //!   `.explain(`, `.ping(`) — holding integrator state locked while a
 //!   simulated remote "runs" serializes the very concurrency the load
 //!   balancer is supposed to exploit.
+//! * **L5 thread discipline** — no `thread::spawn` / `thread::scope`
+//!   outside `crates/common/src/scatter.rs`. All parallelism must flow
+//!   through the scatter-gather layer, which is what guarantees the
+//!   frozen-state/deferred-effects determinism contract (identical
+//!   results at any thread count). Ad-hoc threads bypass the gather
+//!   barrier and reintroduce scheduling-order nondeterminism. Tests,
+//!   benches and examples are exempt.
 //!
 //! Waivers: a violation is silenced by an inline comment
 //! `// qcc-lint: allow(L3): <justification>` either trailing on the
@@ -49,13 +56,15 @@ pub enum Rule {
     L3,
     /// Lock discipline.
     L4,
+    /// Thread discipline.
+    L5,
     /// Malformed waiver comment.
     W0,
 }
 
 impl Rule {
     /// All lintable rules (waivable ones; `W0` is not waivable).
-    pub const ALL: [Rule; 4] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4];
+    pub const ALL: [Rule; 5] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5];
 
     /// Parse a rule name as written in a waiver comment.
     pub fn parse(s: &str) -> Option<Rule> {
@@ -64,6 +73,7 @@ impl Rule {
             "L2" => Some(Rule::L2),
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
             _ => None,
         }
     }
@@ -76,6 +86,7 @@ impl fmt::Display for Rule {
             Rule::L2 => "L2",
             Rule::L3 => "L3",
             Rule::L4 => "L4",
+            Rule::L5 => "L5",
             Rule::W0 => "W0",
         };
         f.write_str(s)
@@ -131,6 +142,10 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
 /// Call markers treated as "execution leaves the integrator" for L4:
 /// holding a guard across one of these serializes remote work.
 pub const REMOTE_CALL_MARKERS: &[&str] = &[".execute(", ".explain(", ".ping("];
+
+/// The single file allowed to create OS threads (L5): the scatter-gather
+/// layer, whose gather barrier is what keeps parallelism deterministic.
+pub const THREAD_ALLOWLIST: &str = "crates/common/src/scatter.rs";
 
 /// Paths never scanned: build output, the vendored shim (external-crate
 /// API surface, not simulation code), and the linter itself (its source
@@ -467,6 +482,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     let l2_applies = ORDERED_MODULES.iter().any(|m| path.starts_with(m)) && !test_like;
     let l3_applies = PANIC_FREE_CRATES.iter().any(|m| path.starts_with(m)) && !test_like;
     let l4_applies = !test_like;
+    let l5_applies = path != THREAD_ALLOWLIST && !test_like;
 
     let mut push = |rule: Rule, line: usize, message: String| {
         if !waivers.covers(line, rule) {
@@ -587,6 +603,24 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                             );
                         }
                     }
+                }
+            }
+        }
+
+        if l5_applies && !in_test_mod {
+            for pat in ["thread::spawn(", "thread::scope("] {
+                if line.contains(pat) {
+                    push(
+                        Rule::L5,
+                        lineno,
+                        format!(
+                            "`{}` outside the scatter layer: ad-hoc threads bypass \
+                             the gather barrier and break the deterministic \
+                             frozen-state/deferred-effects contract — use \
+                             `qcc_common::scatter_indexed` instead",
+                            pat.trim_end_matches('(')
+                        ),
+                    );
                 }
             }
         }
@@ -792,6 +826,38 @@ mod tests {
     #[test]
     fn l4_quiet_on_transient_guard_expression() {
         let src = "fn f() {\n    *self.hits.lock() += 1;\n    server.execute(&plan, now);\n}\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    // ---- L5 ----
+
+    #[test]
+    fn l5_fires_on_thread_spawn_and_scope() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n}\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::L5, 2), (Rule::L5, 3)]);
+        let bare = "use std::thread;\nfn f() { thread::spawn(|| {}); }\n";
+        assert_eq!(rules("crates/workload/src/x.rs", bare), vec![(Rule::L5, 2)]);
+    }
+
+    #[test]
+    fn l5_exempts_the_scatter_layer_itself() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert_eq!(rules(THREAD_ALLOWLIST, src), vec![]);
+    }
+
+    #[test]
+    fn l5_exempts_tests_benches_and_cfg_test() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules("crates/core/tests/t.rs", src), vec![]);
+        assert_eq!(rules("crates/bench/benches/b.rs", src), vec![]);
+        let with_mod =
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert_eq!(rules(CORE, with_mod), vec![]);
+    }
+
+    #[test]
+    fn l5_is_waivable() {
+        let src = "// qcc-lint: allow(L5): detached watchdog, joins before exit\nfn f() { std::thread::spawn(|| {}); }\n";
         assert_eq!(rules(CORE, src), vec![]);
     }
 
