@@ -13,6 +13,10 @@ QCC_THREADS=1 cargo test -q --offline
 echo "==> cargo test -q (QCC_THREADS=8)"
 QCC_THREADS=8 cargo test -q --offline
 
+echo "==> golden observability snapshots (QCC_THREADS=1 vs 8)"
+QCC_THREADS=1 cargo test -q --offline --test obs_determinism
+QCC_THREADS=8 cargo test -q --offline --test obs_determinism
+
 echo "==> cargo xtask lint"
 cargo xtask lint
 

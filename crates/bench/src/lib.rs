@@ -97,6 +97,19 @@ pub fn print_gains(title: &str, run: &ExperimentResult, baseline: &ExperimentRes
     print_table(title, &header, &[base_row, run_row, row]);
 }
 
+/// Print the qcc-obs metrics snapshot embedded in a phase result (the
+/// cumulative counters/gauges/histograms as of that phase's end), indented
+/// under a title. No-op for obs-off runs.
+pub fn print_phase_metrics(title: &str, phase: &qcc_workload::PhaseResult) {
+    let Some(metrics) = &phase.metrics else {
+        return;
+    };
+    println!("\n== {title} ==");
+    for line in metrics.lines() {
+        println!("  {line}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

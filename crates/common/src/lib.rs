@@ -11,6 +11,7 @@
 pub mod cost;
 pub mod error;
 pub mod ids;
+pub mod obs;
 pub mod rng;
 pub mod row;
 pub mod scatter;
@@ -21,6 +22,7 @@ pub mod value;
 pub use cost::Cost;
 pub use error::{QccError, Result};
 pub use ids::{FragmentId, QueryId, ServerId};
+pub use obs::{Event, FieldValue, Metric, Obs};
 pub use rng::Pcg32;
 pub use row::{Column, Row, Schema};
 pub use scatter::{default_threads, scatter_indexed};

@@ -12,7 +12,7 @@
 
 use crate::config::QccConfig;
 use parking_lot::Mutex;
-use qcc_common::{ServerId, SlidingWindow};
+use qcc_common::{Obs, ServerId, SlidingWindow};
 use std::collections::BTreeMap;
 
 /// Ratio history: separate sums of observed and estimated values, so the
@@ -73,6 +73,7 @@ pub struct CalibrationTable {
     ii: Mutex<BTreeMap<String, RatioWindow>>,
     /// Manual seeds (from daemon probes) used until real data arrives.
     seeds: Mutex<BTreeMap<ServerId, f64>>,
+    obs: Obs,
 }
 
 impl CalibrationTable {
@@ -85,7 +86,14 @@ impl CalibrationTable {
             per_fragment: Mutex::new(BTreeMap::new()),
             ii: Mutex::new(BTreeMap::new()),
             seeds: Mutex::new(BTreeMap::new()),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attach an observability handle (sample/seed counters).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Record a runtime observation for a fragment at a server.
@@ -109,12 +117,16 @@ impl CalibrationTable {
             .entry((server.clone(), signature.to_owned()))
             .or_insert_with(|| RatioWindow::new(self.window))
             .push(observed_ms, estimated_total);
+        self.obs
+            .counter_inc("calibration_samples_total", &[("server", server.as_str())]);
     }
 
     /// Seed a server's factor from a daemon probe (used only while no
     /// runtime observations exist).
     pub fn seed_server(&self, server: &ServerId, factor: f64) {
         self.seeds.lock().insert(server.clone(), factor.max(0.0));
+        self.obs
+            .counter_inc("calibration_seeds_total", &[("server", server.as_str())]);
     }
 
     /// The calibration factor to apply to a fragment estimate at a server:

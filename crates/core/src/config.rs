@@ -48,6 +48,9 @@ pub struct QccConfig {
     /// compute the calibrated runtime cost without having to consult the
     /// wrapper").
     pub plan_cache: bool,
+    /// Maximum plan-cache entries before deterministic insertion-order
+    /// eviction kicks in (0 = unbounded).
+    pub plan_cache_capacity: usize,
     /// Re-calibration exploration: every Nth query of a template is
     /// routed to the best *alternative* server so its factor stays fresh
     /// (0 disables). Without this, a server the router abandons can never
@@ -70,6 +73,7 @@ impl Default for QccConfig {
             reliability_penalty: 4.0,
             reliability_window: 16,
             plan_cache: true,
+            plan_cache_capacity: qcc_federation::DEFAULT_PLAN_CACHE_CAPACITY,
             exploration_interval: 8,
         }
     }

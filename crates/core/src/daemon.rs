@@ -12,7 +12,7 @@
 
 use crate::Qcc;
 use parking_lot::Mutex;
-use qcc_common::{ServerId, SimClock, SimTime};
+use qcc_common::{ServerId, SimClock, SimDuration, SimTime};
 use qcc_wrapper::Wrapper;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -24,6 +24,9 @@ const ADAPT_GAIN: f64 = 4.0;
 struct ProbeState {
     next_due: SimTime,
     interval_ms: f64,
+    /// When this server was last actually probed (drives the fast re-probe
+    /// path for servers believed down).
+    last_probe: SimTime,
     /// Fastest ping ever observed: the server's personal baseline. Seeding
     /// from `current / baseline` self-normalizes link latency, which a
     /// fixed expectation cannot (a far-away healthy server is not slow).
@@ -60,18 +63,33 @@ impl AvailabilityDaemon {
     /// experiment driver as virtual time advances (nothing sleeps).
     pub fn run_due_probes(&self) -> Vec<ServerId> {
         let at = self.clock.now();
+        let (lo, _hi) = self.qcc.config.probe_interval_bounds_ms;
         let mut probed = Vec::new();
         for w in &self.wrappers {
             let id = w.server_id().clone();
-            let due = {
-                let st = self.state.lock();
-                st.get(&id).map(|p| p.next_due).unwrap_or(SimTime::ZERO)
+            let state = { self.state.lock().get(&id).copied() };
+            let due = match state {
+                None => true,
+                // A server believed down is re-probed at the fast bound
+                // regardless of its scheduled `next_due`: down-ness may
+                // have been detected by an execute failure *after* the
+                // schedule was set (possibly to the 10 s upper bound), and
+                // recovery detection must not wait that long.
+                Some(p) if self.qcc.reliability.is_down(&id) => {
+                    at >= p.last_probe + SimDuration::from_millis(lo)
+                }
+                Some(p) => at >= p.next_due,
             };
-            if at < due {
+            if !due {
                 continue;
             }
             self.probe_one(w.as_ref(), at);
             probed.push(id);
+        }
+        if !probed.is_empty() {
+            // Counts adaptive probe cycles only (not startup `probe_all`),
+            // so a nonzero value proves the mid-phase probe loop is alive.
+            self.qcc.obs.counter_inc("probe_cycles_total", &[]);
         }
         probed
     }
@@ -88,6 +106,7 @@ impl AvailabilityDaemon {
 
     fn probe_one(&self, wrapper: &dyn Wrapper, at: SimTime) {
         let id = wrapper.server_id().clone();
+        let was_down = self.qcc.reliability.is_down(&id);
         let prev_baseline = self
             .state
             .lock()
@@ -95,6 +114,7 @@ impl AvailabilityDaemon {
             .map(|p| p.baseline_ping_ms)
             .unwrap_or(f64::INFINITY);
         let mut baseline = prev_baseline;
+        let mut ping_ms = None;
         match wrapper.ping(at) {
             Ok(latency) => {
                 self.qcc.reliability.record_probe(&id, true, at);
@@ -108,23 +128,58 @@ impl AvailabilityDaemon {
                 // first-ever probe of a loaded server isn't taken as its
                 // healthy self. Real observations override seeds at once.
                 let ms = latency.as_millis();
+                ping_ms = Some(ms);
                 baseline = baseline.min(ms).max(self.qcc.config.expected_ping_ms);
                 let ratio = ms / baseline;
-                self.qcc.calibration.seed_server(&id, ratio.max(1.0));
+                let seed = ratio.max(1.0);
+                self.qcc.calibration.seed_server(&id, seed);
+                self.qcc.obs.event(
+                    at,
+                    "calibration_seed",
+                    vec![("server", id.as_str().into()), ("factor", seed.into())],
+                );
+                if was_down {
+                    self.qcc
+                        .obs
+                        .event(at, "server_restored", vec![("server", id.as_str().into())]);
+                }
             }
             Err(_) => {
                 self.qcc.reliability.record_probe(&id, false, at);
             }
         }
+        let outcome = if ping_ms.is_some() { "up" } else { "down" };
+        self.qcc.obs.counter_inc(
+            "probes_total",
+            &[("server", id.as_str()), ("outcome", outcome)],
+        );
         // Adaptive cycle: base interval shortened by observed variability.
         let cov = self.qcc.calibration.server_cov(&id).unwrap_or(0.0);
         let (lo, hi) = self.qcc.config.probe_interval_bounds_ms;
-        let interval = (self.qcc.config.probe_interval_ms / (1.0 + ADAPT_GAIN * cov)).clamp(lo, hi);
+        let mut interval =
+            (self.qcc.config.probe_interval_ms / (1.0 + ADAPT_GAIN * cov)).clamp(lo, hi);
+        if self.qcc.reliability.is_down(&id) {
+            // While the server is believed down, recovery detection is the
+            // whole point of probing — hold the cycle at the fast bound
+            // instead of whatever (possibly 10 s upper-bound) adaptive
+            // interval its healthy history produced.
+            interval = lo;
+        }
+        let mut fields = vec![
+            ("server", id.as_str().into()),
+            ("ok", ping_ms.is_some().into()),
+        ];
+        if let Some(ms) = ping_ms {
+            fields.push(("ms", ms.into()));
+        }
+        fields.push(("interval_ms", interval.into()));
+        self.qcc.obs.event(at, "probe", fields);
         self.state.lock().insert(
             id,
             ProbeState {
-                next_due: at + qcc_common::SimDuration::from_millis(interval),
+                next_due: at + SimDuration::from_millis(interval),
                 interval_ms: interval,
+                last_probe: at,
                 baseline_ping_ms: baseline,
             },
         );
@@ -261,6 +316,70 @@ mod tests {
         // After the base interval it is due again.
         clock.advance_to(SimTime::ZERO + SimDuration::from_millis(2000.0));
         assert_eq!(daemon.run_due_probes().len(), 1);
+    }
+
+    #[test]
+    fn down_server_clamps_interval_to_fast_bound() {
+        let (server, wrapper) = build("S1");
+        let qcc = Qcc::new(QccConfig::default());
+        let clock = SimClock::new();
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
+        let s1 = ServerId::new("S1");
+        let (lo, _hi) = qcc.config.probe_interval_bounds_ms;
+
+        daemon.probe_all();
+        let healthy = daemon.probe_interval_ms(&s1).unwrap();
+        assert!(healthy > lo, "healthy interval above the fast bound");
+
+        server
+            .availability()
+            .add_outage(SimTime::from_millis(10.0), SimTime::from_millis(1e9));
+        clock.advance_to(SimTime::from_millis(15.0));
+        daemon.probe_all();
+        assert!(qcc.reliability.is_down(&s1));
+        assert_eq!(
+            daemon.probe_interval_ms(&s1),
+            Some(lo),
+            "down server re-probes at the lower bound"
+        );
+    }
+
+    #[test]
+    fn execute_detected_outage_reprobed_within_fast_bound() {
+        // The daemon probed a healthy server and scheduled the next probe
+        // a full base interval out; then an *execute* failure marks the
+        // server down. Recovery probing must not wait for the stale
+        // schedule — the down fast-path re-probes after the lower bound.
+        let (server, wrapper) = build("S1");
+        let qcc = Qcc::new(QccConfig::default());
+        let clock = SimClock::new();
+        let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
+        let s1 = ServerId::new("S1");
+        let (lo, _hi) = qcc.config.probe_interval_bounds_ms;
+
+        assert_eq!(daemon.run_due_probes().len(), 1); // healthy: next due in ~1000ms
+        server
+            .availability()
+            .add_outage(SimTime::from_millis(1.0), SimTime::from_millis(150.0));
+        clock.advance_to(SimTime::from_millis(2.0));
+        qcc.reliability.record_unreachable(&s1, clock.now());
+
+        // Before the fast bound elapses: still not due.
+        clock.advance(SimDuration::from_millis(lo / 2.0));
+        assert!(daemon.run_due_probes().is_empty());
+        // One fast-bound interval after the last probe: due despite the
+        // stale next_due, and (outage over by then? no — 52ms < 150ms) the
+        // probe confirms the outage.
+        clock.advance_to(SimTime::from_millis(lo + 1.0));
+        assert_eq!(daemon.run_due_probes(), vec![s1.clone()]);
+        assert!(qcc.reliability.is_down(&s1));
+        // Recovery is then detected one fast-bound cycle after the outage
+        // ends, not after the healthy 1000ms schedule.
+        clock.advance_to(SimTime::from_millis(151.0) + SimDuration::from_millis(lo));
+        assert_eq!(daemon.run_due_probes(), vec![s1.clone()]);
+        assert!(!qcc.reliability.is_down(&s1), "recovery detected fast");
+        assert!(qcc.obs.counter_value("probe_cycles_total", &[]) >= 3);
+        assert_eq!(qcc.obs.events_of("server_restored").len(), 1);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use whatif::SimulatedFederation;
 
 pub use qcc_federation::Middleware;
 
+use qcc_common::Obs;
 use std::sync::Arc;
 
 /// The assembled QCC: recording + calibration + reliability + load
@@ -70,17 +71,28 @@ pub struct Qcc {
     /// Compile-time plan cache (Figure 5: MW answers repeated fragments
     /// without consulting the wrapper).
     pub plan_cache: PlanCache,
+    /// Shared observability handle (qcc-obs); every subcomponent emits
+    /// through a clone of it.
+    pub obs: Obs,
 }
 
 impl Qcc {
-    /// Build a QCC with the given configuration.
+    /// Build a QCC with the given configuration and an enabled
+    /// observability registry.
     pub fn new(config: QccConfig) -> Arc<Self> {
+        Qcc::with_obs(config, Obs::new())
+    }
+
+    /// Build a QCC emitting into the given observability handle (pass
+    /// [`Obs::off`] to disable instrumentation entirely).
+    pub fn with_obs(config: QccConfig, obs: Obs) -> Arc<Self> {
         Arc::new(Qcc {
             records: RecordStore::new(),
-            calibration: CalibrationTable::new(&config),
-            reliability: ReliabilityTracker::new(&config),
-            load_balancer: LoadBalancer::new(&config),
-            plan_cache: PlanCache::new(),
+            calibration: CalibrationTable::new(&config).with_obs(obs.clone()),
+            reliability: ReliabilityTracker::new(&config).with_obs(obs.clone()),
+            load_balancer: LoadBalancer::new(&config).with_obs(obs.clone()),
+            plan_cache: PlanCache::with_capacity(config.plan_cache_capacity).with_obs(obs.clone()),
+            obs,
             config,
         })
     }

@@ -16,6 +16,7 @@
 
 use crate::config::{LoadBalanceMode, QccConfig};
 use parking_lot::Mutex;
+use qcc_common::Obs;
 use qcc_federation::GlobalCandidate;
 use std::collections::BTreeMap;
 
@@ -35,6 +36,7 @@ pub struct LoadBalancer {
     threshold: f64,
     exploration_interval: u64,
     state: Mutex<BTreeMap<String, TemplateState>>,
+    obs: Obs,
 }
 
 impl LoadBalancer {
@@ -46,7 +48,14 @@ impl LoadBalancer {
             threshold: config.workload_threshold,
             exploration_interval: config.exploration_interval,
             state: Mutex::new(BTreeMap::new()),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attach an observability handle (commit/rotation counters).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The active mode.
@@ -187,6 +196,11 @@ impl LoadBalancer {
         t.frequency += 1;
         if commit.rotated && commit.cluster_len > 0 {
             t.cursor = (t.cursor + 1) % commit.cluster_len;
+        }
+        drop(st);
+        self.obs.counter_inc("lb_commits_total", &[]);
+        if commit.rotated {
+            self.obs.counter_inc("lb_rotations_total", &[]);
         }
     }
 }

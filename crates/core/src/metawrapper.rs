@@ -66,6 +66,11 @@ impl Middleware for MetaWrapper {
             Some(plans) => (plans, SimDuration::ZERO),
             None => match wrapper.plan(sql, at) {
                 Ok((plans, took)) => {
+                    // Counter only (commutative): plan_fragment runs on
+                    // worker threads during the EXPLAIN fan-out.
+                    self.qcc
+                        .obs
+                        .counter_inc("explain_requests_total", &[("server", server.as_str())]);
                     let plans = Arc::new(plans);
                     let qcc = self.qcc.clone();
                     let (srv, sql_key, stored) = (server.clone(), sql.to_owned(), plans.clone());
@@ -212,6 +217,9 @@ impl Middleware for MetaWrapper {
 
 impl MetaWrapper {
     fn defer_failure(&self, effects: &mut Deferred, server: &ServerId, e: &QccError, at: SimTime) {
+        self.qcc
+            .obs
+            .counter_inc("fragment_failures_total", &[("server", server.as_str())]);
         let record = ErrorRecord {
             server: server.clone(),
             message: e.to_string(),

@@ -8,7 +8,7 @@
 
 use crate::config::QccConfig;
 use parking_lot::Mutex;
-use qcc_common::{ServerId, SimTime};
+use qcc_common::{Obs, ServerId, SimTime};
 use std::collections::BTreeMap;
 
 #[derive(Debug)]
@@ -55,6 +55,7 @@ pub struct ReliabilityTracker {
     penalty: f64,
     window: usize,
     state: Mutex<BTreeMap<ServerId, ServerHealth>>,
+    obs: Obs,
 }
 
 impl ReliabilityTracker {
@@ -64,7 +65,17 @@ impl ReliabilityTracker {
             penalty: config.reliability_penalty,
             window: config.reliability_window,
             state: Mutex::new(BTreeMap::new()),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attach an observability handle (up/down transition counters and
+    /// `server_down` journal events). All mutating entry points here are
+    /// called from deferred effects or the daemon — coordinator-sequential
+    /// contexts — so journaling transitions directly is deterministic.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Record a successful interaction with a server. Clears the down
@@ -75,7 +86,12 @@ impl ReliabilityTracker {
             .entry(server.clone())
             .or_insert_with(|| ServerHealth::new(self.window));
         h.push(true);
-        h.down_since = None;
+        let was_down = h.down_since.take().is_some();
+        drop(st);
+        if was_down {
+            self.obs
+                .counter_inc("server_recovered_total", &[("server", server.as_str())]);
+        }
     }
 
     /// Record a transient fault (server answered with an error).
@@ -84,6 +100,9 @@ impl ReliabilityTracker {
         st.entry(server.clone())
             .or_insert_with(|| ServerHealth::new(self.window))
             .push(false);
+        drop(st);
+        self.obs
+            .counter_inc("server_faults_total", &[("server", server.as_str())]);
     }
 
     /// Record that the server did not answer at all: mark it down.
@@ -93,7 +112,15 @@ impl ReliabilityTracker {
             .entry(server.clone())
             .or_insert_with(|| ServerHealth::new(self.window));
         h.push(false);
+        let went_down = h.down_since.is_none();
         h.down_since.get_or_insert(at);
+        drop(st);
+        if went_down {
+            self.obs
+                .counter_inc("server_down_total", &[("server", server.as_str())]);
+            self.obs
+                .event(at, "server_down", vec![("server", server.as_str().into())]);
+        }
     }
 
     /// Daemon probe verdicts.
@@ -200,5 +227,26 @@ mod tests {
         t.record_unreachable(&s, SimTime::from_millis(5.0));
         t.record_unreachable(&s, SimTime::from_millis(9.0));
         assert!(t.is_down(&s));
+    }
+
+    #[test]
+    fn transitions_counted_once_not_per_record() {
+        let obs = Obs::new();
+        let t = ReliabilityTracker::new(&QccConfig::default()).with_obs(obs.clone());
+        let s = ServerId::new("S1");
+        t.record_success(&s); // up → up: no transition
+        t.record_unreachable(&s, SimTime::ZERO);
+        t.record_unreachable(&s, SimTime::from_millis(1.0)); // still down
+        t.record_success(&s);
+        t.record_success(&s); // still up
+        assert_eq!(
+            obs.counter_value("server_down_total", &[("server", "S1")]),
+            1
+        );
+        assert_eq!(
+            obs.counter_value("server_recovered_total", &[("server", "S1")]),
+            1
+        );
+        assert_eq!(obs.events_of("server_down").len(), 1);
     }
 }

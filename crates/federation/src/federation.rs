@@ -7,7 +7,7 @@ use crate::nickname::NicknameCatalog;
 use crate::patroller::QueryPatroller;
 use parking_lot::Mutex;
 use qcc_common::{
-    scatter_indexed, Cost, FragmentId, QccError, QueryId, Result, Row, ServerId, SimDuration,
+    scatter_indexed, Cost, FragmentId, Obs, QccError, QueryId, Result, Row, ServerId, SimDuration,
 };
 use qcc_engine::Engine;
 use qcc_netsim::{slowdown, LoadProfile, ServerLoad, SimClock};
@@ -83,6 +83,10 @@ pub struct Federation {
     /// The explain table: query template → winning global plan signature
     /// (the paper stores the selected plan and its estimated costs here).
     explain_table: Mutex<BTreeMap<String, String>>,
+    /// Observability handle (disabled unless [`Federation::set_obs`] is
+    /// called). Worker-side journal emissions ride the `Deferred` buffers
+    /// so snapshots stay thread-count independent.
+    obs: Obs,
 }
 
 impl Federation {
@@ -102,7 +106,20 @@ impl Federation {
             ii_load: ServerLoad::new(LoadProfile::Constant(0.0), 0.02),
             config,
             explain_table: Mutex::new(BTreeMap::new()),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attach an observability handle; the patroller journals through the
+    /// same one.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.patroller.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Register a wrapper for a server.
@@ -305,6 +322,28 @@ impl Federation {
             })
             .collect();
         candidates.sort_by(|a, b| a.total_cost().total_cmp(&b.total_cost()));
+
+        // Compile span (covers the EXPLAIN fan-out): journaled via the
+        // deferred buffer because compile runs on worker threads under
+        // `submit_batch`.
+        if self.obs.is_enabled() {
+            let obs = self.obs.clone();
+            let template = decomposed.template_signature.clone();
+            let (explain_tasks, n_candidates) = (tasks.len(), candidates.len());
+            let end = clock.now();
+            effects.defer(move || {
+                let mut fields: Vec<(&'static str, qcc_common::FieldValue)> = Vec::new();
+                if qid.0 != u64::MAX {
+                    fields.push(("query", qid.0.into()));
+                }
+                fields.extend([
+                    ("template", template.into()),
+                    ("explain_tasks", explain_tasks.into()),
+                    ("candidates", n_candidates.into()),
+                ]);
+                obs.span("compile", at, end, fields);
+            });
+        }
         Ok((decomposed, candidates))
     }
 
@@ -422,7 +461,7 @@ impl Federation {
         }
         let mut banned: BTreeSet<ServerId> = BTreeSet::new();
 
-        for _attempt in 0..=self.config.retry_limit {
+        for attempt in 0..=self.config.retry_limit {
             // Filter candidates avoiding servers that already failed.
             let viable: Vec<&GlobalCandidate> = candidates
                 .iter()
@@ -455,6 +494,24 @@ impl Federation {
                         response_ms,
                         effects,
                     );
+                    // A success after at least one ban is a reroute: the
+                    // retry loop found a plan avoiding the failed servers.
+                    if self.obs.is_enabled() && !banned.is_empty() {
+                        let obs = self.obs.clone();
+                        let at = clock.now();
+                        let servers = join_servers(&chosen.server_set());
+                        effects.defer(move || {
+                            obs.event(
+                                at,
+                                "reroute",
+                                vec![
+                                    ("query", qid.0.into()),
+                                    ("attempt", (attempt as u64).into()),
+                                    ("servers", servers.into()),
+                                ],
+                            );
+                        });
+                    }
                     return Ok(QueryOutcome {
                         id: qid,
                         rows,
@@ -469,6 +526,23 @@ impl Federation {
                 | Err(QccError::ServerFault { server: s, .. }) => {
                     // Ban the failed server and re-route. The middleware
                     // has already recorded the failure (reliability input).
+                    self.obs.counter_inc("retries_total", &[]);
+                    if self.obs.is_enabled() {
+                        let obs = self.obs.clone();
+                        let at = clock.now();
+                        let srv = s.to_string();
+                        effects.defer(move || {
+                            obs.event(
+                                at,
+                                "server_banned",
+                                vec![
+                                    ("query", qid.0.into()),
+                                    ("server", srv.into()),
+                                    ("attempt", (attempt as u64).into()),
+                                ],
+                            );
+                        });
+                    }
                     banned.insert(s);
                     candidates.retain(|c| c.server_set().is_disjoint(&banned));
                     continue;
@@ -524,6 +598,26 @@ impl Federation {
                     slowest = slowest.max(result.response_time);
                     fragment_times
                         .push((cand.plan.server.clone(), result.response_time.as_millis()));
+                    self.obs
+                        .counter_inc("fragments_total", &[("server", cand.plan.server.as_str())]);
+                    if self.obs.is_enabled() {
+                        let obs = self.obs.clone();
+                        let server = cand.plan.server.to_string();
+                        let signature = cand.plan.signature.clone();
+                        let ms = result.response_time.as_millis();
+                        effects.defer(move || {
+                            obs.event(
+                                start,
+                                "fragment",
+                                vec![
+                                    ("query", qid.0.into()),
+                                    ("server", server.into()),
+                                    ("signature", signature.into()),
+                                    ("ms", ms.into()),
+                                ],
+                            );
+                        });
+                    }
                     results.push(result);
                 }
                 Err(e) => {
@@ -560,13 +654,29 @@ impl Federation {
                 }
                 let engine = Engine::new(catalog);
                 let (rows, work) = engine.execute_sql(&stmt.to_string())?;
-                let rho = self.ii_load.utilization(clock.now());
+                let merge_start = clock.now();
+                let rho = self.ii_load.utilization(merge_start);
                 let merge_ms = work.cpu_units / self.config.ii_speed * slowdown(rho, 1.0);
                 clock.advance(SimDuration::from_millis(merge_ms));
+                if self.obs.is_enabled() {
+                    let obs = self.obs.clone();
+                    effects.defer(move || {
+                        obs.event(
+                            merge_start,
+                            "merge",
+                            vec![("query", qid.0.into()), ("ms", merge_ms.into())],
+                        );
+                    });
+                }
                 Ok((rows, fragment_times))
             }
         }
     }
+}
+
+/// Comma-joined server names (sets iterate sorted, so this is stable).
+fn join_servers(set: &BTreeSet<ServerId>) -> String {
+    set.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(",")
 }
 
 impl std::fmt::Debug for Federation {
@@ -836,6 +946,7 @@ mod tests {
             Arc::new(PassthroughMiddleware::default()),
             FederationConfig::default(),
         );
+        fed.set_obs(Obs::new());
         fed.add_wrapper(Arc::new(RelationalWrapper::new(s1, Arc::clone(&net))));
         fed.add_wrapper(Arc::new(RelationalWrapper::new(s2, net)));
 
@@ -851,5 +962,11 @@ mod tests {
         }
         assert_eq!(out.servers.len(), 2, "both sources touched");
         assert_eq!(out.fragment_times.len(), 2);
+        // A cross-source split is the one shape that exercises the local
+        // merge, so this is where the "merge" journal event is pinned.
+        let merges = fed.obs().events_of("merge");
+        assert_eq!(merges.len(), 1);
+        assert!(merges[0].field("ms").is_some());
+        assert_eq!(fed.obs().events_of("fragment").len(), 2);
     }
 }

@@ -37,5 +37,5 @@ pub use middleware::{
 };
 pub use nickname::{NicknameCatalog, NicknameDef, SourceMapping};
 pub use patroller::{QueryLogEntry, QueryPatroller, QueryStatus};
-pub use plancache::PlanCache;
+pub use plancache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use report::render_explain;

@@ -5,7 +5,7 @@
 //! completion time "in the log for future use" — the QCC mines this log.
 
 use parking_lot::Mutex;
-use qcc_common::{QueryId, SimTime};
+use qcc_common::{Obs, QueryId, SimTime};
 use std::sync::Arc;
 
 /// Terminal status of a logged query.
@@ -45,12 +45,22 @@ pub struct QueryPatroller {
 struct PatrollerState {
     next_id: u64,
     log: Vec<QueryLogEntry>,
+    /// Journal handle. The federation calls the patroller only from
+    /// coordinator-sequential code (submits before the scatter, finishes
+    /// at the gather barrier in task order), so direct journal emission
+    /// here is deterministic.
+    obs: Obs,
 }
 
 impl QueryPatroller {
     /// A fresh patroller.
     pub fn new() -> Self {
         QueryPatroller::default()
+    }
+
+    /// Attach an observability handle.
+    pub fn set_obs(&self, obs: Obs) {
+        self.inner.lock().obs = obs;
     }
 
     /// Record a submission; returns the assigned id.
@@ -65,6 +75,11 @@ impl QueryPatroller {
             completed: None,
             status: QueryStatus::Running,
         });
+        st.obs.event(
+            at,
+            "query_submit",
+            vec![("query", id.0.into()), ("sql", sql.into())],
+        );
         id
     }
 
@@ -83,9 +98,35 @@ impl QueryPatroller {
         // Ids are assigned densely from 0 and the log is append-only, so
         // entry `i` holds QueryId(i) — O(1) under concurrent completion
         // traffic instead of a scan per finished query.
-        if let Some(e) = st.log.get_mut(id.0 as usize).filter(|e| e.id == id) {
+        let finished = {
+            let Some(e) = st.log.get_mut(id.0 as usize).filter(|e| e.id == id) else {
+                return;
+            };
             e.completed = Some(at);
             e.status = status;
+            (at.since(e.submitted).as_millis(), e.status.clone())
+        };
+        let (ms, status) = finished;
+        match &status {
+            QueryStatus::Completed => {
+                st.obs.event(
+                    at,
+                    "query_complete",
+                    vec![("query", id.0.into()), ("ms", ms.into())],
+                );
+                st.obs.observe("query_response_ms", &[], ms);
+                st.obs.counter_inc("queries_total", &[("status", "ok")]);
+            }
+            QueryStatus::Failed(error) => {
+                let error = error.clone();
+                st.obs.event(
+                    at,
+                    "query_failed",
+                    vec![("query", id.0.into()), ("error", error.into())],
+                );
+                st.obs.counter_inc("queries_total", &[("status", "failed")]);
+            }
+            QueryStatus::Running => {}
         }
     }
 

@@ -11,41 +11,99 @@
 //! deep clone of plan descriptors, and the hit/miss counters are lock-free
 //! atomics — under compile-time fan-out every worker thread probes the
 //! cache concurrently, so `get` takes exactly one short map lock.
+//!
+//! The cache is **bounded**: at most `capacity` entries, evicted in
+//! insertion order (FIFO) so the eviction sequence is deterministic — it
+//! depends only on the order of inserts, never on access patterns or
+//! thread interleavings that re-touch existing keys. Overwriting an
+//! existing key keeps its original queue position.
 
 use parking_lot::Mutex;
-use qcc_common::ServerId;
+use qcc_common::{Obs, ServerId};
 use qcc_wrapper::FragmentPlan;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared compile-time plan cache.
+/// Default entry cap (see `QccConfig::plan_cache_capacity`). Far above
+/// the workloads simulated here; the bound exists so a production-scale
+/// stream of distinct fragment SQLs cannot grow the cache forever.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 4096;
+
 #[derive(Debug, Default)]
+struct CacheState {
+    entries: BTreeMap<ServerId, BTreeMap<String, Arc<Vec<FragmentPlan>>>>,
+    /// Insertion order of live keys. May contain stale pairs for keys
+    /// already removed by `invalidate_server`/`clear`; eviction skips
+    /// those lazily (a stale pop is not an eviction).
+    order: VecDeque<(ServerId, String)>,
+    /// Live entry count (kept explicit so `len` is O(1) under the lock).
+    live: usize,
+}
+
+/// Shared compile-time plan cache with a FIFO entry cap.
+#[derive(Debug)]
 pub struct PlanCache {
-    entries: Mutex<BTreeMap<ServerId, BTreeMap<String, Arc<Vec<FragmentPlan>>>>>,
+    state: Mutex<CacheState>,
+    /// Maximum live entries; 0 means unbounded.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    obs: Obs,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
 }
 
 impl PlanCache {
-    /// Empty cache.
+    /// Empty cache with the default entry cap.
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// Empty cache holding at most `capacity` entries (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            state: Mutex::new(CacheState::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attach an observability handle (hit/miss/eviction counters).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The configured entry cap (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Cached wrapper plans for this (server, fragment SQL), if any.
     /// Hits share the stored vector; nothing is deep-cloned.
     pub fn get(&self, server: &ServerId, sql: &str) -> Option<Arc<Vec<FragmentPlan>>> {
         let found = self
-            .entries
+            .state
             .lock()
+            .entries
             .get(server)
             .and_then(|per_server| per_server.get(sql))
             .cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter_inc("plan_cache_hits_total", &[]);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter_inc("plan_cache_misses_total", &[]);
         }
         found
     }
@@ -56,24 +114,56 @@ impl PlanCache {
     }
 
     /// Store an already-shared EXPLAIN response (avoids re-wrapping when
-    /// the caller keeps a handle too).
+    /// the caller keeps a handle too). May evict the oldest entries to
+    /// stay within the cap.
     pub fn put_shared(&self, server: &ServerId, sql: &str, plans: Arc<Vec<FragmentPlan>>) {
-        self.entries
-            .lock()
+        let mut st = self.state.lock();
+        let fresh = st
+            .entries
             .entry(server.clone())
             .or_default()
-            .insert(sql.to_owned(), plans);
+            .insert(sql.to_owned(), plans)
+            .is_none();
+        if !fresh {
+            return;
+        }
+        st.live += 1;
+        st.order.push_back((server.clone(), sql.to_owned()));
+        while self.capacity > 0 && st.live > self.capacity {
+            let Some((srv, key)) = st.order.pop_front() else {
+                break;
+            };
+            let mut removed = false;
+            if let Some(per_server) = st.entries.get_mut(&srv) {
+                removed = per_server.remove(&key).is_some();
+                if per_server.is_empty() {
+                    st.entries.remove(&srv);
+                }
+            }
+            if removed {
+                st.live -= 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.obs.counter_inc("plan_cache_evictions_total", &[]);
+            }
+        }
     }
 
     /// Drop every cached plan for one server (e.g. after it was down —
-    /// its catalog may have changed while unreachable).
+    /// its catalog may have changed while unreachable). Not counted as
+    /// evictions.
     pub fn invalidate_server(&self, server: &ServerId) {
-        self.entries.lock().remove(server);
+        let mut st = self.state.lock();
+        if let Some(per_server) = st.entries.remove(server) {
+            st.live -= per_server.len();
+        }
     }
 
     /// Drop everything.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.order.clear();
+        st.live = 0;
     }
 
     /// `(hits, misses)` counters.
@@ -84,9 +174,14 @@ impl PlanCache {
         )
     }
 
+    /// Number of entries evicted by the cap (invalidations don't count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().values().map(BTreeMap::len).sum()
+        self.state.lock().live
     }
 
     /// True when nothing is cached.
@@ -149,5 +244,78 @@ mod tests {
         assert_eq!(c.len(), 1);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cap_evicts_in_insertion_order() {
+        let c = PlanCache::with_capacity(2);
+        let s = ServerId::new("S1");
+        c.put(&s, "q1", vec![plan("S1")]);
+        c.put(&s, "q2", vec![plan("S1")]);
+        c.put(&s, "q3", vec![plan("S1")]); // evicts q1 (oldest)
+        assert!(c.get(&s, "q1").is_none());
+        assert!(c.get(&s, "q2").is_some());
+        assert!(c.get(&s, "q3").is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_queue_position_and_never_evicts() {
+        let c = PlanCache::with_capacity(2);
+        let s = ServerId::new("S1");
+        c.put(&s, "q1", vec![plan("S1")]);
+        c.put(&s, "q2", vec![plan("S1")]);
+        // Re-putting q1 is an overwrite: no growth, no eviction, and q1
+        // stays oldest.
+        c.put(&s, "q1", vec![plan("S1")]);
+        assert_eq!((c.len(), c.evictions()), (2, 0));
+        c.put(&s, "q3", vec![plan("S1")]);
+        assert!(c.get(&s, "q1").is_none(), "q1 was still the FIFO head");
+        assert!(c.get(&s, "q2").is_some());
+    }
+
+    #[test]
+    fn invalidation_leaves_stale_queue_entries_harmless() {
+        let c = PlanCache::with_capacity(2);
+        let s1 = ServerId::new("S1");
+        let s2 = ServerId::new("S2");
+        c.put(&s1, "q1", vec![plan("S1")]);
+        c.put(&s2, "q2", vec![plan("S2")]);
+        c.invalidate_server(&s1);
+        assert_eq!(c.len(), 1);
+        // Two inserts fit: the stale (S1, q1) queue entry is skipped by
+        // eviction without being counted.
+        c.put(&s2, "q3", vec![plan("S2")]);
+        assert_eq!((c.len(), c.evictions()), (2, 0));
+        c.put(&s2, "q4", vec![plan("S2")]); // now a real eviction: q2
+        assert_eq!((c.len(), c.evictions()), (2, 1));
+        assert!(c.get(&s2, "q2").is_none());
+        assert!(c.get(&s2, "q3").is_some());
+        assert!(c.get(&s2, "q4").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let c = PlanCache::with_capacity(0);
+        let s = ServerId::new("S1");
+        for i in 0..100 {
+            c.put(&s, &format!("q{i}"), vec![plan("S1")]);
+        }
+        assert_eq!((c.len(), c.evictions()), (100, 0));
+    }
+
+    #[test]
+    fn eviction_counter_surfaces_via_obs() {
+        let obs = Obs::new();
+        let c = PlanCache::with_capacity(1).with_obs(obs.clone());
+        let s = ServerId::new("S1");
+        c.put(&s, "q1", vec![plan("S1")]);
+        c.put(&s, "q2", vec![plan("S1")]);
+        let _ = c.get(&s, "q2");
+        let _ = c.get(&s, "gone");
+        assert_eq!(obs.counter_value("plan_cache_evictions_total", &[]), 1);
+        assert_eq!(obs.counter_value("plan_cache_hits_total", &[]), 1);
+        assert_eq!(obs.counter_value("plan_cache_misses_total", &[]), 1);
     }
 }

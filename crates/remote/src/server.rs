@@ -5,7 +5,7 @@ use qcc_common::{Cost, Pcg32, QccError, Result, Row, ServerId, SimDuration, SimT
 use qcc_engine::{Engine, PlanNode};
 use qcc_netsim::{slowdown, AvailabilitySchedule, LoadProfile, ServerLoad};
 use qcc_storage::Catalog;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Static characteristics of a remote server.
@@ -68,7 +68,7 @@ pub struct RemoteServer {
     availability: AvailabilitySchedule,
     /// Extra slowdown sensitivity per table while the update workload
     /// contends on it (set by the experiment's load driver).
-    contention: Mutex<HashMap<String, f64>>,
+    contention: Mutex<BTreeMap<String, f64>>,
     rng: Mutex<Pcg32>,
 }
 
@@ -88,7 +88,7 @@ impl RemoteServer {
             engine: Engine::new(catalog),
             load,
             availability: AvailabilitySchedule::always_up(),
-            contention: Mutex::new(HashMap::new()),
+            contention: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -122,7 +122,7 @@ impl RemoteServer {
     /// Set per-table contention sensitivities (replaces the previous map).
     /// The experiment's heavy-update phases hammer specific tables on
     /// specific servers; queries scanning those tables slow down steeply.
-    pub fn set_contention(&self, map: HashMap<String, f64>) {
+    pub fn set_contention(&self, map: BTreeMap<String, f64>) {
         *self.contention.lock() = map;
     }
 
@@ -310,13 +310,13 @@ mod tests {
             .explain("SELECT COUNT(*) FROM items", SimTime::ZERO)
             .unwrap();
         let before = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert("items".to_string(), 5.0);
         s.set_contention(map);
         let after = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
         assert!(after.elapsed.as_millis() > before.elapsed.as_millis() * 2.0);
         // Contention on an unrelated table does nothing.
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert("other".to_string(), 5.0);
         s.set_contention(map);
         let unrelated = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();

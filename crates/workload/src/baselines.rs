@@ -14,12 +14,12 @@ use qcc_federation::{
     Deferred, FragmentCandidate, GlobalCandidate, Middleware, PassthroughMiddleware,
 };
 use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The paper's registration-time assignment (Figure 10's baseline).
 #[allow(non_snake_case)]
-pub fn FIXED_ASSIGNMENT_1() -> HashMap<QueryType, ServerId> {
-    HashMap::from([
+pub fn FIXED_ASSIGNMENT_1() -> BTreeMap<QueryType, ServerId> {
+    BTreeMap::from([
         (QueryType::QT1, ServerId::new("S1")),
         (QueryType::QT2, ServerId::new("S2")),
         (QueryType::QT3, ServerId::new("S1")),
@@ -29,8 +29,8 @@ pub fn FIXED_ASSIGNMENT_1() -> HashMap<QueryType, ServerId> {
 
 /// Everything to the most powerful server (Figure 11's baseline).
 #[allow(non_snake_case)]
-pub fn FIXED_ASSIGNMENT_2() -> HashMap<QueryType, ServerId> {
-    HashMap::from([
+pub fn FIXED_ASSIGNMENT_2() -> BTreeMap<QueryType, ServerId> {
+    BTreeMap::from([
         (QueryType::QT1, ServerId::new("S3")),
         (QueryType::QT2, ServerId::new("S3")),
         (QueryType::QT3, ServerId::new("S3")),
@@ -43,13 +43,13 @@ pub fn FIXED_ASSIGNMENT_2() -> HashMap<QueryType, ServerId> {
 /// bound to specific servers at registration time.
 #[derive(Debug)]
 pub struct FixedRoutingMiddleware {
-    assignment: HashMap<QueryType, ServerId>,
+    assignment: BTreeMap<QueryType, ServerId>,
     inner: PassthroughMiddleware,
 }
 
 impl FixedRoutingMiddleware {
     /// Route per the given type → server table.
-    pub fn new(assignment: HashMap<QueryType, ServerId>) -> Self {
+    pub fn new(assignment: BTreeMap<QueryType, ServerId>) -> Self {
         FixedRoutingMiddleware {
             assignment,
             // Plan caching is shared integrator infrastructure: the fixed

@@ -5,7 +5,7 @@ use crate::phases::{apply_phase, Phase, PhaseSchedule};
 use crate::querytypes::{QueryType, ALL_QUERY_TYPES};
 use crate::scenario::{Routing, Scenario, ScenarioConfig};
 use qcc_core::AvailabilityDaemon;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 pub use crate::scenario::Routing as RoutingMode;
 
@@ -21,6 +21,9 @@ pub struct PhaseResult {
     pub per_type_server: [String; 4],
     /// Mean response time over the whole phase workload (ms).
     pub avg_ms: f64,
+    /// qcc-obs metrics snapshot taken at the end of the phase (cumulative
+    /// across phases; `None` when the scenario was built with obs off).
+    pub metrics: Option<String>,
 }
 
 /// A full experiment run.
@@ -131,14 +134,19 @@ fn run_one_phase(
         // every candidate server, so the calibration factors cover the
         // whole routing space before measurement begins.
         for round in 0..warmup_rounds {
+            // Keep the availability daemon's adaptive cycle alive during
+            // warm-up: due probes run at the top of every round, so an
+            // outage struck mid-phase is noticed within a probe interval.
+            if let Some(d) = daemon {
+                d.run_due_probes();
+            }
             for qt in ALL_QUERY_TYPES {
                 let sql = qt.sql(round);
                 let Ok((_, candidates)) = scenario.federation.explain_global(&sql) else {
                     continue;
                 };
                 // One probe per distinct (server, plan shape).
-                let mut observed: std::collections::HashSet<String> =
-                    std::collections::HashSet::new();
+                let mut observed: BTreeSet<String> = BTreeSet::new();
                 let mut probes = Vec::new();
                 for cand in &candidates {
                     for fc in &cand.fragments {
@@ -191,8 +199,14 @@ fn run_one_phase(
 
     let mut sums = [0.0f64; 4];
     let mut counts = [0u32; 4];
-    let mut server_votes: [HashMap<String, u32>; 4] = Default::default();
+    let mut server_votes: [BTreeMap<String, u32>; 4] = Default::default();
     for i in 0..instances_per_type {
+        // The daemon also stays live between measured batches — this is
+        // where an outage detected by a failed execute gets re-probed (and
+        // recovery observed) within the fast probe-interval bound.
+        if let Some(d) = daemon {
+            d.run_due_probes();
+        }
         // One batch per instance round: the four query types arrive
         // together (the paper's concurrent clients), routed against the
         // same frozen adaptive state and executed in parallel workers.
@@ -225,11 +239,22 @@ fn run_one_phase(
     });
     let total: f64 = sums.iter().sum();
     let n: u32 = counts.iter().sum();
+    let metrics = if scenario.obs.is_enabled() {
+        if let Some(qcc) = &scenario.qcc {
+            scenario
+                .obs
+                .gauge_set("plan_cache_entries", &[], qcc.plan_cache.len() as f64);
+        }
+        Some(scenario.obs.metrics_snapshot())
+    } else {
+        None
+    };
     PhaseResult {
         number: phase.number,
         per_type_ms,
         per_type_server,
         avg_ms: if n > 0 { total / n as f64 } else { 0.0 },
+        metrics,
     }
 }
 

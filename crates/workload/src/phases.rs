@@ -8,7 +8,7 @@
 use crate::scenario::{contention_for, Scenario};
 use qcc_common::ServerId;
 use qcc_netsim::LoadProfile;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Background utilization of a server under the heavy update workload.
 pub const HIGH_LOAD: f64 = 0.85;
@@ -91,7 +91,7 @@ pub fn apply_phase(scenario: &Scenario, phase: &Phase) {
             server.set_contention(contention_for(server.id()));
         } else {
             server.load().set_background(LoadProfile::Constant(0.0));
-            server.set_contention(HashMap::new());
+            server.set_contention(BTreeMap::new());
         }
     }
 }
@@ -100,7 +100,7 @@ pub fn apply_phase(scenario: &Scenario, phase: &Phase) {
 pub fn clear_phase(scenario: &Scenario) {
     for server in &scenario.servers {
         server.load().set_background(LoadProfile::Constant(0.0));
-        server.set_contention(HashMap::new());
+        server.set_contention(BTreeMap::new());
     }
 }
 

@@ -16,7 +16,7 @@
 //! flatter.
 
 use crate::baselines::FixedRoutingMiddleware;
-use qcc_common::ServerId;
+use qcc_common::{Obs, ServerId};
 use qcc_core::{LoadBalanceMode, Qcc, QccConfig};
 use qcc_federation::{
     Federation, FederationConfig, Middleware, NicknameCatalog, PassthroughMiddleware,
@@ -25,7 +25,7 @@ use qcc_netsim::{Link, LoadProfile, Network, SimClock};
 use qcc_remote::{RemoteServer, ServerProfile};
 use qcc_storage::{Catalog, ColumnSpec, TableSpec};
 use qcc_wrapper::{RelationalWrapper, Wrapper};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Scenario sizing and seeding.
@@ -45,6 +45,9 @@ pub struct ScenarioConfig {
     /// fragment execution, batched submission). Purely a wall-clock knob:
     /// results are byte-identical for any value ≥ 1.
     pub threads: usize,
+    /// Record metrics + journal through qcc-obs (false = every emission
+    /// is a no-op; used by benches to measure instrumentation overhead).
+    pub obs_enabled: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -56,6 +59,7 @@ impl Default for ScenarioConfig {
             link_rtt_ms: 2.0,
             link_bandwidth: 50_000.0,
             threads: qcc_common::default_threads(),
+            obs_enabled: true,
         }
     }
 }
@@ -100,6 +104,9 @@ pub struct Scenario {
     pub qcc: Option<Arc<Qcc>>,
     /// The shared clock.
     pub clock: SimClock,
+    /// The scenario-wide observability handle (shared by the federation,
+    /// its patroller, and the QCC when present).
+    pub obs: Obs,
 }
 
 /// CPU speeds: S3 is the most powerful machine.
@@ -125,8 +132,13 @@ impl Scenario {
     /// bands, thresholds and balancing modes through this).
     pub fn build_with_qcc(qcc_config: QccConfig, config: ScenarioConfig) -> Scenario {
         let threads = config.threads;
+        let obs = if config.obs_enabled {
+            Obs::new()
+        } else {
+            Obs::off()
+        };
         let mut scenario = Scenario::build_with(Routing::Baseline, config);
-        let qcc = Qcc::new(qcc_config);
+        let qcc = Qcc::with_obs(qcc_config, obs.clone());
         // Rebuild the federation around the QCC middleware, reusing the
         // already-built servers and wrappers.
         let mut federation = Federation::new(
@@ -138,11 +150,13 @@ impl Scenario {
                 ..FederationConfig::default()
             },
         );
+        federation.set_obs(obs.clone());
         for w in &scenario.wrappers {
             federation.add_wrapper(Arc::clone(w));
         }
         scenario.federation = federation;
         scenario.qcc = Some(qcc);
+        scenario.obs = obs;
         scenario
     }
 
@@ -198,6 +212,11 @@ impl Scenario {
             }
         }
 
+        let obs = if config.obs_enabled {
+            Obs::new()
+        } else {
+            Obs::off()
+        };
         let (middleware, qcc): (Arc<dyn Middleware>, Option<Arc<Qcc>>) = match routing {
             Routing::Baseline => (Arc::new(PassthroughMiddleware::with_cache()), None),
             Routing::Fixed1 => (
@@ -213,11 +232,11 @@ impl Scenario {
                 None,
             ),
             Routing::Qcc => {
-                let qcc = Qcc::new(QccConfig::default());
+                let qcc = Qcc::with_obs(QccConfig::default(), obs.clone());
                 (qcc.middleware(), Some(qcc))
             }
             Routing::QccBalanced(mode) => {
-                let qcc = Qcc::new(QccConfig::with_load_balance(mode));
+                let qcc = Qcc::with_obs(QccConfig::with_load_balance(mode), obs.clone());
                 (qcc.middleware(), Some(qcc))
             }
         };
@@ -231,6 +250,7 @@ impl Scenario {
                 ..FederationConfig::default()
             },
         );
+        federation.set_obs(obs.clone());
         let mut wrappers: Vec<Arc<dyn Wrapper>> = Vec::new();
         for s in &servers {
             let w: Arc<dyn Wrapper> =
@@ -245,6 +265,7 @@ impl Scenario {
             federation,
             qcc,
             clock,
+            obs,
         }
     }
 
@@ -382,8 +403,8 @@ fn table_specs(config: &ScenarioConfig) -> Vec<TableSpec> {
 /// Per-table / per-index contention each server suffers while its update
 /// workload runs (phase "Load" state). See DESIGN.md: these are the
 /// heterogeneity knobs that produce Figure 9's shapes.
-pub fn contention_for(server: &ServerId) -> HashMap<String, f64> {
-    let mut m = HashMap::new();
+pub fn contention_for(server: &ServerId) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
     match server.as_str() {
         // S1/S2: flat moderate contention everywhere; updates on the small
         // table and the indexes contend a bit harder.

@@ -30,6 +30,12 @@
 //!   results at any thread count). Ad-hoc threads bypass the gather
 //!   barrier and reintroduce scheduling-order nondeterminism. Tests,
 //!   benches and examples are exempt.
+//! * **L6 output discipline** — no `println!` / `eprintln!` in library
+//!   code of the federation stack (same crates as L3). Library crates
+//!   report through `Result`s and the qcc-obs metrics/journal; ad-hoc
+//!   stdout writes are invisible to the observability layer and garble
+//!   the reports the binaries print. Tests, benches and examples are
+//!   exempt.
 //!
 //! Waivers: a violation is silenced by an inline comment
 //! `// qcc-lint: allow(L3): <justification>` either trailing on the
@@ -58,13 +64,15 @@ pub enum Rule {
     L4,
     /// Thread discipline.
     L5,
+    /// Output discipline.
+    L6,
     /// Malformed waiver comment.
     W0,
 }
 
 impl Rule {
     /// All lintable rules (waivable ones; `W0` is not waivable).
-    pub const ALL: [Rule; 5] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5];
+    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
 
     /// Parse a rule name as written in a waiver comment.
     pub fn parse(s: &str) -> Option<Rule> {
@@ -74,6 +82,7 @@ impl Rule {
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
             _ => None,
         }
     }
@@ -87,6 +96,7 @@ impl fmt::Display for Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
             Rule::W0 => "W0",
         };
         f.write_str(s)
@@ -128,6 +138,7 @@ pub const ORDERED_MODULES: &[&str] = &[
     "crates/engine/src/cost.rs",
     "crates/engine/src/plan.rs",
     "crates/engine/src/planner.rs",
+    "crates/workload/src/",
 ];
 
 /// Crates whose library code must be panic-free (L3).
@@ -483,6 +494,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     let l3_applies = PANIC_FREE_CRATES.iter().any(|m| path.starts_with(m)) && !test_like;
     let l4_applies = !test_like;
     let l5_applies = path != THREAD_ALLOWLIST && !test_like;
+    let l6_applies = PANIC_FREE_CRATES.iter().any(|m| path.starts_with(m)) && !test_like;
 
     let mut push = |rule: Rule, line: usize, message: String| {
         if !waivers.covers(line, rule) {
@@ -619,6 +631,22 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                              frozen-state/deferred-effects contract — use \
                              `qcc_common::scatter_indexed` instead",
                             pat.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+        }
+
+        if l6_applies && !in_test_mod {
+            for pat in ["println!", "eprintln!"] {
+                if has_ident(line, pat) {
+                    push(
+                        Rule::L6,
+                        lineno,
+                        format!(
+                            "`{pat}` in library code: stdout writes bypass the \
+                             qcc-obs metrics/journal and garble binary reports — \
+                             emit an obs event/counter or return data to the caller"
                         ),
                     );
                 }
@@ -858,6 +886,45 @@ mod tests {
     #[test]
     fn l5_is_waivable() {
         let src = "// qcc-lint: allow(L5): detached watchdog, joins before exit\nfn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    // ---- L6 ----
+
+    #[test]
+    fn l6_fires_on_println_and_eprintln_in_library_code() {
+        let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
+        assert_eq!(rules(CORE, src), vec![(Rule::L6, 2), (Rule::L6, 3)]);
+        assert_eq!(rules("crates/remote/src/server.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn l6_only_covers_the_federation_stack() {
+        let src = "fn f() { println!(\"report row\"); }\n";
+        assert_eq!(rules("crates/workload/src/report.rs", src), vec![]);
+        assert_eq!(rules("crates/bench/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn l6_exempts_tests_benches_examples_and_cfg_test() {
+        let src = "fn f() { println!(\"dbg\"); }\n";
+        assert_eq!(rules("crates/core/tests/t.rs", src), vec![]);
+        assert_eq!(rules("crates/core/benches/b.rs", src), vec![]);
+        assert_eq!(rules("examples/e.rs", src), vec![]);
+        let with_mod =
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"dbg\"); }\n}\n";
+        assert_eq!(rules(CORE, with_mod), vec![]);
+    }
+
+    #[test]
+    fn l6_ignores_comments_and_strings() {
+        let src = "// println! is banned here\nfn f() { let s = \"println!\"; s.len(); }\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn l6_is_waivable() {
+        let src = "// qcc-lint: allow(L6): operator-facing fatal banner, no obs sink yet\nfn f() { eprintln!(\"fatal\"); }\n";
         assert_eq!(rules(CORE, src), vec![]);
     }
 

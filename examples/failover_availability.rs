@@ -1,12 +1,13 @@
 //! Availability-aware routing (§3.3): a remote source goes down
 //! mid-workload; the QCC detects it (error records + daemon probes), pins
 //! its cost to infinity so no fragments route there, and re-admits it once
-//! probes see it back up.
+//! probes see it back up. The whole story is replayed from the qcc-obs
+//! journal and metrics registry at the end (DESIGN.md §9).
 //!
 //! Run with: `cargo run --release --example failover_availability`
 
 use load_aware_federation::common::{
-    Column, DataType, Row, Schema, ServerId, SimDuration, SimTime, Value,
+    Column, DataType, Obs, Row, Schema, ServerId, SimDuration, SimTime, Value,
 };
 use load_aware_federation::federation::{Federation, FederationConfig, NicknameCatalog};
 use load_aware_federation::netsim::{Link, LoadProfile, Network, SimClock};
@@ -51,10 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     nicknames.add_source("metrics", ServerId::new("primary"), "metrics")?;
     nicknames.add_source("metrics", ServerId::new("backup"), "metrics")?;
 
-    let qcc = Qcc::new(QccConfig {
-        probe_interval_ms: 500.0,
-        ..QccConfig::default()
-    });
+    let obs = Obs::new();
+    let qcc = Qcc::with_obs(
+        QccConfig {
+            probe_interval_ms: 500.0,
+            ..QccConfig::default()
+        },
+        obs.clone(),
+    );
     let clock = SimClock::new();
     let mut federation = Federation::new(
         nicknames,
@@ -62,6 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         qcc.middleware(),
         FederationConfig::default(),
     );
+    federation.set_obs(obs.clone());
     let wrappers: Vec<Arc<dyn Wrapper>> = vec![
         Arc::new(RelationalWrapper::new(
             Arc::clone(&primary),
@@ -114,6 +120,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nError records the meta-wrapper captured:");
     for e in qcc.records.errors() {
         println!("   [{}] {}: {}", e.at, e.server, e.message);
+    }
+
+    // The same story, machine-readable: every ban, reroute, probe and
+    // recovery landed in the qcc-obs journal as it happened, and the
+    // registry kept the tallies.
+    println!("\nqcc-obs journal (JSONL, virtual timestamps):");
+    for line in obs.journal_snapshot().lines() {
+        println!("   {line}");
+    }
+    println!("\nqcc-obs metrics snapshot:");
+    for line in obs.metrics_snapshot().lines() {
+        println!("   {line}");
     }
     Ok(())
 }

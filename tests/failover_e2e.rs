@@ -1,0 +1,156 @@
+//! End-to-end failover: a server drops mid-batch, the retry loop bans it
+//! and reroutes, the availability daemon's fast re-probe detects recovery,
+//! and routing opens back up — with the whole story readable from the
+//! qcc-obs journal in causal order.
+//!
+//! This is also the regression test for the once-dead adaptive probe
+//! cycle: the configured probe interval (5 s) is far longer than the whole
+//! phase, so recovery can only be observed if (a) `run_due_probes` really
+//! runs between measured batches and (b) a down server's re-probe interval
+//! is clamped to the fast bound instead of waiting out the stale schedule.
+
+use load_aware_federation::common::{FieldValue, ServerId, SimTime};
+use load_aware_federation::qcc::QccConfig;
+use load_aware_federation::workload::experiment::run_phases_on;
+use load_aware_federation::workload::{
+    PhaseSchedule, QueryType, Routing, Scenario, ScenarioConfig,
+};
+
+/// Fast down-probe bound (virtual ms); the scheduled interval is 5 s.
+const FAST_BOUND_MS: f64 = 0.5;
+
+const INSTANCES: u32 = 8;
+
+fn qcc_config() -> QccConfig {
+    QccConfig {
+        probe_interval_ms: 5_000.0,
+        probe_interval_bounds_ms: (FAST_BOUND_MS, 10_000.0),
+        ..QccConfig::default()
+    }
+}
+
+fn schedule() -> PhaseSchedule {
+    PhaseSchedule {
+        // Phase 1: no background load; the outage is the only disturbance.
+        phases: PhaseSchedule::paper_table1().phases[..1].to_vec(),
+    }
+}
+
+#[test]
+fn outage_mid_batch_bans_reroutes_and_restores() {
+    // Dry run to learn when the measured batches happen in virtual time
+    // (warm-up and cache warming occupy the first stretch of the phase).
+    // The runs are deterministic, so the disturbed run follows the same
+    // timeline up to the moment the outage begins.
+    let baseline = Scenario::build_with_qcc(qcc_config(), ScenarioConfig::tiny());
+    run_phases_on(&baseline, Routing::Qcc, &schedule(), INSTANCES, 1);
+    let submits = baseline.obs.events_of("query_submit");
+    assert_eq!(submits.len(), (INSTANCES * 4) as usize);
+    // Batches of four queries are submitted together; batch b starts at
+    // the 4b-th submit.
+    let batch_at = |b: usize| submits[b * 4].at;
+    let gap = batch_at(3).since(batch_at(2)).as_millis();
+    assert!(gap > 0.0);
+
+    // S3 vanishes just before batch 3 compiles, and stays gone long
+    // enough that at least one between-batch probe finds it still down.
+    let outage_start = SimTime::from_millis(batch_at(2).as_millis() + 0.5 * gap);
+    let outage_end = SimTime::from_millis(outage_start.as_millis() + 2.6 * gap);
+    let scenario = Scenario::build_with_qcc(qcc_config(), ScenarioConfig::tiny());
+    let s3 = ServerId::new("S3");
+    scenario
+        .server("S3")
+        .availability()
+        .add_outage(outage_start, outage_end);
+
+    // run_phases_on asserts every query succeeds, so reaching this point
+    // at all means retry + failover actually absorbed the outage.
+    let result = run_phases_on(&scenario, Routing::Qcc, &schedule(), INSTANCES, 1);
+    assert_eq!(result.phases.len(), 1);
+
+    let obs = &scenario.obs;
+    let first_at = |kind: &str, server: Option<&str>| -> Option<SimTime> {
+        obs.events_of(kind)
+            .into_iter()
+            .find(|e| server.is_none_or(|s| e.str_field("server") == Some(s)))
+            .map(|e| e.at)
+    };
+
+    // The journal tells the failover story in causal order: the stale
+    // cached plan walks into the outage (ban), the retry succeeds
+    // elsewhere (reroute), the fast re-probe sees the server come back
+    // (restore).
+    let banned_at = first_at("server_banned", Some("S3")).expect("S3 banned during outage");
+    let reroute_at = first_at("reroute", None).expect("banned query rerouted");
+    let down_at = first_at("server_down", Some("S3")).expect("reliability marked S3 down");
+    let restored_at = first_at("server_restored", Some("S3")).expect("probe saw S3 recover");
+    assert!(banned_at >= outage_start && banned_at < outage_end);
+    assert!(banned_at <= reroute_at, "ban precedes the reroute");
+    assert!(down_at <= restored_at);
+    assert!(
+        restored_at >= outage_end,
+        "restore can only be observed after the outage ends"
+    );
+    let rerouted = obs
+        .events_of("reroute")
+        .into_iter()
+        .find(|e| e.at == reroute_at)
+        .expect("reroute event present");
+    let fallback = rerouted
+        .str_field("servers")
+        .expect("reroute names servers");
+    assert!(
+        !fallback.contains("S3"),
+        "rerouted query must avoid the banned server, got {fallback}"
+    );
+
+    // Regression (dead probe cycle): with a 5 s schedule the restore is
+    // only observable because down servers are re-probed at the fast
+    // bound between batches; recovery must be seen within batch
+    // granularity of the outage ending, not "eventually".
+    let lag = restored_at.since(outage_end).as_millis();
+    assert!(
+        lag <= 3.0 * gap,
+        "recovery detected {lag:.3} ms after outage end (batch gap {gap:.3} ms)"
+    );
+
+    // Regression (interval clamp): every probe of S3 fired while it was
+    // down must have rescheduled at the fast bound, not the adaptive
+    // interval derived from the 5 s default.
+    let down_probes: Vec<_> = obs
+        .events_of("probe")
+        .into_iter()
+        .filter(|e| {
+            e.str_field("server") == Some("S3") && e.field("ok") == Some(&FieldValue::Bool(false))
+        })
+        .collect();
+    assert!(
+        !down_probes.is_empty(),
+        "the daemon must have probed S3 during the outage"
+    );
+    for p in &down_probes {
+        assert_eq!(
+            p.field("interval_ms"),
+            Some(&FieldValue::F64(FAST_BOUND_MS)),
+            "down-server re-probe must clamp to the fast bound"
+        );
+    }
+
+    // After recovery the server is routable again: reliability agrees,
+    // and a fresh compile offers S3 candidates.
+    let qcc = scenario.qcc.as_ref().expect("qcc routing");
+    assert!(!qcc.reliability.is_down(&s3), "S3 healthy after restore");
+    let (_, candidates) = scenario
+        .federation
+        .explain_global(&QueryType::QT1.sql(99))
+        .expect("post-recovery compile succeeds");
+    assert!(
+        candidates.iter().any(|c| c.server_set().contains(&s3)),
+        "post-recovery candidates include the restored server"
+    );
+
+    // And the counters agree with the journal.
+    assert!(obs.counter_value("retries_total", &[]) >= 1);
+    assert!(obs.counter_value("server_down_total", &[("server", "S3")]) >= 1);
+    assert!(obs.counter_value("server_recovered_total", &[("server", "S3")]) >= 1);
+}
