@@ -17,6 +17,10 @@ echo "==> golden observability snapshots (QCC_THREADS=1 vs 8)"
 QCC_THREADS=1 cargo test -q --offline --test obs_determinism
 QCC_THREADS=8 cargo test -q --offline --test obs_determinism
 
+echo "==> golden admission snapshots (QCC_THREADS=1 vs 8)"
+QCC_THREADS=1 cargo test -q --offline --test admission_determinism
+QCC_THREADS=8 cargo test -q --offline --test admission_determinism
+
 echo "==> cargo xtask lint"
 cargo xtask lint
 

@@ -1,0 +1,86 @@
+//! Tuning knobs for the admission controller.
+//!
+//! Everything here is measured in **virtual** milliseconds on the shared
+//! `SimClock`; the admission layer never consults the wall clock.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Strict-priority class of a queued query. `High` drains before `Normal`,
+/// `Normal` before `Low`; weighted-fair queueing applies *within* a class.
+///
+/// The derive order doubles as the drain order, so the `Ord` impl and the
+/// `BTreeMap<PriorityClass, _>` iteration in the queue agree by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriorityClass {
+    /// Latency-critical traffic; always dequeued first.
+    High,
+    /// Default class for ordinary queries.
+    Normal,
+    /// Background / best-effort traffic; first to starve under overload.
+    Low,
+}
+
+impl PriorityClass {
+    /// Stable lowercase name used in journal events and metric labels.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PriorityClass::High => "high",
+            PriorityClass::Normal => "normal",
+            PriorityClass::Low => "low",
+        }
+    }
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Admission-control configuration.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum virtual time a query may wait in the arrival queue before it
+    /// is shed at dequeue time (`0.0` disables the queue deadline).
+    pub queue_deadline_ms: f64,
+    /// Execution deadline measured from arrival: once exceeded, the retry
+    /// budget is forfeited and late completions are counted as deadline
+    /// misses (`0.0` disables the execution deadline).
+    pub exec_deadline_ms: f64,
+    /// Concurrency tokens contributed by a healthy, well-calibrated server.
+    /// Calibration slowdown and reliability penalties scale this down;
+    /// a `down` server contributes zero.
+    pub base_tokens: u32,
+    /// Enqueue-time bound on total queue depth; arrivals beyond it are shed
+    /// immediately (`0` means unbounded).
+    pub max_queue_depth: usize,
+    /// Weighted-fair share per query template. Missing templates get weight
+    /// `1.0`; larger weights drain proportionally faster within a class.
+    pub template_weights: BTreeMap<String, f64>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_deadline_ms: 200.0,
+            exec_deadline_ms: 400.0,
+            base_tokens: 4,
+            max_queue_depth: 1024,
+            template_weights: BTreeMap::new(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Weight for `template`, defaulting to `1.0` and flooring degenerate
+    /// (zero/negative) weights so finish tags stay finite and monotone.
+    pub fn weight_of(&self, template: &str) -> f64 {
+        let w = self.template_weights.get(template).copied().unwrap_or(1.0);
+        if w > 0.0 {
+            w
+        } else {
+            1.0
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! # qcc-admission — deadline-aware admission control for the serving path
+//!
+//! The QCC middleware (paper §3–§5) folds remote load into *plan choice*;
+//! this crate adds the serving-stack counterpart: deciding whether a query
+//! should run **now**, **wait**, or be **shed**, using the same calibrated
+//! state the router already maintains.
+//!
+//! Three mechanisms, all on virtual time:
+//!
+//! 1. **Arrival queue** ([`queue`]) — strict [`PriorityClass`]es with
+//!    weighted-fair dequeue per query template, so an open-loop arrival
+//!    process past saturation degrades into bounded queueing instead of
+//!    unbounded concurrency.
+//! 2. **Concurrency tokens** ([`tokens`]) — per-server capacities derived
+//!    by the coordinator from QCC calibration factors and availability
+//!    state (down ⇒ zero, flaky ⇒ reduced). The frozen capacity snapshot
+//!    gates candidate selection in `Federation::run` and the aggregate
+//!    quota bounds each dequeue round's width.
+//! 3. **Deadlines & shedding** — a queue deadline sheds stale arrivals at
+//!    dequeue time (typed `QccError::Shed`, before any work), and an
+//!    execution deadline forfeits the retry budget mid-flight.
+//!
+//! ## Determinism
+//!
+//! All admission decisions are taken by the coordinator between scatter
+//! batches: enqueue/dequeue/shed and capacity refresh never run on worker
+//! threads, every timestamp is a `SimTime`, and the WFQ drain order is a
+//! pure function of the arrival sequence. Journal events are therefore
+//! emitted directly (coordinator-sequential), and the whole layer is
+//! byte-identical for any `QCC_THREADS` — enforced by
+//! `tests/admission_determinism.rs`.
+
+pub mod config;
+pub mod queue;
+pub mod tokens;
+
+pub use config::{AdmissionConfig, PriorityClass};
+pub use queue::QueueTicket;
+
+use crate::queue::{ArrivalQueue, EnqueueOutcome};
+use crate::tokens::TokenPool;
+use qcc_common::{FieldValue, Obs, QccError, ServerId, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter snapshot for quick assertions without an `Obs` handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionCounts {
+    /// Queries accepted into the arrival queue.
+    pub enqueued: u64,
+    /// Queries released for dispatch by `dequeue_batch`.
+    pub dispatched: u64,
+    /// Queries shed (queue full, queue deadline, or no tokens — the
+    /// federation reports its token sheds back via [`AdmissionController::note_shed`]).
+    pub shed: u64,
+}
+
+/// Result of one dequeue round.
+#[derive(Debug, Default)]
+pub struct DequeuedBatch {
+    /// Tickets released for dispatch, in WFQ order, at most `dispatch_quota`.
+    pub admitted: Vec<QueueTicket>,
+    /// Tickets shed at dequeue time for exceeding the queue deadline.
+    pub shed: Vec<QueueTicket>,
+}
+
+/// The admission controller: arrival queue + token pool + deadline policy.
+///
+/// One instance is shared (via `Arc`) between the open-loop driver, which
+/// enqueues arrivals and dequeues dispatch batches, and the federation,
+/// which consults per-server capacities at plan-selection time.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    queue: ArrivalQueue,
+    tokens: TokenPool,
+    obs: Obs,
+    enqueued: AtomicU64,
+    dispatched: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller with no observability attached.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController::with_obs(config, Obs::off())
+    }
+
+    /// A controller emitting journal events and metrics to `obs`.
+    pub fn with_obs(config: AdmissionConfig, obs: Obs) -> Self {
+        let base = config.base_tokens;
+        AdmissionController {
+            config,
+            queue: ArrivalQueue::default(),
+            tokens: TokenPool::new(base),
+            obs,
+            enqueued: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Offer a query to the arrival queue. Returns the admission sequence
+    /// number, or `QccError::Shed` if the queue is at `max_queue_depth`.
+    pub fn enqueue(
+        &self,
+        sql: &str,
+        template: &str,
+        class: PriorityClass,
+        now: SimTime,
+    ) -> Result<u64, QccError> {
+        let weight = self.config.weight_of(template);
+        match self.queue.enqueue(
+            sql,
+            template,
+            class,
+            now,
+            weight,
+            self.config.max_queue_depth,
+        ) {
+            EnqueueOutcome::Queued(ticket, depth) => {
+                self.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.obs
+                    .counter_inc("admission_enqueued_total", &[("class", class.as_str())]);
+                self.obs
+                    .gauge_set("admission_queue_depth", &[], depth as f64);
+                self.obs.event(
+                    now,
+                    "enqueue",
+                    vec![
+                        ("seq", ticket.seq.into()),
+                        ("template", ticket.template.clone().into()),
+                        ("class", class.as_str().into()),
+                        ("depth", depth.into()),
+                    ],
+                );
+                Ok(ticket.seq)
+            }
+            EnqueueOutcome::Full(ticket) => {
+                self.record_shed(&ticket, now, "queue_full");
+                Err(QccError::Shed(format!(
+                    "arrival queue full (depth {})",
+                    self.config.max_queue_depth
+                )))
+            }
+        }
+    }
+
+    /// Release the next dispatch batch: up to [`Self::dispatch_quota`]
+    /// tickets in WFQ order, shedding (not counting against the quota) any
+    /// whose queue wait has exceeded the queue deadline.
+    pub fn dequeue_batch(&self, now: SimTime) -> DequeuedBatch {
+        let quota = self.tokens.dispatch_quota();
+        let mut batch = DequeuedBatch::default();
+        while batch.admitted.len() < quota {
+            let Some(ticket) = self.queue.pop() else {
+                break;
+            };
+            let waited = now.since(ticket.enqueued_at).as_millis();
+            if self.config.queue_deadline_ms > 0.0 && waited > self.config.queue_deadline_ms {
+                self.record_shed(&ticket, now, "queue_deadline");
+                batch.shed.push(ticket);
+                continue;
+            }
+            self.dispatched.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter_inc(
+                "admission_dispatched_total",
+                &[("class", ticket.class.as_str())],
+            );
+            self.obs.observe("admission_queue_wait_ms", &[], waited);
+            self.obs.event(
+                now,
+                "dequeue",
+                vec![
+                    ("seq", ticket.seq.into()),
+                    ("template", ticket.template.clone().into()),
+                    ("class", ticket.class.as_str().into()),
+                    ("waited_ms", waited.into()),
+                ],
+            );
+            batch.admitted.push(ticket);
+        }
+        self.obs
+            .gauge_set("admission_queue_depth", &[], self.queue.depth() as f64);
+        batch
+    }
+
+    /// Current arrival-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Aggregate dispatch quota for the next dequeue round.
+    pub fn dispatch_quota(&self) -> usize {
+        self.tokens.dispatch_quota()
+    }
+
+    /// Frozen per-server capacity as of the last coordinator refresh.
+    pub fn capacity(&self, server: &ServerId) -> u32 {
+        self.tokens.capacity(server)
+    }
+
+    /// Coordinator-side capacity update (between batches only). Returns
+    /// `true` exactly on a down transition (capacity newly zero), which is
+    /// the caller's cue to invalidate cached plans for the server.
+    pub fn set_capacity(&self, server: &ServerId, cap: u32, at: SimTime) -> bool {
+        let change = self.tokens.set_capacity(server, cap);
+        if change.changed {
+            self.obs.gauge_set(
+                "admission_tokens",
+                &[("server", server.as_str())],
+                f64::from(cap),
+            );
+            self.obs.event(
+                at,
+                "token_capacity",
+                vec![
+                    ("server", server.as_str().into()),
+                    ("capacity", u64::from(cap).into()),
+                    ("down", change.went_down.into()),
+                ],
+            );
+        }
+        change.went_down
+    }
+
+    /// Record a shed decided outside the queue (e.g. the federation finding
+    /// no token-admissible plan). Keeps the crate-level shed counter and
+    /// `sheds_total` metric authoritative across layers.
+    pub fn note_shed(&self, reason: &'static str) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_inc("sheds_total", &[("reason", reason)]);
+    }
+
+    /// The attached observability handle (disabled if constructed via
+    /// [`AdmissionController::new`]).
+    pub fn obs_handle(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Counter snapshot.
+    pub fn counts(&self) -> AdmissionCounts {
+        AdmissionCounts {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_shed(&self, ticket: &QueueTicket, now: SimTime, reason: &'static str) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_inc("sheds_total", &[("reason", reason)]);
+        let waited = now.since(ticket.enqueued_at).as_millis();
+        self.obs.event(
+            now,
+            "shed",
+            vec![
+                ("seq", ticket.seq.into()),
+                ("template", ticket.template.clone().into()),
+                ("class", ticket.class.as_str().into()),
+                ("reason", FieldValue::from(reason)),
+                ("waited_ms", waited.into()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_common::SimDuration;
+
+    fn controller(config: AdmissionConfig) -> AdmissionController {
+        AdmissionController::with_obs(config, Obs::new())
+    }
+
+    fn enqueue_ok(ctl: &AdmissionController, template: &str, class: PriorityClass, at: f64) -> u64 {
+        match ctl.enqueue("SELECT 1", template, class, SimTime::from_millis(at)) {
+            Ok(seq) => seq,
+            Err(e) => unreachable!("enqueue unexpectedly shed: {e}"),
+        }
+    }
+
+    #[test]
+    fn fifo_within_template_and_strict_priority_across_classes() {
+        let ctl = controller(AdmissionConfig::default());
+        enqueue_ok(&ctl, "QT1", PriorityClass::Low, 0.0);
+        enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0);
+        let urgent = enqueue_ok(&ctl, "QT4", PriorityClass::High, 0.0);
+        let batch = ctl.dequeue_batch(SimTime::from_millis(1.0));
+        assert_eq!(batch.admitted[0].seq, urgent, "high class drains first");
+        assert_eq!(batch.admitted[1].class, PriorityClass::Normal);
+        assert_eq!(batch.admitted[2].class, PriorityClass::Low);
+        assert!(batch.shed.is_empty());
+    }
+
+    #[test]
+    fn weighted_fair_dequeue_favours_heavier_template() {
+        let mut config = AdmissionConfig::default();
+        config.template_weights.insert("QT2".into(), 2.0);
+        config.base_tokens = 3;
+        let ctl = controller(config);
+        // Interleave arrivals; QT2 (weight 2) accrues tags half as fast.
+        for _ in 0..3 {
+            enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0);
+            enqueue_ok(&ctl, "QT2", PriorityClass::Normal, 0.0);
+        }
+        let batch = ctl.dequeue_batch(SimTime::from_millis(1.0));
+        let qt2 = batch
+            .admitted
+            .iter()
+            .filter(|t| t.template == "QT2")
+            .count();
+        assert_eq!(batch.admitted.len(), 3, "quota bounds the round");
+        assert_eq!(qt2, 2, "weight-2 template gets 2 of 3 slots");
+    }
+
+    #[test]
+    fn queue_full_sheds_at_enqueue() {
+        let ctl = controller(AdmissionConfig {
+            max_queue_depth: 2,
+            ..AdmissionConfig::default()
+        });
+        enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0);
+        enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0);
+        let rejected = ctl.enqueue("SELECT 1", "QT1", PriorityClass::Normal, SimTime::ZERO);
+        assert!(matches!(rejected, Err(QccError::Shed(_))));
+        assert_eq!(ctl.counts().shed, 1);
+        assert_eq!(ctl.queue_depth(), 2);
+        assert_eq!(
+            ctl.obs_handle()
+                .counter_value("sheds_total", &[("reason", "queue_full")]),
+            1
+        );
+    }
+
+    #[test]
+    fn queue_deadline_sheds_stale_entries_without_consuming_quota() {
+        let ctl = controller(AdmissionConfig {
+            queue_deadline_ms: 10.0,
+            base_tokens: 1,
+            ..AdmissionConfig::default()
+        });
+        enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0); // will be stale
+        let fresh = enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 48.0);
+        let now = SimTime::ZERO + SimDuration::from_millis(50.0);
+        let batch = ctl.dequeue_batch(now);
+        assert_eq!(batch.shed.len(), 1, "stale entry shed at dequeue");
+        assert_eq!(batch.admitted.len(), 1, "shed does not consume quota");
+        assert_eq!(batch.admitted[0].seq, fresh);
+        assert_eq!(
+            ctl.obs_handle()
+                .counter_value("sheds_total", &[("reason", "queue_deadline")]),
+            1
+        );
+    }
+
+    #[test]
+    fn capacity_transitions_report_down_once_and_drive_quota() {
+        let ctl = controller(AdmissionConfig::default());
+        let s1 = ServerId::new("S1");
+        let s2 = ServerId::new("S2");
+        assert_eq!(
+            ctl.dispatch_quota(),
+            4,
+            "pre-refresh quota falls back to base"
+        );
+        assert!(!ctl.set_capacity(&s1, 3, SimTime::ZERO));
+        assert!(!ctl.set_capacity(&s2, 2, SimTime::ZERO));
+        assert_eq!(ctl.dispatch_quota(), 5);
+        assert!(ctl.set_capacity(&s2, 0, SimTime::ZERO), "down transition");
+        assert!(
+            !ctl.set_capacity(&s2, 0, SimTime::ZERO),
+            "already down: no transition"
+        );
+        assert_eq!(ctl.capacity(&s2), 0);
+        assert_eq!(ctl.dispatch_quota(), 3);
+        assert!(ctl.set_capacity(&s1, 0, SimTime::ZERO));
+        assert_eq!(ctl.dispatch_quota(), 1, "quota floors at one");
+        assert!(
+            !ctl.set_capacity(&s1, 2, SimTime::ZERO),
+            "recovery is not a down transition"
+        );
+    }
+
+    #[test]
+    fn drain_order_is_deterministic_for_identical_arrival_sequences() {
+        let run = || {
+            let ctl = controller(AdmissionConfig {
+                base_tokens: 8,
+                ..AdmissionConfig::default()
+            });
+            for i in 0..12u64 {
+                let template = ["QT1", "QT2", "QT3"][(i % 3) as usize];
+                let class = [PriorityClass::Normal, PriorityClass::Low][(i % 2) as usize];
+                enqueue_ok(&ctl, template, class, i as f64);
+            }
+            let mut order = Vec::new();
+            loop {
+                let batch = ctl.dequeue_batch(SimTime::from_millis(20.0));
+                if batch.admitted.is_empty() && batch.shed.is_empty() {
+                    break;
+                }
+                order.extend(batch.admitted.into_iter().map(|t| t.seq));
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic virtual-time arrival queue.
+//!
+//! Discipline: strict priority across [`PriorityClass`]es; weighted-fair
+//! queueing (WFQ by finish tag) across query templates *within* a class.
+//! Each subqueue is FIFO, each enqueue stamps a finish tag
+//! `max(class_virtual_time, last_tag_of_template) + 1/weight`, and dequeue
+//! picks the minimum head tag in the highest nonempty class, breaking ties
+//! by template name. All state lives behind one mutex and every input is a
+//! `SimTime`, so the drain order is a pure function of the arrival sequence
+//! — no wall clock, no thread interleaving.
+
+use crate::config::PriorityClass;
+use parking_lot::Mutex;
+use qcc_common::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One admitted-to-queue query, identified by a monotone sequence number
+/// that journal events use as the correlation key.
+#[derive(Debug, Clone)]
+pub struct QueueTicket {
+    /// Admission sequence number (assigned at enqueue, never reused).
+    pub seq: u64,
+    /// SQL text to submit when the query is dispatched.
+    pub sql: String,
+    /// WFQ key — the workload layer uses the query-template name ("QT1"…).
+    pub template: String,
+    /// Strict-priority class.
+    pub class: PriorityClass,
+    /// Virtual time the query entered the queue.
+    pub enqueued_at: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct SubQueue {
+    /// FIFO of (ticket, WFQ finish tag).
+    entries: VecDeque<(QueueTicket, f64)>,
+    /// Finish tag of the most recently enqueued entry; keeps per-template
+    /// tags monotone even while the subqueue drains empty.
+    last_tag: f64,
+}
+
+#[derive(Debug, Default)]
+struct ClassState {
+    templates: BTreeMap<String, SubQueue>,
+    /// Class-local virtual time: the largest finish tag ever dequeued.
+    virtual_time: f64,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    classes: BTreeMap<PriorityClass, ClassState>,
+    depth: usize,
+    next_seq: u64,
+}
+
+/// The arrival queue proper. Only the coordinator thread touches it (all
+/// admission decisions happen between scatter batches), but the mutex makes
+/// that invariant a non-issue rather than a soundness condition.
+#[derive(Debug, Default)]
+pub(crate) struct ArrivalQueue {
+    state: Mutex<QueueState>,
+}
+
+pub(crate) enum EnqueueOutcome {
+    /// Admitted to the queue at the returned depth (post-enqueue).
+    Queued(QueueTicket, usize),
+    /// Rejected because the queue is at `max_queue_depth`.
+    Full(QueueTicket),
+}
+
+impl ArrivalQueue {
+    /// Enqueue `sql` under `(class, template)`. A ticket (with a fresh
+    /// sequence number) is minted either way so shed events stay
+    /// journal-correlatable.
+    pub(crate) fn enqueue(
+        &self,
+        sql: &str,
+        template: &str,
+        class: PriorityClass,
+        now: SimTime,
+        weight: f64,
+        max_depth: usize,
+    ) -> EnqueueOutcome {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let ticket = QueueTicket {
+            seq,
+            sql: sql.to_string(),
+            template: template.to_string(),
+            class,
+            enqueued_at: now,
+        };
+        if max_depth > 0 && state.depth >= max_depth {
+            return EnqueueOutcome::Full(ticket);
+        }
+        let class_state = state.classes.entry(class).or_default();
+        let sub = class_state
+            .templates
+            .entry(template.to_string())
+            .or_default();
+        let tag = class_state.virtual_time.max(sub.last_tag) + 1.0 / weight;
+        sub.last_tag = tag;
+        sub.entries.push_back((ticket.clone(), tag));
+        state.depth += 1;
+        EnqueueOutcome::Queued(ticket, state.depth)
+    }
+
+    /// Dequeue the next query per the WFQ discipline, or `None` if empty.
+    pub(crate) fn pop(&self) -> Option<QueueTicket> {
+        let mut state = self.state.lock();
+        let mut picked: Option<(PriorityClass, String, f64)> = None;
+        for (class, class_state) in &state.classes {
+            for (template, sub) in &class_state.templates {
+                if let Some((_, tag)) = sub.entries.front() {
+                    // Strictly-less keeps the lexicographically-first
+                    // template on ties (BTreeMap iterates in name order).
+                    let better = match &picked {
+                        None => true,
+                        Some((_, _, best)) => *tag < *best,
+                    };
+                    if better {
+                        picked = Some((*class, template.clone(), *tag));
+                    }
+                }
+            }
+            if picked.is_some() {
+                break; // strict priority: never look past the first nonempty class
+            }
+        }
+        let (class, template, tag) = picked?;
+        let class_state = state.classes.get_mut(&class)?;
+        class_state.virtual_time = class_state.virtual_time.max(tag);
+        let ticket = class_state
+            .templates
+            .get_mut(&template)
+            .and_then(|sub| sub.entries.pop_front())
+            .map(|(ticket, _)| ticket)?;
+        state.depth -= 1;
+        Some(ticket)
+    }
+
+    /// Current queue depth.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().depth
+    }
+}

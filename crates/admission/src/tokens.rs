@@ -1,0 +1,71 @@
+//! Per-server concurrency tokens.
+//!
+//! Capacity is *derived state*: the coordinator recomputes it between
+//! batches from the QCC calibration factor and the availability daemon's
+//! view (down ⇒ zero, flaky ⇒ reduced), and the federation reads the frozen
+//! snapshot while a batch is in flight. Tokens therefore gate *dispatch
+//! eligibility* (can this server take another fragment right now?) and the
+//! aggregate `dispatch_quota` bounds how many queued queries a dequeue
+//! round may release.
+
+use parking_lot::Mutex;
+use qcc_common::ServerId;
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+pub(crate) struct TokenPool {
+    caps: Mutex<BTreeMap<ServerId, u32>>,
+    /// Capacity assumed for servers the controller has never been told
+    /// about; also the quota fallback before the first refresh.
+    base: u32,
+}
+
+/// What a capacity update changed, so the controller can journal
+/// transitions (and trigger plan-cache invalidation on `went_down`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CapacityChange {
+    pub changed: bool,
+    /// True exactly when the server's capacity transitioned to zero from
+    /// a nonzero (or never-set, i.e. assumed-`base`) state.
+    pub went_down: bool,
+}
+
+impl TokenPool {
+    pub(crate) fn new(base: u32) -> Self {
+        TokenPool {
+            caps: Mutex::new(BTreeMap::new()),
+            base,
+        }
+    }
+
+    /// Current capacity for `server` (unknown servers get `base`).
+    pub(crate) fn capacity(&self, server: &ServerId) -> u32 {
+        self.caps.lock().get(server).copied().unwrap_or(self.base)
+    }
+
+    /// Set `server`'s capacity, reporting what changed. A never-set server
+    /// is treated as having `base` tokens, so the first explicit zero still
+    /// registers as a down transition.
+    pub(crate) fn set_capacity(&self, server: &ServerId, cap: u32) -> CapacityChange {
+        let mut caps = self.caps.lock();
+        let previous = caps.get(server).copied().unwrap_or(self.base);
+        caps.insert(server.clone(), cap);
+        CapacityChange {
+            changed: previous != cap,
+            went_down: cap == 0 && previous != 0,
+        }
+    }
+
+    /// Aggregate dispatch quota for one dequeue round: the sum of all known
+    /// capacities, floored at 1 so a fully-degraded-but-not-down fleet still
+    /// drains one query at a time. Before any capacities are registered the
+    /// quota falls back to `base`.
+    pub(crate) fn dispatch_quota(&self) -> usize {
+        let caps = self.caps.lock();
+        if caps.is_empty() {
+            return self.base.max(1) as usize;
+        }
+        let total: u64 = caps.values().map(|c| u64::from(*c)).sum();
+        total.max(1) as usize
+    }
+}

@@ -33,6 +33,12 @@ pub enum QccError {
     NoViablePlan(String),
     /// Invalid configuration.
     Config(String),
+    /// The admission layer rejected the query before any work was done
+    /// (queue full, queue deadline expired, or no token-admissible plan).
+    Shed(String),
+    /// The query's execution deadline expired mid-flight; the remaining
+    /// retry budget is forfeited.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for QccError {
@@ -51,6 +57,8 @@ impl fmt::Display for QccError {
             }
             QccError::NoViablePlan(m) => write!(f, "no viable global plan: {m}"),
             QccError::Config(m) => write!(f, "configuration error: {m}"),
+            QccError::Shed(m) => write!(f, "query shed by admission control: {m}"),
+            QccError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }

@@ -57,6 +57,12 @@ pub struct QccConfig {
     /// clear its stale factor — §3.4's periodic re-calibration, realized
     /// as lightweight in-band exploration.
     pub exploration_interval: u64,
+    /// Per-query retry budget: how many times the federation re-routes
+    /// after a fragment failure before giving up. Plumbed into
+    /// `FederationConfig::retry_limit` by the scenario builders (it used
+    /// to be a hardcoded field default there); under admission control
+    /// the execution deadline can forfeit the remaining budget early.
+    pub retry_limit: usize,
 }
 
 impl Default for QccConfig {
@@ -75,6 +81,7 @@ impl Default for QccConfig {
             plan_cache: true,
             plan_cache_capacity: qcc_federation::DEFAULT_PLAN_CACHE_CAPACITY,
             exploration_interval: 8,
+            retry_limit: 2,
         }
     }
 }

@@ -51,7 +51,8 @@ pub use whatif::SimulatedFederation;
 
 pub use qcc_federation::Middleware;
 
-use qcc_common::Obs;
+use qcc_admission::AdmissionController;
+use qcc_common::{Obs, ServerId, SimTime};
 use std::sync::Arc;
 
 /// The assembled QCC: recording + calibration + reliability + load
@@ -100,5 +101,113 @@ impl Qcc {
     /// The middleware to hand to [`qcc_federation::Federation::new`].
     pub fn middleware(self: &Arc<Self>) -> Arc<MetaWrapper> {
         Arc::new(MetaWrapper::new(Arc::clone(self)))
+    }
+
+    /// Recompute the admission controller's per-server token capacities
+    /// from current calibration and availability state. Coordinator-side
+    /// only, **between** batches: while a batch is in flight the
+    /// federation gates against the frozen snapshot.
+    ///
+    /// Token derivation (DESIGN.md §10): a down server contributes zero
+    /// tokens; an up server contributes `base_tokens` scaled down by its
+    /// combined calibration × reliability slowdown, floored at one so a
+    /// merely-slow server keeps draining. On a down *transition* the
+    /// server's cached plans are invalidated — they were compiled under
+    /// pre-outage calibration, and its catalog may have changed while
+    /// unreachable — so a recovered server re-EXPLAINs fresh.
+    pub fn refresh_admission(
+        &self,
+        admission: &AdmissionController,
+        servers: &[ServerId],
+        at: SimTime,
+    ) {
+        for server in servers {
+            let cap = if self.reliability.is_down(server) {
+                0
+            } else {
+                let slowdown =
+                    self.calibration.server_factor(server) * self.reliability.factor(server);
+                let base = f64::from(admission.config().base_tokens);
+                ((base / slowdown.max(1.0)).floor() as u32).max(1)
+            };
+            if admission.set_capacity(server, cap, at) {
+                self.plan_cache.invalidate_server(server);
+                self.obs.counter_inc(
+                    "plan_cache_invalidations_total",
+                    &[("server", server.as_str())],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_admission::AdmissionConfig;
+
+    /// Regression: a down transition must drop the server's cached plans
+    /// (they were compiled under pre-outage calibration), leave other
+    /// servers' entries alone, and fire exactly once per transition so a
+    /// recovered server is not repeatedly invalidated.
+    #[test]
+    fn down_transition_zeroes_tokens_and_invalidates_plan_cache() {
+        let qcc = Qcc::new(QccConfig::default());
+        let admission = AdmissionController::new(AdmissionConfig::default());
+        let (s1, s2) = (ServerId::new("S1"), ServerId::new("S2"));
+        let servers = [s1.clone(), s2.clone()];
+        qcc.plan_cache.put(&s1, "SELECT 1", Vec::new());
+        qcc.plan_cache.put(&s2, "SELECT 1", Vec::new());
+        assert_eq!(qcc.plan_cache.len(), 2);
+
+        let t = SimTime::from_millis(10.0);
+        qcc.refresh_admission(&admission, &servers, t);
+        assert_eq!(
+            qcc.plan_cache.len(),
+            2,
+            "healthy refresh invalidates nothing"
+        );
+        assert!(admission.capacity(&s1) > 0);
+
+        qcc.reliability.record_unreachable(&s1, t);
+        qcc.refresh_admission(&admission, &servers, t);
+        assert_eq!(admission.capacity(&s1), 0, "down server holds zero tokens");
+        assert!(
+            qcc.plan_cache.get(&s1, "SELECT 1").is_none(),
+            "S1 plans dropped"
+        );
+        assert!(
+            qcc.plan_cache.get(&s2, "SELECT 1").is_some(),
+            "S2 plans survive"
+        );
+        assert_eq!(
+            qcc.obs
+                .counter_value("plan_cache_invalidations_total", &[("server", "S1")]),
+            1
+        );
+
+        // Still down: no second invalidation (get() above re-counted
+        // nothing; the transition edge is what matters).
+        qcc.refresh_admission(&admission, &servers, t);
+        assert_eq!(
+            qcc.obs
+                .counter_value("plan_cache_invalidations_total", &[("server", "S1")]),
+            1,
+            "no re-invalidation while the server stays down"
+        );
+
+        // Recovery restores tokens without another invalidation.
+        qcc.reliability
+            .record_probe(&s1, true, SimTime::from_millis(20.0));
+        qcc.refresh_admission(&admission, &servers, SimTime::from_millis(20.0));
+        assert!(
+            admission.capacity(&s1) > 0,
+            "recovered server earns tokens back"
+        );
+        assert_eq!(
+            qcc.obs
+                .counter_value("plan_cache_invalidations_total", &[("server", "S1")]),
+            1
+        );
     }
 }

@@ -426,6 +426,69 @@ mod tests {
         assert_ne!(p2, p3, "commit advances the cursor");
     }
 
+    /// Like [`balancer`] but with in-band exploration disabled, so long
+    /// pick sequences exercise *only* the band/threshold logic.
+    fn balancer_no_exploration(mode: LoadBalanceMode, threshold: f64) -> LoadBalancer {
+        LoadBalancer::new(&QccConfig {
+            load_balance: mode,
+            workload_threshold: threshold,
+            exploration_interval: 0,
+            ..QccConfig::default()
+        })
+    }
+
+    #[test]
+    fn candidate_exactly_at_band_edge_is_included() {
+        // The cluster filter drops a plan only when its relative distance
+        // from the cheapest *exceeds* the band. At exactly 20% the plan is
+        // interchangeable; one hair past it is not.
+        let lb = balancer_no_exploration(LoadBalanceMode::GlobalLevel, 0.0);
+        let cands = vec![
+            candidate(&[("S1", 100.0, "a")], 0.0),
+            candidate(&[("S2", 120.0, "a")], 0.0), // exactly +20%: in band
+            candidate(&[("S3", 120.1, "a")], 0.0), // just past: out of band
+        ];
+        let picks: Vec<usize> = (0..6).map(|_| lb.choose("q", &cands)).collect();
+        let unique: std::collections::BTreeSet<usize> = picks.iter().copied().collect();
+        assert_eq!(
+            unique,
+            [0usize, 1].into_iter().collect(),
+            "edge candidate rotates, past-edge candidate never picked"
+        );
+        for &i in &[0usize, 1] {
+            assert_eq!(
+                picks.iter().filter(|&&p| p == i).count(),
+                3,
+                "perfect round-robin over the two in-band plans"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_exactly_at_threshold_does_not_rotate() {
+        // The threshold gate is `cost x frequency <= threshold → cheapest`:
+        // a template whose workload lands exactly ON the threshold is still
+        // considered light. Cost 10, threshold 30: queries 1–3 reach
+        // workloads 10, 20, 30 (all gated); the 4th reaches 40 and rotates.
+        let lb = balancer_no_exploration(LoadBalanceMode::GlobalLevel, 30.0);
+        let cands = vec![
+            candidate(&[("S1", 10.0, "a")], 0.0),
+            candidate(&[("S2", 10.0, "a")], 0.0),
+        ];
+        let picks: Vec<usize> = (0..7).map(|_| lb.choose("q", &cands)).collect();
+        assert_eq!(
+            &picks[..3],
+            &[0, 0, 0],
+            "workload at or below the threshold (incl. exactly at): cheapest"
+        );
+        let later: std::collections::BTreeSet<usize> = picks[3..].iter().copied().collect();
+        assert_eq!(
+            later,
+            [0usize, 1].into_iter().collect(),
+            "first workload strictly past the threshold starts rotation"
+        );
+    }
+
     #[test]
     fn infinite_cheapest_short_circuits() {
         let lb = balancer(LoadBalanceMode::GlobalLevel, 0.0);

@@ -6,6 +6,7 @@ use crate::middleware::{Deferred, FragmentCandidate, GlobalCandidate, Middleware
 use crate::nickname::NicknameCatalog;
 use crate::patroller::QueryPatroller;
 use parking_lot::Mutex;
+use qcc_admission::AdmissionController;
 use qcc_common::{
     scatter_indexed, Cost, FragmentId, Obs, QccError, QueryId, Result, Row, ServerId, SimDuration,
 };
@@ -87,6 +88,12 @@ pub struct Federation {
     /// called). Worker-side journal emissions ride the `Deferred` buffers
     /// so snapshots stay thread-count independent.
     obs: Obs,
+    /// Admission controller (absent unless [`Federation::set_admission`]
+    /// is called). `run` consults its *frozen* per-server token capacities
+    /// at plan-selection time — the coordinator refreshes them only
+    /// between batches, so every query in a batch gates against the same
+    /// snapshot regardless of thread count.
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl Federation {
@@ -107,7 +114,19 @@ impl Federation {
             config,
             explain_table: Mutex::new(BTreeMap::new()),
             obs: Obs::off(),
+            admission: None,
         }
+    }
+
+    /// Attach an admission controller; `run` will gate candidate selection
+    /// on its token capacities and enforce the execution deadline.
+    pub fn set_admission(&mut self, admission: Arc<AdmissionController>) {
+        self.admission = Some(admission);
+    }
+
+    /// The attached admission controller, if any.
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
     }
 
     /// Attach an observability handle; the patroller journals through the
@@ -460,8 +479,42 @@ impl Federation {
             return Err(QccError::NoViablePlan("no global candidates".into()));
         }
         let mut banned: BTreeSet<ServerId> = BTreeSet::new();
+        let exec_deadline_ms = self
+            .admission
+            .as_ref()
+            .map(|a| a.config().exec_deadline_ms)
+            .unwrap_or(0.0);
 
+        // The retry *budget*: up to `retry_limit` re-routes, but the
+        // execution deadline can forfeit whatever budget remains.
         for attempt in 0..=self.config.retry_limit {
+            if attempt > 0 && exec_deadline_ms > 0.0 {
+                let elapsed = clock.now().since(submitted).as_millis();
+                if elapsed > exec_deadline_ms {
+                    self.obs
+                        .counter_inc("deadline_exceeded_total", &[("stage", "retry")]);
+                    if self.obs.is_enabled() {
+                        let obs = self.obs.clone();
+                        let at = clock.now();
+                        effects.defer(move || {
+                            obs.event(
+                                at,
+                                "deadline_exceeded",
+                                vec![
+                                    ("query", qid.0.into()),
+                                    ("stage", "retry".into()),
+                                    ("attempt", (attempt as u64).into()),
+                                    ("elapsed_ms", elapsed.into()),
+                                    ("deadline_ms", exec_deadline_ms.into()),
+                                ],
+                            );
+                        });
+                    }
+                    return Err(QccError::DeadlineExceeded(format!(
+                        "retry budget forfeited after {elapsed:.3}ms (deadline {exec_deadline_ms}ms)"
+                    )));
+                }
+            }
             // Filter candidates avoiding servers that already failed.
             let viable: Vec<&GlobalCandidate> = candidates
                 .iter()
@@ -469,6 +522,49 @@ impl Federation {
                 .collect();
             if viable.is_empty() {
                 break;
+            }
+            // Token gate: a plan is admissible only if every server it
+            // touches has concurrency tokens in the frozen snapshot. A
+            // nonempty blocked set means the router steered around a
+            // token-exhausted server (a "token wait" — in virtual time the
+            // wait materializes as a reroute, never a sleep).
+            let (viable, blocked_count) = match &self.admission {
+                Some(admission) => {
+                    let (admissible, blocked): (Vec<&GlobalCandidate>, Vec<&GlobalCandidate>) =
+                        viable.into_iter().partition(|c| {
+                            c.server_set().iter().all(|s| admission.capacity(s) > 0)
+                        });
+                    (admissible, blocked.len())
+                }
+                None => (viable, 0),
+            };
+            if blocked_count > 0 {
+                self.obs.counter_inc("token_waits_total", &[]);
+                if self.obs.is_enabled() {
+                    let obs = self.obs.clone();
+                    let at = clock.now();
+                    effects.defer(move || {
+                        obs.event(
+                            at,
+                            "token_wait",
+                            vec![
+                                ("query", qid.0.into()),
+                                ("attempt", (attempt as u64).into()),
+                                ("blocked_candidates", blocked_count.into()),
+                            ],
+                        );
+                    });
+                }
+            }
+            if viable.is_empty() {
+                // Every surviving plan needs a token-exhausted server:
+                // shed before any fragment work rather than pile on.
+                if let Some(admission) = &self.admission {
+                    admission.note_shed("no_tokens");
+                }
+                return Err(QccError::Shed(
+                    "no token-admissible global plan (all candidate servers exhausted)".into(),
+                ));
             }
             let viable_owned: Vec<GlobalCandidate> = viable.into_iter().cloned().collect();
             let idx = self
@@ -487,6 +583,27 @@ impl Federation {
             match self.execute_global(qid, &decomposed, chosen, clock, effects) {
                 Ok((rows, fragment_times)) => {
                     let response_ms = clock.now().since(submitted).as_millis();
+                    if exec_deadline_ms > 0.0 && response_ms > exec_deadline_ms {
+                        // Completed, but late: the result still counts, the
+                        // goodput accounting does not.
+                        self.obs.counter_inc("deadline_misses_total", &[]);
+                        if self.obs.is_enabled() {
+                            let obs = self.obs.clone();
+                            let at = clock.now();
+                            effects.defer(move || {
+                                obs.event(
+                                    at,
+                                    "deadline_exceeded",
+                                    vec![
+                                        ("query", qid.0.into()),
+                                        ("stage", "completion".into()),
+                                        ("elapsed_ms", response_ms.into()),
+                                        ("deadline_ms", exec_deadline_ms.into()),
+                                    ],
+                                );
+                            });
+                        }
+                    }
                     self.middleware.observe_query(
                         qid,
                         &decomposed.template_signature,

@@ -13,9 +13,13 @@
 //!   default-best-server routing (everything→S3).
 //! * [`experiment`] — the driver that runs a workload through a federation
 //!   per phase and collects per-type and per-phase response-time averages.
+//! * [`openloop`] — Poisson open-loop arrival generator and saturation
+//!   driver for the admission-control experiments (queueing, shedding,
+//!   deadlines past the service capacity).
 
 pub mod baselines;
 pub mod experiment;
+pub mod openloop;
 pub mod phases;
 pub mod querytypes;
 pub mod scenario;
@@ -23,6 +27,10 @@ pub mod scenario;
 pub use baselines::{FixedRoutingMiddleware, FIXED_ASSIGNMENT_1, FIXED_ASSIGNMENT_2};
 pub use experiment::{
     run_phases, run_phases_on, sensitivity_sweep, ExperimentResult, PhaseResult, SensitivityPoint,
+};
+pub use openloop::{
+    class_of, poisson_arrivals, run_open_loop, AdmissionMode, ArrivalEvent, CompletedQuery,
+    OpenLoopReport,
 };
 pub use phases::{apply_phase, clear_phase, Phase, PhaseSchedule, HIGH_LOAD};
 pub use querytypes::{QueryType, ALL_QUERY_TYPES};

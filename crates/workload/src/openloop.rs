@@ -1,0 +1,295 @@
+//! Open-loop saturation driver.
+//!
+//! The phase experiments (§5) are *closed-loop*: each batch waits for the
+//! previous one, so offered load can never exceed service capacity. This
+//! module generates an **open-loop** arrival process — Poisson
+//! interarrivals drawn from the deterministic `Pcg32`, laid out on the
+//! virtual timeline up front — and drives it through the federation so the
+//! system can be pushed *past* saturation. With an
+//! [`AdmissionController`] attached the backlog turns into bounded
+//! queueing plus shedding; without one every due arrival dispatches
+//! immediately and each server's inflight count (held via RAII
+//! [`qcc_netsim::InflightGuard`]s for the duration of the round) drives
+//! utilization — and therefore response times — up round over round.
+//!
+//! Everything here runs on the coordinator thread between `submit_batch`
+//! calls: arrival admission, capacity refresh, dequeue and guard
+//! placement are all pure functions of the precomputed arrival sequence
+//! and the frozen adaptive state, so a run is byte-identical for any
+//! `QCC_THREADS` (see `tests/admission_determinism.rs`).
+
+use crate::querytypes::{QueryType, ALL_QUERY_TYPES};
+use crate::scenario::Scenario;
+use qcc_admission::{AdmissionController, PriorityClass, QueueTicket};
+use qcc_common::{Pcg32, QccError, SimTime};
+use std::collections::VecDeque;
+
+/// One scheduled arrival of the open-loop process.
+#[derive(Debug, Clone)]
+pub struct ArrivalEvent {
+    /// Scheduled arrival time on the virtual timeline.
+    pub at: SimTime,
+    /// The query type this arrival instantiates.
+    pub qt: QueryType,
+    /// Concrete SQL text.
+    pub sql: String,
+    /// Priority class (QT4 is latency-critical, QT1 best-effort).
+    pub class: PriorityClass,
+}
+
+/// Priority assignment for the paper's query mix: the very selective
+/// point-ish QT4 rides `High`, the heavy scan-and-aggregate QT1 rides
+/// `Low`, the rest are `Normal`.
+pub fn class_of(qt: QueryType) -> PriorityClass {
+    match qt {
+        QueryType::QT4 => PriorityClass::High,
+        QueryType::QT1 => PriorityClass::Low,
+        _ => PriorityClass::Normal,
+    }
+}
+
+/// Generate `count` Poisson arrivals at `rate_per_ms` (exponential
+/// interarrival times via inverse transform on `Pcg32`), cycling query
+/// types uniformly at random with randomized instances. The whole
+/// sequence is materialized up front, so the offered load is independent
+/// of how fast the system drains it — the defining open-loop property.
+pub fn poisson_arrivals(rate_per_ms: f64, count: usize, seed: u64) -> Vec<ArrivalEvent> {
+    let mut rng = Pcg32::seed_from(seed);
+    let mut t = 0.0f64;
+    let mut arrivals = Vec::with_capacity(count);
+    for _ in 0..count {
+        // u ∈ [0,1) so 1-u ∈ (0,1]: ln is finite, dt ≥ 0.
+        let u = rng.next_f64();
+        t += -(1.0 - u).ln() / rate_per_ms;
+        let qt = ALL_QUERY_TYPES[rng.range_u64(0, ALL_QUERY_TYPES.len() as u64) as usize];
+        let instance = rng.range_u64(0, 10) as u32;
+        arrivals.push(ArrivalEvent {
+            at: SimTime::from_millis(t),
+            qt,
+            sql: qt.sql(instance),
+            class: class_of(qt),
+        });
+    }
+    arrivals
+}
+
+/// One query that made it all the way through.
+#[derive(Debug, Clone)]
+pub struct CompletedQuery {
+    /// Query-type name ("QT1"…).
+    pub template: String,
+    /// Scheduled arrival time.
+    pub arrived: SimTime,
+    /// Arrival → merged-result latency (queue wait + execution).
+    pub response_ms: f64,
+}
+
+/// Outcome of an open-loop run.
+#[derive(Debug, Default)]
+pub struct OpenLoopReport {
+    /// Queries that completed, in dispatch order.
+    pub completed: Vec<CompletedQuery>,
+    /// Queries shed by admission (queue full / queue deadline / no tokens).
+    pub shed: u64,
+    /// Queries that failed for non-admission reasons.
+    pub failed: u64,
+    /// Dispatch rounds executed.
+    pub rounds: usize,
+    /// Mean arrival→completion response per round (the admission-off
+    /// saturation signature: monotone growth).
+    pub round_mean_response_ms: Vec<f64>,
+}
+
+impl OpenLoopReport {
+    /// The `p`-quantile (0–100) of completed response times, by the
+    /// nearest-rank method. Zero if nothing completed.
+    pub fn response_percentile(&self, p: f64) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        let mut times: Vec<f64> = self.completed.iter().map(|c| c.response_ms).collect();
+        times.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * times.len() as f64).ceil() as usize;
+        times[rank.saturating_sub(1).min(times.len() - 1)]
+    }
+
+    /// Queries that completed within `deadline_ms` of *arrival* — the
+    /// goodput numerator under overload.
+    pub fn goodput(&self, deadline_ms: f64) -> usize {
+        self.completed
+            .iter()
+            .filter(|c| c.response_ms <= deadline_ms)
+            .count()
+    }
+}
+
+/// How the open-loop driver hands arrivals to the federation.
+#[derive(Debug, Clone, Copy)]
+pub enum AdmissionMode<'a> {
+    /// Full admission control: priority/WFQ queue, calibration-derived
+    /// token capacities, queue + execution deadlines, shedding.
+    Admitted(&'a AdmissionController),
+    /// No admission: strict-FIFO dispatch through a fixed pool of `width`
+    /// concurrent queries (a real integrator's connection/worker pool).
+    /// Nothing is ever shed and nothing has a deadline, so past
+    /// saturation the backlog — and with it every later query's
+    /// response time — grows without bound.
+    Unprotected {
+        /// Concurrent queries per dispatch round.
+        width: usize,
+    },
+}
+
+/// Drive a precomputed arrival sequence through `scenario`'s federation.
+///
+/// In [`AdmissionMode::Admitted`] the loop is: admit due arrivals into
+/// the queue (immediate shed if full) → refresh per-server token
+/// capacities from QCC state → dequeue a quota-bounded WFQ batch
+/// (queue-deadline sheds happen here) → dispatch it as one
+/// `submit_batch`. In [`AdmissionMode::Unprotected`] the oldest `width`
+/// pending arrivals dispatch each round, unconditionally.
+///
+/// During each round the driver holds one inflight guard per dispatched
+/// query, assigned round-robin across the scenario's servers in dispatch
+/// order, so batch width feeds back into server utilization (the hot-spot
+/// feedback loop the phase driver models the same way). Guard counts are
+/// constant for the whole batch, keeping execution deterministic.
+pub fn run_open_loop(
+    scenario: &Scenario,
+    mode: AdmissionMode<'_>,
+    arrivals: &[ArrivalEvent],
+) -> OpenLoopReport {
+    match mode {
+        AdmissionMode::Admitted(admission) => run_admitted(scenario, admission, arrivals),
+        AdmissionMode::Unprotected { width } => run_unprotected(scenario, arrivals, width),
+    }
+}
+
+fn run_admitted(
+    scenario: &Scenario,
+    admission: &AdmissionController,
+    arrivals: &[ArrivalEvent],
+) -> OpenLoopReport {
+    let server_ids: Vec<_> = scenario.servers.iter().map(|s| s.id().clone()).collect();
+    let mut report = OpenLoopReport::default();
+    let mut next = 0usize;
+    loop {
+        let now = scenario.clock.now();
+        while next < arrivals.len() && arrivals[next].at <= now {
+            let a = &arrivals[next];
+            if admission
+                .enqueue(&a.sql, &a.qt.to_string(), a.class, a.at)
+                .is_err()
+            {
+                report.shed += 1;
+            }
+            next += 1;
+        }
+        if admission.queue_depth() == 0 {
+            if next >= arrivals.len() {
+                break;
+            }
+            // Idle: jump to the next scheduled arrival.
+            scenario.clock.advance_to(arrivals[next].at);
+            continue;
+        }
+        // Coordinator-side capacity refresh between batches; the batch
+        // below gates against this frozen snapshot.
+        if let Some(qcc) = &scenario.qcc {
+            qcc.refresh_admission(admission, &server_ids, now);
+        }
+        let batch = admission.dequeue_batch(now);
+        report.shed += batch.shed.len() as u64;
+        if batch.admitted.is_empty() {
+            continue; // everything popped this round was stale; queue shrank
+        }
+        dispatch_round(scenario, &batch.admitted, now, &mut report);
+    }
+    report
+}
+
+fn run_unprotected(scenario: &Scenario, arrivals: &[ArrivalEvent], width: usize) -> OpenLoopReport {
+    let width = width.max(1);
+    let mut report = OpenLoopReport::default();
+    let mut pending: VecDeque<QueueTicket> = VecDeque::new();
+    let mut next = 0usize;
+    let mut seq = 0u64;
+    loop {
+        let now = scenario.clock.now();
+        while next < arrivals.len() && arrivals[next].at <= now {
+            let a = &arrivals[next];
+            pending.push_back(QueueTicket {
+                seq,
+                sql: a.sql.clone(),
+                template: a.qt.to_string(),
+                class: a.class,
+                enqueued_at: a.at,
+            });
+            seq += 1;
+            next += 1;
+        }
+        if pending.is_empty() {
+            if next >= arrivals.len() {
+                break;
+            }
+            scenario.clock.advance_to(arrivals[next].at);
+            continue;
+        }
+        // No admission: the oldest `width` pending queries dispatch, the
+        // rest wait for the pool — nothing is ever refused.
+        let take = width.min(pending.len());
+        let round: Vec<QueueTicket> = pending.drain(..take).collect();
+        dispatch_round(scenario, &round, now, &mut report);
+    }
+    report
+}
+
+/// Dispatch one round as a single `submit_batch`, holding an inflight
+/// guard per query (round-robin across servers) for the round's duration.
+fn dispatch_round(
+    scenario: &Scenario,
+    tickets: &[QueueTicket],
+    dispatched_at: SimTime,
+    report: &mut OpenLoopReport,
+) {
+    let guards: Vec<_> = tickets
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            scenario.servers[i % scenario.servers.len()]
+                .load()
+                .begin_query()
+        })
+        .collect();
+    let sqls: Vec<String> = tickets.iter().map(|t| t.sql.clone()).collect();
+    let outcomes = scenario.federation.submit_batch(&sqls);
+    drop(guards);
+    let wait_ms: Vec<f64> = tickets
+        .iter()
+        .map(|t| dispatched_at.since(t.enqueued_at).as_millis())
+        .collect();
+    let mut round_sum = 0.0;
+    let mut round_n = 0usize;
+    for ((ticket, outcome), wait) in tickets.iter().zip(outcomes).zip(wait_ms) {
+        match outcome {
+            Ok(out) => {
+                let response_ms = wait + out.response_ms;
+                round_sum += response_ms;
+                round_n += 1;
+                report.completed.push(CompletedQuery {
+                    template: ticket.template.clone(),
+                    arrived: ticket.enqueued_at,
+                    response_ms,
+                });
+            }
+            Err(QccError::Shed(_)) => report.shed += 1,
+            Err(_) => report.failed += 1,
+        }
+    }
+    if round_n > 0 {
+        report
+            .round_mean_response_ms
+            .push(round_sum / round_n as f64);
+    }
+    report.rounds += 1;
+}

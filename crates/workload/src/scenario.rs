@@ -48,6 +48,10 @@ pub struct ScenarioConfig {
     /// Record metrics + journal through qcc-obs (false = every emission
     /// is a no-op; used by benches to measure instrumentation overhead).
     pub obs_enabled: bool,
+    /// Per-query retry budget handed to `FederationConfig::retry_limit`
+    /// (QCC-driven builds take it from `QccConfig::retry_limit` instead,
+    /// so ablations tune one config).
+    pub retry_limit: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -60,6 +64,7 @@ impl Default for ScenarioConfig {
             link_bandwidth: 50_000.0,
             threads: qcc_common::default_threads(),
             obs_enabled: true,
+            retry_limit: FederationConfig::default().retry_limit,
         }
     }
 }
@@ -147,6 +152,7 @@ impl Scenario {
             qcc.middleware(),
             FederationConfig {
                 threads,
+                retry_limit: qcc.config.retry_limit,
                 ..FederationConfig::default()
             },
         );
@@ -247,6 +253,7 @@ impl Scenario {
             middleware,
             FederationConfig {
                 threads: config.threads,
+                retry_limit: config.retry_limit,
                 ..FederationConfig::default()
             },
         );

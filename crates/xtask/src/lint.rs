@@ -36,6 +36,14 @@
 //!   stdout writes are invisible to the observability layer and garble
 //!   the reports the binaries print. Tests, benches and examples are
 //!   exempt.
+//! * **L7 no wall-clock blocking** — no `thread::sleep` / `park_timeout`
+//!   / `sleep_ms` / `.wait_timeout(` in library code. The serving path
+//!   (federation submit → admission queue → dispatch) runs entirely in
+//!   virtual time; a real sleep stalls the coordinator without advancing
+//!   `SimTime`, so it can never model a delay — it only destroys
+//!   wall-clock throughput and, under a timeout, reintroduces
+//!   scheduling-dependent behavior. Model waiting by advancing the
+//!   `SimClock` instead. Tests, benches and examples are exempt.
 //!
 //! Waivers: a violation is silenced by an inline comment
 //! `// qcc-lint: allow(L3): <justification>` either trailing on the
@@ -66,13 +74,23 @@ pub enum Rule {
     L5,
     /// Output discipline.
     L6,
+    /// No wall-clock blocking in library code.
+    L7,
     /// Malformed waiver comment.
     W0,
 }
 
 impl Rule {
     /// All lintable rules (waivable ones; `W0` is not waivable).
-    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+    pub const ALL: [Rule; 7] = [
+        Rule::L1,
+        Rule::L2,
+        Rule::L3,
+        Rule::L4,
+        Rule::L5,
+        Rule::L6,
+        Rule::L7,
+    ];
 
     /// Parse a rule name as written in a waiver comment.
     pub fn parse(s: &str) -> Option<Rule> {
@@ -83,6 +101,7 @@ impl Rule {
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
             "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
             _ => None,
         }
     }
@@ -97,6 +116,7 @@ impl fmt::Display for Rule {
             Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::L7 => "L7",
             Rule::W0 => "W0",
         };
         f.write_str(s)
@@ -133,6 +153,7 @@ pub const CLOCK_ALLOWLIST: &str = "crates/common/src/time.rs";
 /// iteration order: everything feeding cost numbers, plan choice,
 /// placement, or load-balance decisions.
 pub const ORDERED_MODULES: &[&str] = &[
+    "crates/admission/src/",
     "crates/core/src/",
     "crates/federation/src/",
     "crates/engine/src/cost.rs",
@@ -143,6 +164,7 @@ pub const ORDERED_MODULES: &[&str] = &[
 
 /// Crates whose library code must be panic-free (L3).
 pub const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/admission/src/",
     "crates/core/src/",
     "crates/engine/src/",
     "crates/federation/src/",
@@ -157,6 +179,16 @@ pub const REMOTE_CALL_MARKERS: &[&str] = &[".execute(", ".explain(", ".ping("];
 /// The single file allowed to create OS threads (L5): the scatter-gather
 /// layer, whose gather barrier is what keeps parallelism deterministic.
 pub const THREAD_ALLOWLIST: &str = "crates/common/src/scatter.rs";
+
+/// Wall-clock blocking constructs banned from library code (L7). The
+/// serving path runs in virtual time; a real sleep stalls the
+/// coordinator without advancing `SimTime`.
+pub const WALL_BLOCK_PATTERNS: &[&str] = &[
+    "thread::sleep(",
+    "park_timeout(",
+    "sleep_ms(",
+    ".wait_timeout(",
+];
 
 /// Paths never scanned: build output, the vendored shim (external-crate
 /// API surface, not simulation code), and the linter itself (its source
@@ -495,6 +527,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     let l4_applies = !test_like;
     let l5_applies = path != THREAD_ALLOWLIST && !test_like;
     let l6_applies = PANIC_FREE_CRATES.iter().any(|m| path.starts_with(m)) && !test_like;
+    let l7_applies = !test_like;
 
     let mut push = |rule: Rule, line: usize, message: String| {
         if !waivers.covers(line, rule) {
@@ -647,6 +680,24 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                             "`{pat}` in library code: stdout writes bypass the \
                              qcc-obs metrics/journal and garble binary reports — \
                              emit an obs event/counter or return data to the caller"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if l7_applies && !in_test_mod {
+            for pat in WALL_BLOCK_PATTERNS {
+                if line.contains(pat) {
+                    push(
+                        Rule::L7,
+                        lineno,
+                        format!(
+                            "`{}...)` blocks on the wall clock: the serving path runs \
+                             in virtual time, so a real sleep stalls the coordinator \
+                             without advancing SimTime — model the wait by advancing \
+                             the SimClock instead",
+                            pat.trim_end_matches('(')
                         ),
                     );
                 }
@@ -926,6 +977,63 @@ mod tests {
     fn l6_is_waivable() {
         let src = "// qcc-lint: allow(L6): operator-facing fatal banner, no obs sink yet\nfn f() { eprintln!(\"fatal\"); }\n";
         assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    // ---- L7 ----
+
+    #[test]
+    fn l7_fires_on_each_wall_clock_block() {
+        let src = "fn f() {\n    std::thread::sleep(d);\n    thread::park_timeout(d);\n    std::thread::sleep_ms(5);\n    let r = cv.wait_timeout(g, d);\n}\n";
+        assert_eq!(
+            rules("crates/admission/src/queue.rs", src),
+            vec![(Rule::L7, 2), (Rule::L7, 3), (Rule::L7, 4), (Rule::L7, 5)]
+        );
+    }
+
+    #[test]
+    fn l7_covers_all_library_code_not_just_the_federation_stack() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(rules("crates/common/src/obs.rs", src), vec![(Rule::L7, 1)]);
+        assert_eq!(rules("crates/sql/src/parser.rs", src), vec![(Rule::L7, 1)]);
+    }
+
+    #[test]
+    fn l7_exempts_tests_benches_examples_and_cfg_test() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(rules("crates/admission/tests/t.rs", src), vec![]);
+        assert_eq!(rules("crates/bench/benches/b.rs", src), vec![]);
+        assert_eq!(rules("examples/e.rs", src), vec![]);
+        let with_mod =
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::sleep(d); }\n}\n";
+        assert_eq!(rules(CORE, with_mod), vec![]);
+    }
+
+    #[test]
+    fn l7_ignores_comments_strings_and_non_blocking_cousins() {
+        let src = "// thread::sleep() is banned\nfn f() { let s = \"thread::sleep(d)\"; clock.sleep_for(d); }\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    #[test]
+    fn l7_is_waivable() {
+        let src = "// qcc-lint: allow(L7): backoff in the offline setup tool, not the serving path\nfn f() { std::thread::sleep(d); }\n";
+        assert_eq!(rules(CORE, src), vec![]);
+    }
+
+    // ---- admission crate coverage ----
+
+    #[test]
+    fn admission_crate_is_scanned_by_l2_l3_and_l6() {
+        let path = "crates/admission/src/tokens.rs";
+        assert_eq!(
+            rules(path, "use std::collections::HashMap;\n"),
+            vec![(Rule::L2, 1)]
+        );
+        assert_eq!(rules(path, "fn f() { x.unwrap(); }\n"), vec![(Rule::L3, 1)]);
+        assert_eq!(
+            rules(path, "fn f() { println!(\"depth\"); }\n"),
+            vec![(Rule::L6, 1)]
+        );
     }
 
     // ---- waivers ----

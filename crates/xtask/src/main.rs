@@ -3,7 +3,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint [--json] [PATH...]` — run the qcc-lint rules (L1–L5, see
+//! * `lint [--json] [PATH...]` — run the qcc-lint rules (L1–L7, see
 //!   `lint.rs` and DESIGN.md) over every tracked `.rs` file, or over the
 //!   given files/directories only. Exits nonzero if any unwaived
 //!   violation is found. `--json` emits a machine-readable summary on
@@ -189,7 +189,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            println!("usage: cargo xtask <command>\n\ncommands:\n  lint [--json] [PATH...]   enforce workspace invariants L1-L5");
+            println!("usage: cargo xtask <command>\n\ncommands:\n  lint [--json] [PATH...]   enforce workspace invariants L1-L7");
             ExitCode::SUCCESS
         }
         Some(other) => {

@@ -1,0 +1,55 @@
+//! Drive the federation past saturation with an open-loop Poisson arrival
+//! process, with admission control attached, and read the shed/deadline
+//! story back from the qcc-obs journal.
+//!
+//! ```sh
+//! cargo run --release --example saturation_shedding
+//! ```
+
+use load_aware_federation::admission::{AdmissionConfig, AdmissionController};
+use load_aware_federation::qcc::QccConfig;
+use load_aware_federation::workload::{
+    poisson_arrivals, run_open_loop, AdmissionMode, Scenario, ScenarioConfig,
+};
+use std::sync::Arc;
+
+fn main() {
+    let mut scenario = Scenario::build_with_qcc(QccConfig::default(), ScenarioConfig::tiny());
+    let admission = Arc::new(AdmissionController::with_obs(
+        AdmissionConfig {
+            queue_deadline_ms: 40.0,
+            exec_deadline_ms: 120.0,
+            base_tokens: 4,
+            max_queue_depth: 32,
+            ..AdmissionConfig::default()
+        },
+        scenario.obs.clone(),
+    ));
+    scenario.federation.set_admission(Arc::clone(&admission));
+
+    // ~2x the tiny scenario's service capacity: the queue fills, the WFQ
+    // spreads what fits across templates, the rest sheds.
+    let arrivals = poisson_arrivals(6.0, 400, 0xfeed);
+    let report = run_open_loop(&scenario, AdmissionMode::Admitted(&admission), &arrivals);
+
+    println!("== saturation run ==");
+    println!("arrivals:    {}", arrivals.len());
+    println!("completed:   {}", report.completed.len());
+    println!("shed:        {}", report.shed);
+    println!("failed:      {}", report.failed);
+    println!("rounds:      {}", report.rounds);
+    println!("p50:         {:.3} ms", report.response_percentile(50.0));
+    println!("p99:         {:.3} ms", report.response_percentile(99.0));
+    println!(
+        "goodput:     {} queries within {} ms of arrival",
+        report.goodput(160.0),
+        160.0
+    );
+
+    println!("\n== journal excerpt (shed events) ==");
+    for event in scenario.obs.events_of("shed").iter().take(5) {
+        println!("{} {:?}", event.at, event.fields);
+    }
+    println!("\n== metrics ==");
+    print!("{}", scenario.obs.metrics_snapshot());
+}

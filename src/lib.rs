@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the full load-aware federated query routing
 //! stack. See README.md for a tour and DESIGN.md for the architecture.
 
+pub use qcc_admission as admission;
 pub use qcc_common as common;
 pub use qcc_core as qcc;
 pub use qcc_engine as engine;

@@ -1,0 +1,98 @@
+//! Golden equivalence for the admission layer: driving an open-loop
+//! Poisson arrival process past saturation — queueing, weighted-fair
+//! dequeue, token gating, deadline and queue-full shedding — must leave
+//! **byte-identical** qcc-obs metrics and journal snapshots for any
+//! worker-pool width.
+//!
+//! The argument: every admission decision (enqueue, capacity refresh,
+//! dequeue, shed) happens on the coordinator thread *between*
+//! `submit_batch` calls, against a frozen token snapshot; in-flight
+//! queries only read that snapshot, and their own journal emissions ride
+//! the `Deferred` buffers applied in task order at the gather barrier.
+//! The run must also actually shed — an admission test at an arrival rate
+//! the system can drain would prove nothing.
+
+use load_aware_federation::admission::{AdmissionConfig, AdmissionController};
+use load_aware_federation::qcc::QccConfig;
+use load_aware_federation::workload::{
+    poisson_arrivals, run_open_loop, AdmissionMode, Scenario, ScenarioConfig,
+};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn run_snapshots(threads: usize) -> (String, String, u64) {
+    let mut scenario = Scenario::build_with_qcc(
+        QccConfig::default(),
+        ScenarioConfig {
+            threads,
+            ..ScenarioConfig::tiny()
+        },
+    );
+    let admission = Arc::new(AdmissionController::with_obs(
+        AdmissionConfig {
+            queue_deadline_ms: 40.0,
+            exec_deadline_ms: 120.0,
+            base_tokens: 4,
+            max_queue_depth: 32,
+            ..AdmissionConfig::default()
+        },
+        scenario.obs.clone(),
+    ));
+    scenario.federation.set_admission(Arc::clone(&admission));
+    // ~4x the tiny scenario's drain rate: the queue caps out and sheds.
+    let arrivals = poisson_arrivals(6.0, 300, 0xfeed);
+    let report = run_open_loop(&scenario, AdmissionMode::Admitted(&admission), &arrivals);
+    assert_eq!(
+        report.completed.len() as u64 + report.shed + report.failed,
+        arrivals.len() as u64,
+        "every arrival is accounted for"
+    );
+    (
+        scenario.obs.metrics_snapshot(),
+        scenario.obs.journal_snapshot(),
+        report.shed,
+    )
+}
+
+#[test]
+fn admission_snapshots_are_byte_identical_across_thread_counts() {
+    let (metrics_ref, journal_ref, shed) = run_snapshots(1);
+    assert!(
+        shed > 0,
+        "the saturation scenario must actually shed queries"
+    );
+    // The reference journal tells the whole admission story.
+    for kind in [
+        "\"kind\":\"enqueue\"",
+        "\"kind\":\"dequeue\"",
+        "\"kind\":\"shed\"",
+        "\"kind\":\"token_capacity\"",
+    ] {
+        assert!(journal_ref.contains(kind), "journal missing {kind}");
+    }
+    assert!(
+        metrics_ref.contains("sheds_total"),
+        "metrics missing the shed counter"
+    );
+    assert!(
+        metrics_ref.contains("admission_queue_wait_ms"),
+        "metrics missing the time-in-queue histogram"
+    );
+    assert!(
+        metrics_ref.contains("admission_queue_depth"),
+        "metrics missing the queue depth gauge"
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        let (metrics, journal, shed_n) = run_snapshots(*threads);
+        assert_eq!(
+            metrics, metrics_ref,
+            "threads={threads}: metrics snapshot diverged from sequential reference"
+        );
+        assert_eq!(
+            journal, journal_ref,
+            "threads={threads}: journal diverged from sequential reference"
+        );
+        assert_eq!(shed_n, shed, "threads={threads}: shed count drifted");
+    }
+}

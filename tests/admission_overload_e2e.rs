@@ -1,0 +1,117 @@
+//! Overload end-to-end: at ~2x the saturation arrival rate, admission
+//! control turns unbounded backlog growth into bounded latency plus
+//! shedding.
+//!
+//! * **Admission on** — every admitted-and-completed query meets its
+//!   total deadline (queue deadline + execution deadline measured from
+//!   arrival), p99 stays bounded, and a nonzero fraction of the offered
+//!   load is shed: the queue is doing its job.
+//! * **Admission off** — the same arrival sequence dispatched
+//!   unconditionally piles concurrency onto the servers; each round's
+//!   mean response exceeds the previous round's (monotone growth, the
+//!   open-loop saturation signature) and the final round dwarfs the
+//!   first.
+
+use load_aware_federation::admission::{AdmissionConfig, AdmissionController};
+use load_aware_federation::qcc::QccConfig;
+use load_aware_federation::workload::{
+    poisson_arrivals, run_open_loop, AdmissionMode, ArrivalEvent, Scenario, ScenarioConfig,
+};
+use std::sync::Arc;
+
+const QUEUE_DEADLINE_MS: f64 = 40.0;
+const EXEC_DEADLINE_MS: f64 = 120.0;
+
+fn overload_arrivals() -> Vec<ArrivalEvent> {
+    // The tiny scenario drains roughly 3 queries/ms from a cold start;
+    // 6/ms is ~2x saturation.
+    poisson_arrivals(6.0, 300, 0xfeed)
+}
+
+#[test]
+fn admission_bounds_latency_and_sheds_under_overload() {
+    let mut scenario = Scenario::build_with_qcc(QccConfig::default(), ScenarioConfig::tiny());
+    let admission = Arc::new(AdmissionController::with_obs(
+        AdmissionConfig {
+            queue_deadline_ms: QUEUE_DEADLINE_MS,
+            exec_deadline_ms: EXEC_DEADLINE_MS,
+            base_tokens: 4,
+            max_queue_depth: 32,
+            ..AdmissionConfig::default()
+        },
+        scenario.obs.clone(),
+    ));
+    scenario.federation.set_admission(Arc::clone(&admission));
+    let arrivals = overload_arrivals();
+    let report = run_open_loop(&scenario, AdmissionMode::Admitted(&admission), &arrivals);
+
+    assert!(report.shed > 0, "2x saturation must shed");
+    assert!(
+        !report.completed.is_empty(),
+        "admission must still complete queries"
+    );
+    assert_eq!(report.failed, 0, "no non-admission failures expected");
+    // Every admitted query meets its deadline: total arrival-to-result
+    // budget is the queue deadline plus the execution deadline.
+    let budget = QUEUE_DEADLINE_MS + EXEC_DEADLINE_MS;
+    for c in &report.completed {
+        assert!(
+            c.response_ms <= budget,
+            "{} arrived {} took {:.3}ms, over the {budget}ms budget",
+            c.template,
+            c.arrived,
+            c.response_ms
+        );
+    }
+    // And p99 is bounded well below the budget in practice.
+    let p99 = report.response_percentile(99.0);
+    assert!(
+        p99 <= budget,
+        "p99 {p99:.3}ms exceeds the {budget}ms deadline budget"
+    );
+    assert_eq!(
+        report.goodput(budget),
+        report.completed.len(),
+        "goodput equals completions when every completion is on time"
+    );
+}
+
+#[test]
+fn no_admission_baseline_grows_without_bound() {
+    let scenario = Scenario::build_with_qcc(QccConfig::default(), ScenarioConfig::tiny());
+    let arrivals = overload_arrivals();
+    // Same worker-pool budget the admitted run gets from its tokens
+    // (3 servers x 4 base tokens) — the only difference is no queueing
+    // policy, no deadlines, no shedding.
+    let report = run_open_loop(
+        &scenario,
+        AdmissionMode::Unprotected { width: 12 },
+        &arrivals,
+    );
+
+    assert_eq!(report.shed, 0, "nothing sheds without admission");
+    assert_eq!(
+        report.completed.len(),
+        arrivals.len(),
+        "unprotected mode completes everything, however late"
+    );
+    let means = &report.round_mean_response_ms;
+    assert!(
+        means.len() >= 3,
+        "expected several dispatch rounds, got {}",
+        means.len()
+    );
+    // Monotonically increasing round means: each round inherits the
+    // previous round's backlog plus everything that arrived meanwhile.
+    for pair in means.windows(2) {
+        assert!(
+            pair[1] > pair[0],
+            "round means must grow monotonically under overload: {means:?}"
+        );
+    }
+    let (first, last) = (means[0], means[means.len() - 1]);
+    assert!(
+        last > 5.0 * first,
+        "unbounded growth expected: first round {first:.3}ms, last {last:.3}ms"
+    );
+}
