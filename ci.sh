@@ -24,6 +24,17 @@ QCC_THREADS=8 cargo test -q --offline --test admission_determinism
 echo "==> cargo xtask lint"
 cargo xtask lint
 
+echo "==> sim smoke: fixed seeds under QCC_THREADS=1 and 8, byte-compared"
+# Each check already runs every scenario at 1 and 8 scatter threads
+# internally (the thread_determinism oracle); running the whole explorer
+# under both QCC_THREADS values additionally pins its *report* output.
+QCC_THREADS=1 cargo xtask sim --seeds 12 > /tmp/qcc-sim-t1.out
+QCC_THREADS=8 cargo xtask sim --seeds 12 > /tmp/qcc-sim-t8.out
+cmp /tmp/qcc-sim-t1.out /tmp/qcc-sim-t8.out
+
+echo "==> sim corpus replay"
+cargo xtask sim --replay-corpus tests/corpus
+
 echo "==> bench smoke: scatter_speedup (tiny scale)"
 QCC_LARGE_ROWS=2000 QCC_SMALL_ROWS=100 QCC_INSTANCES=2 QCC_WARMUP=1 \
     cargo bench -q --offline -p qcc-bench --bench scatter_speedup

@@ -15,6 +15,16 @@ use parking_lot::Mutex;
 use qcc_common::{Obs, ServerId, SlidingWindow};
 use std::collections::BTreeMap;
 
+/// Lower clamp on any calibration factor. A factor this small would make
+/// the planner treat a server as ~free; nothing the probe loop or the
+/// ratio windows produce legitimately goes below it.
+pub const MIN_FACTOR: f64 = 1e-3;
+/// Upper clamp on any calibration factor. Estimates can collapse toward
+/// zero (degenerate fragments, denormal means) and probe seeds can
+/// misbehave; the ratio must stay finite so downstream cost arithmetic
+/// (`estimate × factor`) never turns into `inf`/`NaN`.
+pub const MAX_FACTOR: f64 = 1e6;
+
 /// Ratio history: separate sums of observed and estimated values, so the
 /// factor is avg(observed) / avg(estimated) exactly as the paper defines
 /// (not the average of per-query ratios).
@@ -40,10 +50,16 @@ impl RatioWindow {
     fn factor(&self) -> Option<f64> {
         let obs = self.observed.mean()?;
         let est = self.estimated.mean()?;
-        if est <= 0.0 {
+        if est <= 0.0 || !obs.is_finite() {
             return None;
         }
-        Some(obs / est)
+        let raw = obs / est;
+        // est > 0 does not make the ratio safe: a denormal mean estimate
+        // under a large observed mean overflows to infinity.
+        if !raw.is_finite() {
+            return Some(MAX_FACTOR);
+        }
+        Some(raw.clamp(MIN_FACTOR, MAX_FACTOR))
     }
 
     fn len(&self) -> usize {
@@ -124,7 +140,12 @@ impl CalibrationTable {
     /// Seed a server's factor from a daemon probe (used only while no
     /// runtime observations exist).
     pub fn seed_server(&self, server: &ServerId, factor: f64) {
-        self.seeds.lock().insert(server.clone(), factor.max(0.0));
+        if !factor.is_finite() {
+            return;
+        }
+        self.seeds
+            .lock()
+            .insert(server.clone(), factor.clamp(MIN_FACTOR, MAX_FACTOR));
         self.obs
             .counter_inc("calibration_seeds_total", &[("server", server.as_str())]);
     }
@@ -182,6 +203,23 @@ impl CalibrationTable {
             .get(template)
             .and_then(RatioWindow::factor)
             .unwrap_or(1.0)
+    }
+
+    /// Every server with calibration state (window or seed) and its
+    /// current per-server factor. Oracle accessor: the sim harness checks
+    /// all factors are finite, positive, and within the clamp bounds.
+    pub fn server_factors(&self) -> BTreeMap<ServerId, f64> {
+        let mut out = BTreeMap::new();
+        for id in self.per_server.lock().keys() {
+            out.insert(id.clone(), 0.0);
+        }
+        for id in self.seeds.lock().keys() {
+            out.entry(id.clone()).or_insert(0.0);
+        }
+        for (id, f) in out.iter_mut() {
+            *f = self.server_factor(id);
+        }
+        out
     }
 
     /// Variability of a server's observed costs (coefficient of variation),
@@ -332,5 +370,62 @@ mod tests {
         t.record_fragment(&s, "sig", -5.0, 10.0);
         t.record_fragment(&s, "sig", 10.0, f64::INFINITY);
         assert_eq!(t.server_factor(&s), 1.0);
+    }
+
+    #[test]
+    fn degenerate_estimate_overflow_clamps_to_max() {
+        // est > 0 passes the record guard, but a denormal mean estimate
+        // under a huge observed mean overflows the raw ratio to infinity.
+        let t = table();
+        let s = ServerId::new("S1");
+        t.record_fragment(&s, "sig", 1e-300, 1e300);
+        let f = t.server_factor(&s);
+        assert!(f.is_finite(), "factor must never be inf/NaN, got {f}");
+        assert_eq!(f, MAX_FACTOR);
+        assert_eq!(t.fragment_factor(&s, "other"), MAX_FACTOR);
+    }
+
+    #[test]
+    fn tiny_ratio_clamps_to_min() {
+        let t = table();
+        let s = ServerId::new("S1");
+        t.record_fragment(&s, "sig", 1e9, 1e-9);
+        assert_eq!(t.server_factor(&s), MIN_FACTOR);
+    }
+
+    #[test]
+    fn empty_history_is_identity_not_nan() {
+        let t = table();
+        let s = ServerId::new("S1");
+        assert_eq!(t.server_factor(&s), 1.0);
+        assert_eq!(t.fragment_factor(&s, "sig"), 1.0);
+        assert!(t.server_factors().is_empty());
+    }
+
+    #[test]
+    fn non_finite_seeds_rejected_and_extremes_clamped() {
+        let t = table();
+        let s = ServerId::new("S1");
+        t.seed_server(&s, f64::INFINITY);
+        t.seed_server(&s, f64::NAN);
+        assert_eq!(t.server_factor(&s), 1.0, "non-finite seeds dropped");
+        t.seed_server(&s, 1e12);
+        assert_eq!(t.server_factor(&s), MAX_FACTOR);
+        t.seed_server(&s, 0.0);
+        assert_eq!(t.server_factor(&s), MIN_FACTOR);
+    }
+
+    #[test]
+    fn server_factors_covers_windows_and_seeds() {
+        let t = table();
+        let a = ServerId::new("S1");
+        let b = ServerId::new("S2");
+        t.record_fragment(&a, "sig", 10.0, 20.0);
+        t.seed_server(&b, 3.0);
+        let m = t.server_factors();
+        assert_eq!(m.len(), 2);
+        assert!((m[&a] - 2.0).abs() < 1e-12);
+        assert!((m[&b] - 3.0).abs() < 1e-12);
+        assert!(m.values().all(|f| f.is_finite() && *f > 0.0));
     }
 }

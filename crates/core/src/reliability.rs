@@ -151,6 +151,18 @@ impl ReliabilityTracker {
         }
     }
 
+    /// Every server currently believed down, in id order. Oracle
+    /// accessor: the sim harness compares this against the injected
+    /// outage schedule at end of run.
+    pub fn down_servers(&self) -> Vec<ServerId> {
+        self.state
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.down_since.is_some())
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
     /// Recent error rate in `[0, 1]`.
     pub fn error_rate(&self, server: &ServerId) -> f64 {
         self.state

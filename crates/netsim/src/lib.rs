@@ -14,15 +14,19 @@
 //! * [`Link`] / [`Network`] — per-server base latency, bandwidth, and
 //!   congestion profiles.
 //! * [`AvailabilitySchedule`] — planned outage windows.
+//! * [`FaultSchedule`] — flaky windows: transient-error rates on virtual
+//!   time (the sim harness's soft-failure fault class).
 
 pub mod availability;
 pub mod clock;
+pub mod faults;
 pub mod link;
 pub mod load;
 pub mod profile;
 
 pub use availability::AvailabilitySchedule;
 pub use clock::SimClock;
+pub use faults::{FaultSchedule, FaultWindow};
 pub use link::{Link, Network};
 pub use load::{slowdown, ServerLoad};
 pub use profile::LoadProfile;

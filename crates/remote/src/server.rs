@@ -3,7 +3,7 @@
 use parking_lot::Mutex;
 use qcc_common::{Cost, Pcg32, QccError, Result, Row, ServerId, SimDuration, SimTime};
 use qcc_engine::{Engine, PlanNode};
-use qcc_netsim::{slowdown, AvailabilitySchedule, LoadProfile, ServerLoad};
+use qcc_netsim::{slowdown, AvailabilitySchedule, FaultSchedule, LoadProfile, ServerLoad};
 use qcc_storage::Catalog;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -66,10 +66,23 @@ pub struct RemoteServer {
     engine: Engine,
     load: ServerLoad,
     availability: AvailabilitySchedule,
+    /// Flaky windows: transient-error rates on virtual time (the sim
+    /// harness's soft-failure fault class). Decisions are stateless —
+    /// hashed from the request identity — so batch execution stays
+    /// byte-identical for any `QCC_THREADS`.
+    faults: FaultSchedule,
     /// Extra slowdown sensitivity per table while the update workload
     /// contends on it (set by the experiment's load driver).
     contention: Mutex<BTreeMap<String, f64>>,
     rng: Mutex<Pcg32>,
+}
+
+/// FNV-1a over `bytes`, continuing from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 impl RemoteServer {
@@ -88,6 +101,7 @@ impl RemoteServer {
             engine: Engine::new(catalog),
             load,
             availability: AvailabilitySchedule::always_up(),
+            faults: FaultSchedule::none(),
             contention: Mutex::new(BTreeMap::new()),
         })
     }
@@ -112,6 +126,12 @@ impl RemoteServer {
     /// The server's availability schedule.
     pub fn availability(&self) -> &AvailabilitySchedule {
         &self.availability
+    }
+
+    /// The server's transient-fault schedule (flaky windows on virtual
+    /// time; clones share state, so fault injectors keep a handle).
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// The hosted engine (tests use this to inspect the catalog).
@@ -154,6 +174,24 @@ impl RemoteServer {
                 return Err(QccError::ServerFault {
                     server: self.profile.id.clone(),
                     message: "transient fault injected".into(),
+                });
+            }
+        }
+        // Flaky-window faults must not consume a shared RNG stream: under
+        // `submit_batch` fragments execute on worker threads in
+        // nondeterministic order, so the decision is a stateless hash of
+        // the request identity (server, plan shape, virtual time) — the
+        // same request faults the same way for any `QCC_THREADS`.
+        let window_rate = self.faults.rate_at(at);
+        if window_rate > 0.0 {
+            let mut h = fnv1a(0xcbf29ce484222325, self.profile.id.as_str().as_bytes());
+            h = fnv1a(h, descriptor.signature().as_bytes());
+            h = fnv1a(h, &at.as_millis().to_bits().to_le_bytes());
+            let roll = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < window_rate {
+                return Err(QccError::ServerFault {
+                    server: self.profile.id.clone(),
+                    message: "transient fault window".into(),
                 });
             }
         }

@@ -1,0 +1,535 @@
+//! Simulation scenario configuration: seeded generation, the one-line
+//! replay rendering, and its parser.
+//!
+//! The replay line is the harness's unit of exchange: a failing run is
+//! reported as `sim(...)`, the corpus stores one `sim(...)` per file, and
+//! `--replay` accepts the same string back. Floats are rendered with
+//! Rust's round-tripping `{:?}` format, so `parse(render(c)) == c`
+//! exactly.
+
+use qcc_common::Pcg32;
+use std::fmt::Write as _;
+
+/// One injected fault on the virtual timeline. `server` indexes into
+/// [`SimConfig::servers`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Hard outage: the server does not answer at all in `[from, until)`.
+    Crash {
+        /// Server index.
+        server: usize,
+        /// Window start (virtual ms).
+        from_ms: f64,
+        /// Window end (virtual ms, exclusive).
+        until_ms: f64,
+    },
+    /// Flaky-error window: requests fault with probability `rate`.
+    Flaky {
+        /// Server index.
+        server: usize,
+        /// Window start (virtual ms).
+        from_ms: f64,
+        /// Window end (virtual ms, exclusive).
+        until_ms: f64,
+        /// Transient-fault probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Background-load surge: the server's utilization jumps to `level`.
+    Surge {
+        /// Server index.
+        server: usize,
+        /// Window start (virtual ms).
+        from_ms: f64,
+        /// Window end (virtual ms, exclusive).
+        until_ms: f64,
+        /// Background utilization in `[0, 1]`.
+        level: f64,
+    },
+    /// Link-congestion spike: the server's link congestion jumps to
+    /// `level` (latency multiplier window).
+    Spike {
+        /// Server index.
+        server: usize,
+        /// Window start (virtual ms).
+        from_ms: f64,
+        /// Window end (virtual ms, exclusive).
+        until_ms: f64,
+        /// Congestion level in `[0, 1]`.
+        level: f64,
+    },
+    /// Link-congestion ramp: congestion climbs from 0 to `level` in
+    /// staircase steps across the window, then drops back.
+    Ramp {
+        /// Server index.
+        server: usize,
+        /// Window start (virtual ms).
+        from_ms: f64,
+        /// Window end (virtual ms, exclusive).
+        until_ms: f64,
+        /// Peak congestion level in `[0, 1]`.
+        level: f64,
+    },
+}
+
+impl FaultSpec {
+    /// The server index this fault targets.
+    pub fn server(&self) -> usize {
+        match self {
+            FaultSpec::Crash { server, .. }
+            | FaultSpec::Flaky { server, .. }
+            | FaultSpec::Surge { server, .. }
+            | FaultSpec::Spike { server, .. }
+            | FaultSpec::Ramp { server, .. } => *server,
+        }
+    }
+
+    /// The window end (virtual ms).
+    pub fn until_ms(&self) -> f64 {
+        match self {
+            FaultSpec::Crash { until_ms, .. }
+            | FaultSpec::Flaky { until_ms, .. }
+            | FaultSpec::Surge { until_ms, .. }
+            | FaultSpec::Spike { until_ms, .. }
+            | FaultSpec::Ramp { until_ms, .. } => *until_ms,
+        }
+    }
+}
+
+/// A full simulation scenario: world shape, workload, and fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Master seed (data generation and arrival process both derive from
+    /// it, with distinct salts).
+    pub seed: u64,
+    /// `(speed, base load sensitivity)` per server, in id order.
+    pub servers: Vec<(f64, f64)>,
+    /// Rows in the large tables.
+    pub large_rows: u64,
+    /// Rows in the small table.
+    pub small_rows: u64,
+    /// Open-loop arrival count.
+    pub arrivals: usize,
+    /// Poisson arrival rate per virtual ms.
+    pub rate_per_ms: f64,
+    /// Per-query retry budget.
+    pub retry_limit: usize,
+    /// The fault schedule.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl SimConfig {
+    /// The latest fault-window end, or 0 with no faults (drives the
+    /// driver's post-run cool-down).
+    pub fn last_fault_end_ms(&self) -> f64 {
+        self.faults
+            .iter()
+            .map(FaultSpec::until_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Render the one-line replay form. `parse` inverts this exactly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "sim(seed: {}, servers: [", self.seed);
+        for (i, (speed, sens)) in self.servers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "({speed:?}, {sens:?})");
+        }
+        let _ = write!(
+            out,
+            "], large_rows: {}, small_rows: {}, arrivals: {}, rate_per_ms: {:?}, retry_limit: {}, faults: [",
+            self.large_rows, self.small_rows, self.arrivals, self.rate_per_ms, self.retry_limit
+        );
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match f {
+                FaultSpec::Crash {
+                    server,
+                    from_ms,
+                    until_ms,
+                } => {
+                    let _ = write!(out, "crash({server}, {from_ms:?}, {until_ms:?})");
+                }
+                FaultSpec::Flaky {
+                    server,
+                    from_ms,
+                    until_ms,
+                    rate,
+                } => {
+                    let _ = write!(out, "flaky({server}, {from_ms:?}, {until_ms:?}, {rate:?})");
+                }
+                FaultSpec::Surge {
+                    server,
+                    from_ms,
+                    until_ms,
+                    level,
+                } => {
+                    let _ = write!(out, "surge({server}, {from_ms:?}, {until_ms:?}, {level:?})");
+                }
+                FaultSpec::Spike {
+                    server,
+                    from_ms,
+                    until_ms,
+                    level,
+                } => {
+                    let _ = write!(out, "spike({server}, {from_ms:?}, {until_ms:?}, {level:?})");
+                }
+                FaultSpec::Ramp {
+                    server,
+                    from_ms,
+                    until_ms,
+                    level,
+                } => {
+                    let _ = write!(out, "ramp({server}, {from_ms:?}, {until_ms:?}, {level:?})");
+                }
+            }
+        }
+        out.push_str("])");
+        out
+    }
+}
+
+/// Draw a randomized scenario from `seed`. Dimensions are chosen so a
+/// single run stays well under a second in release mode while still
+/// exercising multi-server routing, saturation, and every fault class.
+pub fn generate(seed: u64) -> SimConfig {
+    let mut rng = Pcg32::seed_from(seed);
+    let n = rng.range_u64(2, 5) as usize;
+    let servers: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.range_f64(0.8, 2.4), rng.range_f64(0.05, 0.40)))
+        .collect();
+    let large_rows = rng.range_u64(200, 600);
+    let small_rows = rng.range_u64(30, 80);
+    let arrivals = rng.range_u64(30, 90) as usize;
+    let rate_per_ms = rng.range_f64(0.05, 0.25);
+    // Mean span of the arrival process; fault windows land inside it so
+    // faults and traffic actually overlap.
+    let horizon = arrivals as f64 / rate_per_ms;
+    let n_faults = rng.range_u64(0, 5) as usize;
+    let mut faults = Vec::with_capacity(n_faults);
+    for _ in 0..n_faults {
+        let server = rng.range_u64(0, n as u64) as usize;
+        let from_ms = rng.range_f64(0.05, 0.60) * horizon;
+        let until_ms = from_ms + rng.range_f64(0.10, 0.35) * horizon;
+        faults.push(match rng.range_u64(0, 5) {
+            0 => FaultSpec::Crash {
+                server,
+                from_ms,
+                until_ms,
+            },
+            1 => FaultSpec::Flaky {
+                server,
+                from_ms,
+                until_ms,
+                rate: rng.range_f64(0.1, 0.9),
+            },
+            2 => FaultSpec::Surge {
+                server,
+                from_ms,
+                until_ms,
+                level: rng.range_f64(0.5, 0.9),
+            },
+            3 => FaultSpec::Spike {
+                server,
+                from_ms,
+                until_ms,
+                level: rng.range_f64(0.3, 0.9),
+            },
+            _ => FaultSpec::Ramp {
+                server,
+                from_ms,
+                until_ms,
+                level: rng.range_f64(0.3, 0.9),
+            },
+        });
+    }
+    SimConfig {
+        seed,
+        servers,
+        large_rows,
+        small_rows,
+        arrivals,
+        rate_per_ms,
+        retry_limit: 2,
+        faults,
+    }
+}
+
+/// Parse a replay line produced by [`SimConfig::render`]. The grammar is
+/// deliberately strict (fixed key order) — this is a machine round-trip
+/// format, not a configuration language.
+pub fn parse(s: &str) -> Result<SimConfig, String> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.tag("sim")?;
+    p.tok(b'(')?;
+    p.key("seed")?;
+    let seed = p.u64()?;
+    p.tok(b',')?;
+    p.key("servers")?;
+    let servers = p.pair_list()?;
+    p.tok(b',')?;
+    p.key("large_rows")?;
+    let large_rows = p.u64()?;
+    p.tok(b',')?;
+    p.key("small_rows")?;
+    let small_rows = p.u64()?;
+    p.tok(b',')?;
+    p.key("arrivals")?;
+    let arrivals = p.u64()? as usize;
+    p.tok(b',')?;
+    p.key("rate_per_ms")?;
+    let rate_per_ms = p.f64()?;
+    p.tok(b',')?;
+    p.key("retry_limit")?;
+    let retry_limit = p.u64()? as usize;
+    p.tok(b',')?;
+    p.key("faults")?;
+    let faults = p.fault_list(servers.len())?;
+    p.tok(b')')?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing input at byte {}", p.i));
+    }
+    Ok(SimConfig {
+        seed,
+        servers,
+        large_rows,
+        small_rows,
+        arrivals,
+        rate_per_ms,
+        retry_limit,
+        faults,
+    })
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn tok(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.s.len() && self.s[self.i] == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.i))
+        }
+    }
+
+    fn tag(&mut self, t: &str) -> Result<(), String> {
+        self.ws();
+        if self.s[self.i..].starts_with(t.as_bytes()) {
+            self.i += t.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{t}' at byte {}", self.i))
+        }
+    }
+
+    fn key(&mut self, k: &str) -> Result<(), String> {
+        self.tag(k)?;
+        self.tok(b':')
+    }
+
+    fn ident(&mut self) -> String {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i].is_ascii_alphabetic() {
+            self.i += 1;
+        }
+        String::from_utf8_lossy(&self.s[start..self.i]).into_owned()
+    }
+
+    fn number(&mut self) -> Result<&str, String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.i]).map_err(|e| e.to_string())
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let n = self.number()?.to_owned();
+        n.parse().map_err(|e| format!("bad integer '{n}': {e}"))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let n = self.number()?.to_owned();
+        let v: f64 = n.parse().map_err(|e| format!("bad float '{n}': {e}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite float '{n}'"));
+        }
+        Ok(v)
+    }
+
+    fn pair_list(&mut self) -> Result<Vec<(f64, f64)>, String> {
+        self.tok(b'[')?;
+        let mut out = Vec::new();
+        loop {
+            self.ws();
+            if self.i < self.s.len() && self.s[self.i] == b']' {
+                self.i += 1;
+                return Ok(out);
+            }
+            self.tok(b'(')?;
+            let a = self.f64()?;
+            self.tok(b',')?;
+            let b = self.f64()?;
+            self.tok(b')')?;
+            out.push((a, b));
+            self.ws();
+            if self.i < self.s.len() && self.s[self.i] == b',' {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn fault_list(&mut self, n_servers: usize) -> Result<Vec<FaultSpec>, String> {
+        self.tok(b'[')?;
+        let mut out = Vec::new();
+        loop {
+            self.ws();
+            if self.i < self.s.len() && self.s[self.i] == b']' {
+                self.i += 1;
+                return Ok(out);
+            }
+            let kind = self.ident();
+            self.tok(b'(')?;
+            let server = self.u64()? as usize;
+            if server >= n_servers {
+                return Err(format!(
+                    "fault server index {server} out of range (servers: {n_servers})"
+                ));
+            }
+            self.tok(b',')?;
+            let from_ms = self.f64()?;
+            self.tok(b',')?;
+            let until_ms = self.f64()?;
+            let fault = match kind.as_str() {
+                "crash" => FaultSpec::Crash {
+                    server,
+                    from_ms,
+                    until_ms,
+                },
+                "flaky" => {
+                    self.tok(b',')?;
+                    let rate = self.f64()?;
+                    FaultSpec::Flaky {
+                        server,
+                        from_ms,
+                        until_ms,
+                        rate,
+                    }
+                }
+                "surge" => {
+                    self.tok(b',')?;
+                    let level = self.f64()?;
+                    FaultSpec::Surge {
+                        server,
+                        from_ms,
+                        until_ms,
+                        level,
+                    }
+                }
+                "spike" => {
+                    self.tok(b',')?;
+                    let level = self.f64()?;
+                    FaultSpec::Spike {
+                        server,
+                        from_ms,
+                        until_ms,
+                        level,
+                    }
+                }
+                "ramp" => {
+                    self.tok(b',')?;
+                    let level = self.f64()?;
+                    FaultSpec::Ramp {
+                        server,
+                        from_ms,
+                        until_ms,
+                        level,
+                    }
+                }
+                other => return Err(format!("unknown fault kind '{other}'")),
+            };
+            self.tok(b')')?;
+            out.push(fault);
+            self.ws();
+            if self.i < self.s.len() && self.s[self.i] == b',' {
+                self.i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trips_generated_configs() {
+        for seed in 0..64u64 {
+            let c = generate(seed);
+            let line = c.render();
+            let back = parse(&line).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{line}"));
+            assert_eq!(back, c, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let a = generate(42);
+        let b = generate(42);
+        assert_eq!(a, b);
+        assert!((2..=4).contains(&a.servers.len()));
+        assert!(a.faults.len() <= 4);
+        for f in &a.faults {
+            assert!(f.server() < a.servers.len());
+            assert!(f.until_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("sim(seed: x)").is_err());
+        assert!(parse("sim(seed: 1, servers: [(1.0, 0.1)], large_rows: 10, small_rows: 5, arrivals: 2, rate_per_ms: 0.1, retry_limit: 1, faults: [boom(0, 1.0, 2.0)])").is_err());
+        // Fault referencing a server that does not exist.
+        assert!(parse("sim(seed: 1, servers: [(1.0, 0.1)], large_rows: 10, small_rows: 5, arrivals: 2, rate_per_ms: 0.1, retry_limit: 1, faults: [crash(3, 1.0, 2.0)])").is_err());
+        // Trailing garbage.
+        assert!(parse(&format!("{} tail", generate(1).render())).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_hand_written_whitespace() {
+        let line = "sim( seed: 7, servers: [ (1.0, 0.2) , (2.0, 0.1) ], large_rows: 100, small_rows: 20, arrivals: 5, rate_per_ms: 0.1, retry_limit: 2, faults: [ crash(1, 10.0, 20.0) ] )";
+        let c = parse(line).unwrap();
+        assert_eq!(c.servers.len(), 2);
+        assert_eq!(c.faults.len(), 1);
+    }
+}

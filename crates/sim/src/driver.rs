@@ -1,0 +1,242 @@
+//! Drive one simulated scenario through the full stack — admission
+//! queue, QCC routing, federation retry loop, availability daemon — on
+//! virtual time, and collect everything the oracles need.
+//!
+//! The loop mirrors `qcc_workload::openloop::run_admitted` (enqueue due
+//! arrivals → refresh token capacities → WFQ dequeue → one
+//! `submit_batch` per round) with two additions: the availability
+//! daemon's due probes run between rounds (crash detection and recovery
+//! both flow through it), and after the arrivals drain a cool-down
+//! marches virtual time past the last fault window in probe-interval
+//! steps so every downed server is probed back up before the end-of-run
+//! oracles look at the world.
+
+use crate::config::SimConfig;
+use crate::world::build;
+use qcc_admission::{AdmissionConfig, AdmissionController, AdmissionCounts};
+use qcc_common::{Event, Obs, QccError, ServerId, SimDuration, SimTime};
+use qcc_core::AvailabilityDaemon;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Deliberate bugs the harness can inject into its *own* accounting.
+/// Used to validate that the oracles actually catch violations (a
+/// harness that can't fail is not a test).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BugSwitches {
+    /// Silently drop every third completed query from the tally — a
+    /// conservation violation the conservation oracle must flag.
+    pub drop_completion: bool,
+}
+
+impl BugSwitches {
+    /// No injected bugs (the normal mode).
+    pub fn none() -> Self {
+        BugSwitches::default()
+    }
+}
+
+/// Everything a finished run exposes to the oracles.
+pub struct RunArtifacts {
+    /// Total arrivals offered.
+    pub total: usize,
+    /// Queries that completed (per the driver's tally).
+    pub completed: usize,
+    /// Queries shed (queue full, queue deadline, or token shed).
+    pub shed: usize,
+    /// Queries that failed for non-shed reasons (retries exhausted,
+    /// execution deadline).
+    pub failed: usize,
+    /// The full event journal, in append order.
+    pub journal: Vec<Event>,
+    /// The rendered JSONL journal (byte-compared across thread counts).
+    pub journal_text: String,
+    /// The rendered metrics snapshot (byte-compared across thread counts).
+    pub metrics_text: String,
+    /// Per-server calibration factors at end of run.
+    pub factors: BTreeMap<ServerId, f64>,
+    /// Servers still believed down at end of run.
+    pub down_at_end: Vec<ServerId>,
+    /// Admission counters at end of run.
+    pub counts: AdmissionCounts,
+    /// Server ids in scenario order (fault specs index into this).
+    pub server_ids: Vec<ServerId>,
+    /// The retry budget the run was configured with.
+    pub retry_limit: usize,
+    /// The run's observability handle (counter lookups for oracles).
+    pub obs: Obs,
+}
+
+/// Admission shape used for every simulated run: deadlines loose enough
+/// that a healthy world completes everything, tight enough that storms
+/// produce sheds and deadline events worth checking.
+fn admission_config() -> AdmissionConfig {
+    AdmissionConfig {
+        queue_deadline_ms: 400.0,
+        exec_deadline_ms: 800.0,
+        max_queue_depth: 128,
+        ..AdmissionConfig::default()
+    }
+}
+
+/// Run `config` to completion with `threads` scatter workers.
+pub fn run(config: &SimConfig, threads: usize, bug: &BugSwitches) -> RunArtifacts {
+    let world = build(config, threads);
+    let mut scenario = world.scenario;
+    let arrivals = world.arrivals;
+    let qcc = Arc::clone(scenario.qcc.as_ref().expect("QCC-routed scenario"));
+    let admission = Arc::new(AdmissionController::with_obs(
+        admission_config(),
+        scenario.obs.clone(),
+    ));
+    scenario.federation.set_admission(Arc::clone(&admission));
+    let daemon = AvailabilityDaemon::new(
+        Arc::clone(&qcc),
+        scenario.wrappers.clone(),
+        scenario.clock.clone(),
+    );
+    let server_ids: Vec<ServerId> = scenario.servers.iter().map(|s| s.id().clone()).collect();
+    // Baseline probe of the healthy world (establishes ping baselines).
+    daemon.probe_all();
+
+    let mut completed = 0usize;
+    let mut shed = 0usize;
+    let mut failed = 0usize;
+    let mut completion_tick = 0u64;
+    let mut next = 0usize;
+    loop {
+        daemon.run_due_probes();
+        let now = scenario.clock.now();
+        while next < arrivals.len() && arrivals[next].at <= now {
+            let a = &arrivals[next];
+            if admission
+                .enqueue(&a.sql, &a.qt.to_string(), a.class, a.at)
+                .is_err()
+            {
+                shed += 1;
+            }
+            next += 1;
+        }
+        if admission.queue_depth() == 0 {
+            if next >= arrivals.len() {
+                break;
+            }
+            scenario.clock.advance_to(arrivals[next].at);
+            continue;
+        }
+        qcc.refresh_admission(&admission, &server_ids, now);
+        let batch = admission.dequeue_batch(now);
+        shed += batch.shed.len();
+        if batch.admitted.is_empty() {
+            continue;
+        }
+        let guards: Vec<_> = batch
+            .admitted
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                scenario.servers[i % scenario.servers.len()]
+                    .load()
+                    .begin_query()
+            })
+            .collect();
+        let sqls: Vec<String> = batch.admitted.iter().map(|t| t.sql.clone()).collect();
+        let outcomes = scenario.federation.submit_batch(&sqls);
+        drop(guards);
+        for outcome in outcomes {
+            match outcome {
+                Ok(_) => {
+                    completion_tick += 1;
+                    if bug.drop_completion && completion_tick % 3 == 0 {
+                        // Injected accounting bug: the completion is lost.
+                    } else {
+                        completed += 1;
+                    }
+                }
+                Err(QccError::Shed(_)) => shed += 1,
+                Err(_) => failed += 1,
+            }
+        }
+    }
+
+    // Cool-down: step past the last fault window so the daemon's
+    // fast-bound probes restore every crashed server, then keep stepping
+    // (bounded) until nothing is believed down.
+    let lo = qcc.config.probe_interval_bounds_ms.0;
+    let target = SimTime::from_millis(config.last_fault_end_ms() + 3.0 * lo);
+    while scenario.clock.now() < target {
+        scenario.clock.advance(SimDuration::from_millis(lo));
+        daemon.run_due_probes();
+    }
+    let mut extra = 0;
+    while !qcc.reliability.down_servers().is_empty() && extra < 20 {
+        scenario.clock.advance(SimDuration::from_millis(lo));
+        daemon.run_due_probes();
+        extra += 1;
+    }
+
+    RunArtifacts {
+        total: arrivals.len(),
+        completed,
+        shed,
+        failed,
+        journal: scenario.obs.journal(),
+        journal_text: scenario.obs.journal_snapshot(),
+        metrics_text: scenario.obs.metrics_snapshot(),
+        factors: qcc.calibration.server_factors(),
+        down_at_end: qcc.reliability.down_servers(),
+        counts: admission.counts(),
+        server_ids,
+        retry_limit: config.retry_limit,
+        obs: scenario.obs.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse;
+
+    fn tiny_config(faults: &str) -> SimConfig {
+        parse(&format!(
+            "sim(seed: 11, servers: [(1.0, 0.2), (2.0, 0.1)], large_rows: 120, small_rows: 24, \
+             arrivals: 10, rate_per_ms: 0.1, retry_limit: 2, faults: [{faults}])"
+        ))
+        .expect("valid test config")
+    }
+
+    #[test]
+    fn healthy_run_conserves_queries() {
+        let a = run(&tiny_config(""), 1, &BugSwitches::none());
+        assert_eq!(a.total, 10);
+        assert_eq!(a.completed + a.shed + a.failed, a.total);
+        assert!(a.down_at_end.is_empty());
+        assert!(!a.journal.is_empty());
+    }
+
+    #[test]
+    fn injected_drop_breaks_conservation() {
+        let a = run(
+            &tiny_config(""),
+            1,
+            &BugSwitches {
+                drop_completion: true,
+            },
+        );
+        assert!(a.completed + a.shed + a.failed < a.total);
+    }
+
+    #[test]
+    fn crash_window_is_detected_and_recovered() {
+        let a = run(
+            &tiny_config("crash(0, 20.0, 120.0)"),
+            1,
+            &BugSwitches::none(),
+        );
+        assert!(
+            a.down_at_end.is_empty(),
+            "cool-down must restore the server"
+        );
+        assert_eq!(a.completed + a.shed + a.failed, a.total);
+    }
+}

@@ -1,0 +1,228 @@
+//! The `qcc-sim` command-line explorer.
+//!
+//! ```text
+//! qcc-sim --seed 7                  check one generated scenario
+//! qcc-sim --seeds 50                check seeds 0..50
+//! qcc-sim --replay '<sim(...)>'     re-check a replay line
+//! qcc-sim --replay-corpus [DIR]     replay the regression corpus
+//! qcc-sim --inject conservation     validate the harness itself
+//! qcc-sim --update-corpus DIR       append shrunk failures to DIR
+//! ```
+//!
+//! Exit code 0 = every oracle passed; 1 = at least one violation (the
+//! shrunk replay line is printed); 2 = usage error.
+
+use qcc_sim::{check_config, check_seed, corpus, parse, shrink, BugSwitches, SeedReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: qcc-sim [--seed S | --seeds N | --replay LINE | --replay-corpus [DIR]]
+               [--seed-start S0] [--inject conservation] [--update-corpus DIR]
+
+  --seed S              check the single generated scenario for seed S
+  --seeds N             check seeds S0..S0+N (S0 from --seed-start, default 0)
+  --replay LINE         re-check a sim(...) replay line
+  --replay-corpus [DIR] replay every *.ron in DIR (default tests/corpus)
+  --inject conservation deliberately drop completions (harness self-test:
+                        the conservation oracle must fire and shrink)
+  --update-corpus DIR   append each shrunk failure to DIR as a .ron file
+
+Every check runs the scenario twice (1 thread and QCC_THREADS-or-8) and
+byte-compares journal + metrics, so output is identical for any
+QCC_THREADS. A failure prints a one-line replay command.";
+
+enum Mode {
+    Seeds { start: u64, count: u64 },
+    Replay(String),
+    Corpus(PathBuf),
+}
+
+struct Options {
+    mode: Mode,
+    bug: BugSwitches,
+    update_corpus: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut mode = None;
+    let mut bug = BugSwitches::none();
+    let mut update_corpus = None;
+    let mut seed_start = 0u64;
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                let v = value(args, i, "--seed")?;
+                let s: u64 = v.parse().map_err(|e| format!("bad seed '{v}': {e}"))?;
+                mode = Some(Mode::Seeds { start: s, count: 1 });
+                i += 2;
+            }
+            "--seeds" => {
+                let v = value(args, i, "--seeds")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad count '{v}': {e}"))?;
+                mode = Some(Mode::Seeds { start: 0, count: n });
+                i += 2;
+            }
+            "--seed-start" => {
+                let v = value(args, i, "--seed-start")?;
+                seed_start = v.parse().map_err(|e| format!("bad seed '{v}': {e}"))?;
+                i += 2;
+            }
+            "--replay" => {
+                mode = Some(Mode::Replay(value(args, i, "--replay")?));
+                i += 2;
+            }
+            "--replay-corpus" => {
+                let dir = match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        PathBuf::from(v)
+                    }
+                    _ => PathBuf::from(corpus::DEFAULT_DIR),
+                };
+                mode = Some(Mode::Corpus(dir));
+                i += 1;
+            }
+            "--inject" => {
+                let v = value(args, i, "--inject")?;
+                match v.as_str() {
+                    "conservation" => bug.drop_completion = true,
+                    other => return Err(format!("unknown injection '{other}'")),
+                }
+                i += 2;
+            }
+            "--update-corpus" => {
+                update_corpus = Some(PathBuf::from(value(args, i, "--update-corpus")?));
+                i += 2;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let mut mode = mode.ok_or_else(|| "no mode given".to_string())?;
+    if let Mode::Seeds { start, .. } = &mut mode {
+        if *start == 0 {
+            *start = seed_start;
+        }
+    }
+    Ok(Options {
+        mode,
+        bug,
+        update_corpus,
+    })
+}
+
+/// Budget for shrink passes (each candidate costs two runs).
+const SHRINK_BUDGET: usize = 100;
+
+fn report_failure(label: &str, report: &SeedReport, opts: &Options) {
+    println!("{label}: FAIL ({})", report.summary);
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    let shrunk = shrink(&report.config, &opts.bug, SHRINK_BUDGET);
+    let line = shrunk.config.render();
+    println!(
+        "  shrunk after {} candidate runs; replay with:",
+        shrunk.evaluated
+    );
+    println!("  cargo xtask sim --replay '{line}'");
+    if let Some(dir) = &opts.update_corpus {
+        let oracle = report
+            .violations
+            .first()
+            .map(|v| v.oracle)
+            .unwrap_or("unknown");
+        match corpus::append(dir, &shrunk.config, oracle) {
+            Ok(path) => println!("  appended to corpus: {}", path.display()),
+            Err(e) => println!("  corpus append FAILED: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            if e.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0u64;
+    let mut checked = 0u64;
+    match &opts.mode {
+        Mode::Seeds { start, count } => {
+            for seed in *start..start + count {
+                let report = check_seed(seed, &opts.bug);
+                checked += 1;
+                if report.ok() {
+                    println!("seed {seed}: ok ({})", report.summary);
+                } else {
+                    failures += 1;
+                    report_failure(&format!("seed {seed}"), &report, &opts);
+                }
+            }
+        }
+        Mode::Replay(line) => {
+            let config = match parse(line) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: bad replay line: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let report = check_config(&config, &opts.bug);
+            checked += 1;
+            if report.ok() {
+                println!("replay: ok ({})", report.summary);
+            } else {
+                failures += 1;
+                report_failure("replay", &report, &opts);
+            }
+        }
+        Mode::Corpus(dir) => {
+            let entries = match corpus::load(dir) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if entries.is_empty() {
+                println!("corpus {} is empty", dir.display());
+            }
+            for (path, config) in &entries {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string());
+                let report = check_config(config, &opts.bug);
+                checked += 1;
+                if report.ok() {
+                    println!("corpus {name}: ok ({})", report.summary);
+                } else {
+                    failures += 1;
+                    report_failure(&format!("corpus {name}"), &report, &opts);
+                }
+            }
+        }
+    }
+
+    println!("qcc-sim: {checked} scenario(s) checked, {failures} failure(s)");
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

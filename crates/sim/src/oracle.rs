@@ -1,0 +1,404 @@
+//! Invariant oracles over a finished run's journal, metrics, and
+//! end-of-run state.
+//!
+//! Every oracle is written to be *sound* under the injected fault
+//! schedule: it only flags states the determinism substrate guarantees
+//! cannot legitimately occur. Conditional oracles (ban liveness,
+//! calibration direction) gate on evidence in the journal — a fault
+//! window nobody probed or routed through proves nothing, and is not
+//! flagged.
+
+use crate::config::{FaultSpec, SimConfig};
+use crate::driver::RunArtifacts;
+use qcc_common::{Event, FieldValue};
+
+/// One oracle violation: which invariant broke and how.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Oracle name (stable identifier, used in reports and tests).
+    pub oracle: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+fn u64_field(e: &Event, name: &str) -> Option<u64> {
+    match e.field(name) {
+        Some(FieldValue::U64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn f64_field(e: &Event, name: &str) -> Option<f64> {
+    match e.field(name) {
+        Some(FieldValue::F64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn bool_field(e: &Event, name: &str) -> Option<bool> {
+    match e.field(name) {
+        Some(FieldValue::Bool(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Run every oracle; returns all violations found (empty = run is clean).
+pub fn check_all(a: &RunArtifacts, config: &SimConfig) -> Vec<Violation> {
+    let mut v = Vec::new();
+    conservation(a, &mut v);
+    journal_conservation(a, &mut v);
+    ban_liveness(a, config, &mut v);
+    no_route_to_banned(a, &mut v);
+    calibration_sanity(a, config, &mut v);
+    bounded_retries(a, &mut v);
+    v
+}
+
+/// Every offered query ends exactly once: completed, shed, or failed.
+fn conservation(a: &RunArtifacts, out: &mut Vec<Violation>) {
+    let accounted = a.completed + a.shed + a.failed;
+    if accounted != a.total {
+        out.push(Violation {
+            oracle: "conservation",
+            detail: format!(
+                "{} arrivals but {} accounted (completed {} + shed {} + failed {})",
+                a.total, accounted, a.completed, a.shed, a.failed
+            ),
+        });
+    }
+}
+
+/// Journal-level conservation: every `enqueue` seq is terminated by
+/// exactly one `dequeue` or `shed`; `shed` seqs without an `enqueue` are
+/// legal only for `queue_full` (refused at the door, never queued).
+fn journal_conservation(a: &RunArtifacts, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    let mut enqueued: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut terminated: BTreeMap<u64, u32> = BTreeMap::new();
+    for e in &a.journal {
+        match e.kind {
+            "enqueue" => {
+                if let Some(seq) = u64_field(e, "seq") {
+                    *enqueued.entry(seq).or_insert(0) += 1;
+                }
+            }
+            "dequeue" => {
+                if let Some(seq) = u64_field(e, "seq") {
+                    *terminated.entry(seq).or_insert(0) += 1;
+                }
+            }
+            "shed" => {
+                if let Some(seq) = u64_field(e, "seq") {
+                    if e.str_field("reason") == Some("queue_full") {
+                        // Refused before queueing: must NOT have an
+                        // enqueue event, checked below.
+                        terminated.entry(seq).or_insert(0);
+                    } else {
+                        *terminated.entry(seq).or_insert(0) += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (seq, n) in &enqueued {
+        if *n != 1 {
+            out.push(Violation {
+                oracle: "journal_conservation",
+                detail: format!("seq {seq} enqueued {n} times"),
+            });
+        }
+        match terminated.get(seq) {
+            Some(1) => {}
+            Some(t) => out.push(Violation {
+                oracle: "journal_conservation",
+                detail: format!("seq {seq} terminated {t} times"),
+            }),
+            None => out.push(Violation {
+                oracle: "journal_conservation",
+                detail: format!("seq {seq} enqueued but never dequeued or shed"),
+            }),
+        }
+    }
+}
+
+/// Per-server believed-down timeline reconstructed from the journal:
+/// `server_down` opens an interval, the next `server_restored` closes it.
+fn down_intervals(a: &RunArtifacts, server: &str) -> Vec<(f64, f64)> {
+    let mut intervals = Vec::new();
+    let mut open: Option<f64> = None;
+    for e in &a.journal {
+        if e.str_field("server") != Some(server) {
+            continue;
+        }
+        match e.kind {
+            "server_down" => {
+                if open.is_none() {
+                    open = Some(e.at.as_millis());
+                }
+            }
+            "server_restored" => {
+                if let Some(from) = open.take() {
+                    intervals.push((from, e.at.as_millis()));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(from) = open {
+        intervals.push((from, f64::INFINITY));
+    }
+    intervals
+}
+
+/// Ban liveness: crashed servers are banned when evidence arrives and
+/// restored once the outage ends.
+///
+/// * Nothing is believed down at end of run (the cool-down probes past
+///   every fault window).
+/// * Down/recovered transition counters balance per server.
+/// * Every `server_down` event lies inside a crash window of that server
+///   — nothing else in the fault model makes a server unreachable, so a
+///   down event elsewhere is a false ban.
+/// * A failed probe inside a crash window implies the server is believed
+///   down by that instant (the probe verdict itself must flip the state).
+fn ban_liveness(a: &RunArtifacts, config: &SimConfig, out: &mut Vec<Violation>) {
+    for id in &a.down_at_end {
+        out.push(Violation {
+            oracle: "ban_liveness",
+            detail: format!("{id} still believed down after recovery cool-down"),
+        });
+    }
+    for id in &a.server_ids {
+        let down = a
+            .obs
+            .counter_value("server_down_total", &[("server", id.as_str())]);
+        let recovered = a
+            .obs
+            .counter_value("server_recovered_total", &[("server", id.as_str())]);
+        if down != recovered {
+            out.push(Violation {
+                oracle: "ban_liveness",
+                detail: format!("{id}: {down} down transitions but {recovered} recoveries"),
+            });
+        }
+    }
+    // Crash windows per server index.
+    let crash_windows = |server: usize| -> Vec<(f64, f64)> {
+        config
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultSpec::Crash {
+                    server: s,
+                    from_ms,
+                    until_ms,
+                } if *s == server => Some((*from_ms, *until_ms)),
+                _ => None,
+            })
+            .collect()
+    };
+    for (idx, id) in a.server_ids.iter().enumerate() {
+        let windows = crash_windows(idx);
+        for e in &a.journal {
+            if e.kind == "server_down" && e.str_field("server") == Some(id.as_str()) {
+                let t = e.at.as_millis();
+                if !windows.iter().any(|(from, until)| *from <= t && t < *until) {
+                    out.push(Violation {
+                        oracle: "ban_liveness",
+                        detail: format!(
+                            "false ban: {id} marked down at {t:.3}ms outside any crash window"
+                        ),
+                    });
+                }
+            }
+        }
+        let intervals = down_intervals(a, id.as_str());
+        let believed_down_at = |t: f64| intervals.iter().any(|(from, to)| *from <= t && t < *to);
+        for e in &a.journal {
+            if e.kind == "probe"
+                && e.str_field("server") == Some(id.as_str())
+                && bool_field(e, "ok") == Some(false)
+            {
+                let t = e.at.as_millis();
+                if windows.iter().any(|(from, until)| *from <= t && t < *until)
+                    && !believed_down_at(t)
+                {
+                    out.push(Violation {
+                        oracle: "ban_liveness",
+                        detail: format!(
+                            "{id}: probe failed at {t:.3}ms inside a crash window but the server was not banned"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// No fragment is dispatched to a server while it is believed down. A
+/// successful `fragment` event is stamped at its batch start; any batch
+/// starting strictly after a `server_down` and before the matching
+/// `server_restored` compiles against the frozen down state, so a
+/// fragment on that server in that open interval is a routing leak.
+fn no_route_to_banned(a: &RunArtifacts, out: &mut Vec<Violation>) {
+    for id in &a.server_ids {
+        let intervals = down_intervals(a, id.as_str());
+        if intervals.is_empty() {
+            continue;
+        }
+        for e in &a.journal {
+            if e.kind == "fragment" && e.str_field("server") == Some(id.as_str()) {
+                let t = e.at.as_millis();
+                if intervals.iter().any(|(from, to)| *from < t && t < *to) {
+                    out.push(Violation {
+                        oracle: "no_route_to_banned",
+                        detail: format!(
+                            "fragment executed on {id} at {t:.3}ms while it was believed down"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Calibration sanity: every factor finite, positive, and inside the
+/// clamp bounds; and when a heavy surge window contains probe seeds, at
+/// least one of those seeds points in the injected direction (slower).
+fn calibration_sanity(a: &RunArtifacts, config: &SimConfig, out: &mut Vec<Violation>) {
+    for (id, f) in &a.factors {
+        if !f.is_finite() || *f <= 0.0 || *f > qcc_core::calibration::MAX_FACTOR {
+            out.push(Violation {
+                oracle: "calibration_sanity",
+                detail: format!("{id}: calibration factor {f} out of bounds"),
+            });
+        }
+    }
+    for fault in &config.faults {
+        let FaultSpec::Surge {
+            server,
+            from_ms,
+            until_ms,
+            level,
+        } = fault
+        else {
+            continue;
+        };
+        if *level < 0.7 {
+            continue;
+        }
+        let Some(id) = a.server_ids.get(*server) else {
+            continue;
+        };
+        let seeds: Vec<f64> = a
+            .journal
+            .iter()
+            .filter(|e| {
+                e.kind == "calibration_seed"
+                    && e.str_field("server") == Some(id.as_str())
+                    && e.at.as_millis() > *from_ms
+                    && e.at.as_millis() < *until_ms
+            })
+            .filter_map(|e| f64_field(e, "factor"))
+            .collect();
+        if !seeds.is_empty() {
+            let max = seeds.iter().copied().fold(0.0, f64::max);
+            if max < 1.05 {
+                out.push(Violation {
+                    oracle: "calibration_sanity",
+                    detail: format!(
+                        "{id}: surge level {level} from {from_ms:.1}–{until_ms:.1}ms, but max \
+                         in-window probe seed {max:.3} never moved toward the injected load"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Retry budgets are bounded: no ban attempt exceeds the configured
+/// retry limit, and the aggregate retry counter fits under
+/// dispatched × limit.
+fn bounded_retries(a: &RunArtifacts, out: &mut Vec<Violation>) {
+    for e in &a.journal {
+        if e.kind == "server_banned" {
+            if let Some(attempt) = u64_field(e, "attempt") {
+                if attempt > a.retry_limit as u64 {
+                    out.push(Violation {
+                        oracle: "bounded_retries",
+                        detail: format!(
+                            "ban at attempt {attempt} exceeds retry limit {}",
+                            a.retry_limit
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let retries = a.obs.counter_value("retries_total", &[]);
+    let budget = a.counts.dispatched * a.retry_limit as u64;
+    if retries > budget {
+        out.push(Violation {
+            oracle: "bounded_retries",
+            detail: format!(
+                "retries_total {retries} exceeds dispatched {} × retry_limit {}",
+                a.counts.dispatched, a.retry_limit
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse;
+    use crate::driver::{run, BugSwitches};
+
+    fn tiny(faults: &str) -> SimConfig {
+        parse(&format!(
+            "sim(seed: 5, servers: [(1.0, 0.2), (1.8, 0.1)], large_rows: 120, small_rows: 24, \
+             arrivals: 12, rate_per_ms: 0.1, retry_limit: 2, faults: [{faults}])"
+        ))
+        .expect("valid test config")
+    }
+
+    #[test]
+    fn healthy_run_passes_all_oracles() {
+        let config = tiny("");
+        let a = run(&config, 1, &BugSwitches::none());
+        let v = check_all(&a, &config);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn crash_run_passes_all_oracles() {
+        let config = tiny("crash(0, 20.0, 150.0)");
+        let a = run(&config, 1, &BugSwitches::none());
+        let v = check_all(&a, &config);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn conservation_oracle_catches_injected_drop() {
+        let config = tiny("");
+        let a = run(
+            &config,
+            1,
+            &BugSwitches {
+                drop_completion: true,
+            },
+        );
+        let v = check_all(&a, &config);
+        assert!(
+            v.iter().any(|x| x.oracle == "conservation"),
+            "expected a conservation violation, got: {v:?}"
+        );
+    }
+}

@@ -52,6 +52,10 @@ pub struct ScenarioConfig {
     /// (QCC-driven builds take it from `QccConfig::retry_limit` instead,
     /// so ablations tune one config).
     pub retry_limit: usize,
+    /// `(speed, base load sensitivity)` per server, in id order
+    /// (S1, S2, ...). Defaults to the paper's three-server mix
+    /// [`SERVER_SPEEDS`]; the sim harness randomizes count and shape.
+    pub server_specs: Vec<(f64, f64)>,
 }
 
 impl Default for ScenarioConfig {
@@ -65,6 +69,7 @@ impl Default for ScenarioConfig {
             threads: qcc_common::default_threads(),
             obs_enabled: true,
             retry_limit: FederationConfig::default().retry_limit,
+            server_specs: SERVER_SPEEDS.to_vec(),
         }
     }
 }
@@ -109,6 +114,9 @@ pub struct Scenario {
     pub qcc: Option<Arc<Qcc>>,
     /// The shared clock.
     pub clock: SimClock,
+    /// The network the wrappers route through (exposed so fault
+    /// injectors can reshape per-server link congestion mid-run).
+    pub network: Arc<Network>,
     /// The scenario-wide observability handle (shared by the federation,
     /// its patroller, and the QCC when present).
     pub obs: Obs,
@@ -187,7 +195,7 @@ impl Scenario {
         let clock = SimClock::new();
         let mut servers = Vec::new();
         let mut network = Network::new();
-        for (i, (speed, base_sensitivity)) in SERVER_SPEEDS.iter().enumerate() {
+        for (i, (speed, base_sensitivity)) in config.server_specs.iter().enumerate() {
             let id = ServerId::new(format!("S{}", i + 1));
             let profile = ServerProfile {
                 id: id.clone(),
@@ -272,6 +280,7 @@ impl Scenario {
             federation,
             qcc,
             clock,
+            network,
             obs,
         }
     }

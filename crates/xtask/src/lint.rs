@@ -159,6 +159,7 @@ pub const ORDERED_MODULES: &[&str] = &[
     "crates/engine/src/cost.rs",
     "crates/engine/src/plan.rs",
     "crates/engine/src/planner.rs",
+    "crates/sim/src/",
     "crates/workload/src/",
 ];
 

@@ -8,6 +8,11 @@
 //!   given files/directories only. Exits nonzero if any unwaived
 //!   violation is found. `--json` emits a machine-readable summary on
 //!   stdout instead of the human format.
+//! * `sim [ARGS...]` — build and run the `qcc-sim` deterministic
+//!   fault-injection explorer (release profile), forwarding all
+//!   arguments. `cargo xtask sim --help` prints the explorer's own
+//!   usage; the common calls are `--seeds N`, `--seed S`,
+//!   `--replay 'sim(...)'`, and `--replay-corpus` (see DESIGN.md §11).
 
 mod lint;
 
@@ -184,16 +189,40 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
+/// Forward to the `qcc-sim` binary (release build, offline). Kept as a
+/// subprocess so xtask itself stays dependency-free and the explorer can
+/// be invoked identically by hand: `cargo run -p qcc-sim --release -- …`.
+fn run_sim(args: &[String]) -> ExitCode {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(workspace_root())
+        .args(["run", "-q", "-p", "qcc-sim", "--release", "--offline", "--"])
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8),
+        Err(err) => {
+            eprintln!("failed to launch qcc-sim: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("sim") => run_sim(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            println!("usage: cargo xtask <command>\n\ncommands:\n  lint [--json] [PATH...]   enforce workspace invariants L1-L7");
+            println!(
+                "usage: cargo xtask <command>\n\ncommands:\n  lint [--json] [PATH...]   enforce workspace invariants L1-L7\n  sim [ARGS...]             run the deterministic fault-injection explorer\n                            (--seed S | --seeds N | --replay 'sim(...)' |\n                             --replay-corpus [DIR]; `sim --help` for all flags)"
+            );
             ExitCode::SUCCESS
         }
         Some(other) => {
-            eprintln!("unknown xtask command `{other}` — try `cargo xtask lint`");
+            eprintln!(
+                "unknown xtask command `{other}` — try `cargo xtask lint` or `cargo xtask sim`"
+            );
             ExitCode::FAILURE
         }
     }

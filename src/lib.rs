@@ -8,6 +8,7 @@ pub use qcc_engine as engine;
 pub use qcc_federation as federation;
 pub use qcc_netsim as netsim;
 pub use qcc_remote as remote;
+pub use qcc_sim as sim;
 pub use qcc_sql as sql;
 pub use qcc_storage as storage;
 pub use qcc_workload as workload;

@@ -1,0 +1,226 @@
+//! Randomized property tests for the admission arrival queue, in the
+//! style of `engine_vs_naive_prop.rs`: scenarios are generated from the
+//! workspace's deterministic `Pcg32` (fixed seeds, offline, reproducible)
+//! and checked against discipline invariants rather than golden outputs.
+//!
+//! Properties:
+//!
+//! 1. **Strict priority never inverts** — whenever a ticket is dequeued,
+//!    no ticket of a strictly higher class is still waiting.
+//! 2. **WFQ never starves a nonempty template** — with every arrival
+//!    enqueued up front, the `k`-th service of template `t` happens within
+//!    the finish-tag bound `Σ_s min(len_s, ⌊k·w_s/w_t⌋ + 1)` positions of
+//!    the class drain; for equal weights this tightens to round-robin
+//!    (prefix service counts differ by at most one while all templates
+//!    still have backlog).
+//! 3. **Drain order is invariant under arrival-batch chunking** — the
+//!    concatenated admitted order is the same whether the queue is
+//!    drained one ticket, two, five, or sixteen tickets per round.
+
+use load_aware_federation::admission::{AdmissionConfig, AdmissionController, PriorityClass};
+use load_aware_federation::common::{Pcg32, ServerId, SimTime};
+use std::collections::BTreeMap;
+
+const CLASSES: [PriorityClass; 3] = [
+    PriorityClass::High,
+    PriorityClass::Normal,
+    PriorityClass::Low,
+];
+
+/// One generated arrival: `(template, class)` — the SQL text is irrelevant
+/// to queue discipline.
+fn random_arrivals(rng: &mut Pcg32, templates: &[&str]) -> Vec<(String, PriorityClass)> {
+    let n = rng.range_u64(20, 120) as usize;
+    (0..n)
+        .map(|_| {
+            let t = *rng.choose(templates);
+            let c = *rng.choose(&CLASSES);
+            (t.to_string(), c)
+        })
+        .collect()
+}
+
+fn controller(weights: BTreeMap<String, f64>) -> AdmissionController {
+    AdmissionController::new(AdmissionConfig {
+        // Disable the queue deadline and the depth bound: these tests are
+        // about drain *order*, so nothing may be shed.
+        queue_deadline_ms: 0.0,
+        exec_deadline_ms: 0.0,
+        max_queue_depth: 0,
+        template_weights: weights,
+        ..AdmissionConfig::default()
+    })
+}
+
+/// Enqueue every arrival at t=0, then drain with `quota` tickets per
+/// round, returning `(seq, template, class)` in admitted order.
+fn drain_with_quota(
+    arrivals: &[(String, PriorityClass)],
+    weights: &BTreeMap<String, f64>,
+    quota: u32,
+) -> Vec<(u64, String, PriorityClass)> {
+    let ctl = controller(weights.clone());
+    let t0 = SimTime::from_millis(0.0);
+    // One synthetic server whose capacity *is* the dispatch quota.
+    assert!(!ctl.set_capacity(&ServerId::new("s0"), quota, t0));
+    for (template, class) in arrivals {
+        ctl.enqueue("SELECT 1", template, *class, t0)
+            .expect("depth bound disabled; enqueue cannot shed");
+    }
+    let mut out = Vec::with_capacity(arrivals.len());
+    while ctl.queue_depth() > 0 {
+        let batch = ctl.dequeue_batch(t0);
+        assert!(batch.shed.is_empty(), "deadline disabled; nothing may shed");
+        assert!(
+            batch.admitted.len() <= quota as usize,
+            "round width {} exceeds quota {quota}",
+            batch.admitted.len()
+        );
+        assert!(
+            !batch.admitted.is_empty(),
+            "nonempty queue must make progress"
+        );
+        for t in batch.admitted {
+            out.push((t.seq, t.template, t.class));
+        }
+    }
+    out
+}
+
+#[test]
+fn strict_priority_never_inverts() {
+    let templates = ["QT1", "QT2", "QT3", "QT4"];
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from(0xAD31_5510 ^ seed);
+        let arrivals = random_arrivals(&mut rng, &templates);
+        let drained = drain_with_quota(&arrivals, &BTreeMap::new(), 1);
+        assert_eq!(drained.len(), arrivals.len());
+        // With quota 1 each round pops exactly one ticket, so the drain
+        // order is the pop order: track what is still queued and assert no
+        // higher class was waiting when a lower class was served.
+        let mut remaining: BTreeMap<PriorityClass, usize> = BTreeMap::new();
+        for (_, class) in &arrivals {
+            *remaining.entry(*class).or_insert(0) += 1;
+        }
+        for (seq, template, class) in drained {
+            let higher_waiting: usize = remaining
+                .iter()
+                .filter(|(c, _)| **c < class)
+                .map(|(_, n)| *n)
+                .sum();
+            assert_eq!(
+                higher_waiting, 0,
+                "seed {seed}: seq {seq} ({template}, {class}) dequeued while \
+                 {higher_waiting} higher-priority tickets were waiting"
+            );
+            *remaining.get_mut(&class).expect("was enqueued") -= 1;
+        }
+    }
+}
+
+#[test]
+fn equal_weight_wfq_is_round_robin_within_a_class() {
+    let templates = ["QT1", "QT2", "QT3"];
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from(0x00FA_1234 ^ seed);
+        // Single class isolates the WFQ discipline from strict priority.
+        let arrivals: Vec<(String, PriorityClass)> = random_arrivals(&mut rng, &templates)
+            .into_iter()
+            .map(|(t, _)| (t, PriorityClass::Normal))
+            .collect();
+        let drained = drain_with_quota(&arrivals, &BTreeMap::new(), 1);
+        let mut backlog: BTreeMap<&str, isize> = BTreeMap::new();
+        for (t, _) in &arrivals {
+            *backlog
+                .entry(templates.iter().find(|x| **x == *t).unwrap())
+                .or_insert(0) += 1;
+        }
+        let mut served: BTreeMap<&str, isize> = BTreeMap::new();
+        for (_, template, _) in &drained {
+            let t = *templates.iter().find(|x| **x == *template).unwrap();
+            *served.entry(t).or_insert(0) += 1;
+            *backlog.get_mut(t).unwrap() -= 1;
+            // While every template still has backlog, equal weights mean
+            // pure round-robin: prefix service counts differ by ≤ 1.
+            if backlog.values().all(|b| *b > 0) {
+                let max = served.values().copied().max().unwrap_or(0);
+                let min = templates
+                    .iter()
+                    .map(|t| served.get(t).copied().unwrap_or(0))
+                    .min()
+                    .unwrap();
+                assert!(
+                    max - min <= 1,
+                    "seed {seed}: round-robin violated (served spread {max}-{min})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_wfq_never_starves_a_nonempty_template() {
+    let templates = ["QT1", "QT2", "QT3", "QT4"];
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from(0x57A2_7E00 ^ seed);
+        let mut weights = BTreeMap::new();
+        for t in &templates {
+            weights.insert((*t).to_string(), *rng.choose(&[1.0, 2.0, 4.0]));
+        }
+        let arrivals: Vec<(String, PriorityClass)> = random_arrivals(&mut rng, &templates)
+            .into_iter()
+            .map(|(t, _)| (t, PriorityClass::Normal))
+            .collect();
+        let mut len: BTreeMap<&str, usize> = BTreeMap::new();
+        for (t, _) in &arrivals {
+            *len.entry(templates.iter().find(|x| **x == *t).unwrap())
+                .or_insert(0) += 1;
+        }
+        let drained = drain_with_quota(&arrivals, &weights, 1);
+        // Finish-tag bound: template t's k-th entry carries tag k/w_t, and
+        // a pop always serves a minimal tag, so before it is served at most
+        // ⌊k·w_s/w_t⌋ + 1 entries of each template s (capped by its backlog)
+        // can go first. Position is 1-based within the drain.
+        let mut kth: BTreeMap<&str, usize> = BTreeMap::new();
+        for (position, (_, template, _)) in drained.iter().enumerate() {
+            let t = *templates.iter().find(|x| **x == *template).unwrap();
+            let k = kth.entry(t).or_insert(0);
+            *k += 1;
+            let w_t = weights[t];
+            let bound: usize = templates
+                .iter()
+                .map(|s| {
+                    let allowed = ((*k as f64) * weights[*s] / w_t).floor() as usize + 1;
+                    allowed.min(len.get(s).copied().unwrap_or(0))
+                })
+                .sum();
+            assert!(
+                position + 1 <= bound,
+                "seed {seed}: service {k} of {t} (weight {w_t}) at position {} \
+                 exceeds the no-starvation bound {bound}",
+                position + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn drain_order_is_invariant_under_quota_chunking() {
+    let templates = ["QT1", "QT2", "QT3", "QT4", "QT5"];
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from(0xC4_0B17 ^ seed);
+        let mut weights = BTreeMap::new();
+        for t in &templates {
+            weights.insert((*t).to_string(), *rng.choose(&[1.0, 2.0, 3.0]));
+        }
+        let arrivals = random_arrivals(&mut rng, &templates);
+        let reference = drain_with_quota(&arrivals, &weights, 1);
+        for quota in [2u32, 5, 16] {
+            let chunked = drain_with_quota(&arrivals, &weights, quota);
+            assert_eq!(
+                reference, chunked,
+                "seed {seed}: drain order changed under quota {quota}"
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Restore hysteresis: a flapping server (down → briefly up → down again
+//! between two probes) must not oscillate its ban state, emit spurious
+//! restore events, or leak repeated plan-cache invalidations.
+//!
+//! The availability daemon is the *only* writer of restore state during a
+//! run, so the believed-down timeline moves exactly at probe points: a
+//! recovery the daemon never observed must leave no trace in the journal.
+//! This pins the exact journal kind sequence for a down → flap → restore
+//! episode, plus the transition counters and the invalidate-once contract
+//! of `Qcc::refresh_admission`.
+
+use load_aware_federation::admission::{AdmissionConfig, AdmissionController};
+use load_aware_federation::common::{
+    Column, DataType, Row, Schema, ServerId, SimClock, SimTime, Value,
+};
+use load_aware_federation::netsim::{Link, Network};
+use load_aware_federation::qcc::{AvailabilityDaemon, Qcc, QccConfig};
+use load_aware_federation::remote::{RemoteServer, ServerProfile};
+use load_aware_federation::storage::{Catalog, Table};
+use load_aware_federation::wrapper::{RelationalWrapper, Wrapper};
+use std::sync::Arc;
+
+#[test]
+fn flapping_server_does_not_oscillate_ban_state() {
+    let mut t = Table::new("t", Schema::new(vec![Column::new("a", DataType::Int)]));
+    for i in 0..50i64 {
+        t.insert(Row::new(vec![Value::Int(i)])).unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register(t);
+    let server = RemoteServer::new(ServerProfile::new(ServerId::new("S1")), c);
+    let mut net = Network::new();
+    net.add_link(ServerId::new("S1"), Link::lan());
+    let wrapper: Arc<dyn Wrapper> =
+        Arc::new(RelationalWrapper::new(Arc::clone(&server), Arc::new(net)));
+
+    let qcc = Qcc::new(QccConfig::default());
+    let clock = SimClock::new();
+    let daemon = AvailabilityDaemon::new(Arc::clone(&qcc), vec![wrapper], clock.clone());
+    let s1 = ServerId::new("S1");
+    let servers = [s1.clone()];
+    // Obs stays off on the admission side so the journal under test holds
+    // daemon/reliability events only.
+    let admission = AdmissionController::new(AdmissionConfig::default());
+    qcc.plan_cache.put(&s1, "SELECT 1", Vec::new());
+
+    // The flap: down over [10, 60), up over [60, 90), down over [90, 200).
+    // With the fast probe bound at 100 ms the daemon sees t=15 (down) and
+    // then t=115 (down again) — the 30 ms up-window in between is invisible
+    // and must produce no restore.
+    let (lo, _) = qcc.config.probe_interval_bounds_ms;
+    assert_eq!(lo, 100.0, "timeline below assumes the default fast bound");
+    server
+        .availability()
+        .add_outage(SimTime::from_millis(10.0), SimTime::from_millis(60.0));
+    server
+        .availability()
+        .add_outage(SimTime::from_millis(90.0), SimTime::from_millis(200.0));
+
+    // t=0: healthy baseline probe.
+    daemon.probe_all();
+    assert!(!qcc.reliability.is_down(&s1));
+    qcc.refresh_admission(&admission, &servers, clock.now());
+    let invalidations = |qcc: &Qcc| {
+        qcc.obs
+            .counter_value("plan_cache_invalidations_total", &[("server", "S1")])
+    };
+    assert_eq!(invalidations(&qcc), 0);
+
+    // t=15: probe inside the first outage → banned, plans invalidated once.
+    clock.advance_to(SimTime::from_millis(15.0));
+    daemon.probe_all();
+    assert!(qcc.reliability.is_down(&s1));
+    qcc.refresh_admission(&admission, &servers, clock.now());
+    assert_eq!(admission.capacity(&s1), 0, "down server holds zero tokens");
+    assert!(qcc.plan_cache.get(&s1, "SELECT 1").is_none());
+    assert_eq!(invalidations(&qcc), 1);
+    // Re-refreshing while down must not invalidate again.
+    qcc.refresh_admission(&admission, &servers, clock.now());
+    qcc.refresh_admission(&admission, &servers, clock.now());
+    assert_eq!(
+        invalidations(&qcc),
+        1,
+        "invalidate exactly once per transition"
+    );
+
+    // t=70: the server is transiently up, but the down-server re-probe is
+    // not due until t=115 — the daemon must not probe, so the flap stays
+    // invisible and the ban state cannot oscillate.
+    clock.advance_to(SimTime::from_millis(70.0));
+    assert!(daemon.run_due_probes().is_empty(), "no probe due mid-flap");
+    assert!(
+        qcc.reliability.is_down(&s1),
+        "ban state holds through the flap"
+    );
+    qcc.refresh_admission(&admission, &servers, clock.now());
+    assert_eq!(invalidations(&qcc), 1);
+
+    // t=115: fast-bound re-probe lands inside the second outage → still
+    // down; no second down transition, no restore.
+    clock.advance_to(SimTime::from_millis(115.0));
+    assert_eq!(daemon.run_due_probes(), vec![s1.clone()]);
+    assert!(qcc.reliability.is_down(&s1));
+    qcc.refresh_admission(&admission, &servers, clock.now());
+    assert_eq!(invalidations(&qcc), 1);
+
+    // t=215: probe after recovery → exactly one restore; tokens return
+    // without another invalidation.
+    clock.advance_to(SimTime::from_millis(215.0));
+    assert_eq!(daemon.run_due_probes(), vec![s1.clone()]);
+    assert!(!qcc.reliability.is_down(&s1));
+    qcc.refresh_admission(&admission, &servers, clock.now());
+    assert!(
+        admission.capacity(&s1) > 0,
+        "recovered server earns tokens back"
+    );
+    assert_eq!(invalidations(&qcc), 1);
+
+    // Transition counters balance: one down, one recovery, despite the
+    // extra (unobserved) up/down flap in the availability schedule.
+    assert_eq!(
+        qcc.obs
+            .counter_value("server_down_total", &[("server", "S1")]),
+        1
+    );
+    assert_eq!(
+        qcc.obs
+            .counter_value("server_recovered_total", &[("server", "S1")]),
+        1
+    );
+
+    // The exact journal sequence for the whole episode. Kinds only: field
+    // values (ping ms, adaptive intervals) are covered by the daemon's own
+    // unit tests.
+    let kinds: Vec<&'static str> = qcc.obs.journal().iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "calibration_seed", // t=0 healthy probe seeds a factor
+            "probe",            // t=0 probe record
+            "server_down",      // t=15 down transition
+            "probe",            // t=15 probe record
+            "probe",            // t=115 still down: probe only, no transition
+            "calibration_seed", // t=215 healthy probe seeds again
+            "server_restored",  // t=215 the one and only restore
+            "probe",            // t=215 probe record
+        ],
+        "unexpected journal shape: {kinds:?}"
+    );
+}
