@@ -21,8 +21,21 @@ echo "==> golden admission snapshots (QCC_THREADS=1 vs 8)"
 QCC_THREADS=1 cargo test -q --offline --test admission_determinism
 QCC_THREADS=8 cargo test -q --offline --test admission_determinism
 
-echo "==> cargo xtask lint"
-cargo xtask lint
+echo "==> lint self-test (fixture suite: exact spans per rule, JSON schema)"
+cargo test -q --offline -p xtask
+
+echo "==> cargo xtask lint (workspace, all rules, <5s wall-clock budget)"
+cargo xtask lint --budget-ms 5000
+
+echo "==> lint --json schema check + byte determinism"
+cargo xtask lint --json > /tmp/qcc-lint-1.json
+cargo xtask lint --json > /tmp/qcc-lint-2.json
+cmp /tmp/qcc-lint-1.json /tmp/qcc-lint-2.json
+grep -q '"schema_version":2' /tmp/qcc-lint-1.json
+grep -q '"violation_count":0' /tmp/qcc-lint-1.json
+
+echo "==> lint single-rule filter smoke (--rule L8)"
+cargo xtask lint --rule L8
 
 echo "==> sim smoke: fixed seeds under QCC_THREADS=1 and 8, byte-compared"
 # Each check already runs every scenario at 1 and 8 scatter threads

@@ -26,7 +26,7 @@ impl AvailabilitySchedule {
     pub fn add_outage(&self, from: SimTime, until: SimTime) {
         let mut w = self.windows.lock();
         w.push((from, until));
-        w.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+        w.sort_by(|a, b| a.0.as_millis().total_cmp(&b.0.as_millis()));
     }
 
     /// Is the server up at `t`?

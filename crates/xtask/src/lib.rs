@@ -1,0 +1,5 @@
+//! xtask library surface: the qcc-lint v2 engine, exposed as a lib so
+//! the integration-test suite (`tests/lint_fixtures.rs`) can drive it
+//! against seeded fixture files.
+
+pub mod lint;

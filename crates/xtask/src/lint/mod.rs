@@ -1,0 +1,515 @@
+//! The `qcc-lint` engine, v2: token/flow-aware static analysis enforcing
+//! the workspace's determinism and reliability invariants.
+//!
+//! v1 (PR 1–4) pattern-matched masked source lines; it could not see
+//! across lines (lock-acquisition order, closure bodies) and its masking
+//! was a re-implementation of half a lexer. v2 is built on a real (if
+//! deliberately small) Rust lexer ([`lexer`]), a per-file item index
+//! ([`index`]: fn/impl spans, call edges by name, lock-guard liveness,
+//! scatter-closure bodies), and two rule packs:
+//!
+//! * [`rules_line`] — the token-local rules L1–L7 (clock, determinism,
+//!   panic-freedom, lock idiom, thread, output, wall-clock blocking),
+//!   re-expressed on the token stream so string/comment contents can
+//!   never false-positive and rustfmt-split chains can never false-negative;
+//! * [`rules_flow`] — the flow-aware rules: **L8** lock-order discipline
+//!   (workspace-wide acquisition graph, cycles and majority-order
+//!   inversions), **L9** scatter-closure purity (no captured `&mut`, no
+//!   order-sensitive obs emissions, no non-local lock acquisition inside
+//!   closures passed to `scatter_indexed`/`submit_batch`), **L10**
+//!   float-ordering determinism (`partial_cmp(..).unwrap()` and
+//!   `partial_cmp`-based comparators must be `total_cmp`).
+//!
+//! Waivers ([`waivers`]) are inline comments
+//! `// qcc-lint: allow(Ln): <justification>`; a malformed waiver is `W0`,
+//! and — new in v2 — so is a waiver that no longer suppresses anything
+//! (the waiver inventory stays honest). Crate coverage is deny-by-default
+//! ([`COVERAGE`]): a workspace member absent from the per-rule coverage
+//! map is a `C0` finding, so a future crate cannot silently bypass the
+//! determinism rules. Rendering ([`report`]) is byte-deterministic.
+
+pub mod index;
+pub mod lexer;
+pub mod report;
+pub mod rules_flow;
+pub mod rules_line;
+pub mod waivers;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Rule identifiers. `W0` is the meta-rule for waiver hygiene
+/// (malformed *or unused* waivers); `C0` is the meta-rule for the
+/// deny-by-default crate coverage map. Neither meta-rule is waivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Clock discipline.
+    L1,
+    /// Hashed-container determinism.
+    L2,
+    /// Panic-freedom.
+    L3,
+    /// Lock discipline (poisoning idiom; guard across remote call).
+    L4,
+    /// Thread discipline.
+    L5,
+    /// Output discipline.
+    L6,
+    /// No wall-clock blocking in library code.
+    L7,
+    /// Lock-order discipline (acquisition-graph cycles / inversions).
+    L8,
+    /// Scatter-closure purity (frozen-state/deferred-effects contract).
+    L9,
+    /// Float-ordering determinism (`total_cmp`, never `partial_cmp`).
+    L10,
+    /// Waiver hygiene: malformed or unused waiver comment.
+    W0,
+    /// Crate missing from the deny-by-default coverage map.
+    C0,
+}
+
+impl Rule {
+    /// All lintable (waivable) rules; `W0`/`C0` are not waivable.
+    pub const ALL: [Rule; 10] = [
+        Rule::L1,
+        Rule::L2,
+        Rule::L3,
+        Rule::L4,
+        Rule::L5,
+        Rule::L6,
+        Rule::L7,
+        Rule::L8,
+        Rule::L9,
+        Rule::L10,
+    ];
+
+    /// Parse a rule name as written in a waiver comment or `--rule` flag.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
+            "L8" => Some(Rule::L8),
+            "L9" => Some(Rule::L9),
+            "L10" => Some(Rule::L10),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+            Rule::L6 => "L6",
+            Rule::L7 => "L7",
+            Rule::L8 => "L8",
+            Rule::L9 => "L9",
+            Rule::L10 => "L10",
+            Rule::W0 => "W0",
+            Rule::C0 => "C0",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column of the offending token (0 = whole line, used
+    /// by the waiver meta-rule where there is no token).
+    pub col: usize,
+    /// Human-readable description of the offending construct.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// The single file allowed to read the host clock (L1).
+pub const CLOCK_ALLOWLIST: &str = "crates/common/src/time.rs";
+
+/// The single file allowed to create OS threads (L5): the scatter-gather
+/// layer, whose gather barrier is what keeps parallelism deterministic.
+pub const THREAD_ALLOWLIST: &str = "crates/common/src/scatter.rs";
+
+/// Callee names treated as "execution leaves the integrator" for L4:
+/// holding a guard across one of these serializes remote work.
+pub const REMOTE_CALL_MARKERS: &[&str] = &["execute", "explain", "ping"];
+
+/// Lock identities (see [`index::FileIndex`] normalization) that scatter
+/// closures may acquire (L9): state frozen for the duration of the
+/// scatter unit, or locks private to the scatter implementation itself.
+/// Currently empty — every closure in the workspace is lock-free by
+/// construction (effects go through `Deferred`), and this list existing
+/// at all is the escape hatch future code must argue its way onto.
+pub const L9_LOCK_WHITELIST: &[&str] = &[];
+
+/// Paths never scanned: build output, the vendored shim (external-crate
+/// API surface, not simulation code), and the linter itself (its source
+/// and fixtures necessarily spell out the banned patterns).
+pub const SKIP_PREFIXES: &[&str] = &["target/", "vendor/", "crates/xtask/"];
+
+/// Where (within a registered crate) a per-crate rule applies.
+#[derive(Debug, Clone, Copy)]
+pub enum Scope {
+    /// Rule does not apply to this crate (explicitly — the registration
+    /// itself is what the deny-by-default check wants to see).
+    Off,
+    /// Every file under the crate's `src/`.
+    AllSrc,
+    /// Only the listed files (crate-relative, e.g. `"src/cost.rs"`).
+    Files(&'static [&'static str]),
+}
+
+/// Per-crate coverage for the crate-scoped rules. Path-global rules
+/// (L1, L4, L5, L7, L8, L9) are not listed here: they apply to every
+/// scanned file and cannot be opted out of per crate.
+#[derive(Debug, Clone, Copy)]
+pub struct CrateCoverage {
+    /// Workspace-relative crate directory (`"crates/core"`), or `""` for
+    /// the root `load-aware-federation` package.
+    pub dir: &'static str,
+    /// L2 hashed-container determinism.
+    pub l2: Scope,
+    /// L3 panic-freedom.
+    pub l3: Scope,
+    /// L6 output discipline.
+    pub l6: Scope,
+    /// L10 float-ordering determinism.
+    pub l10: Scope,
+}
+
+/// The deny-by-default coverage map. **Every** workspace member must
+/// appear here (or in [`COVERAGE_EXEMPT`]); `lint` reports `C0` for any
+/// crate it scans that is missing, so a new crate cannot silently land
+/// outside the determinism envelope.
+pub const COVERAGE: &[CrateCoverage] = &[
+    CrateCoverage {
+        dir: "", // root package: demo lib + report binaries
+        l2: Scope::Off,
+        l3: Scope::Off,
+        l6: Scope::Off,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/admission",
+        l2: Scope::AllSrc,
+        l3: Scope::AllSrc,
+        l6: Scope::AllSrc,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/bench",
+        l2: Scope::Off, // report-shaping only; no routing decisions
+        l3: Scope::Off,
+        l6: Scope::Off, // benches print their own tables
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/common",
+        l2: Scope::Off, // obs/scatter use BTree already; rng needs none
+        l3: Scope::Off, // error plumbing itself lives here
+        l6: Scope::Off,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/core",
+        l2: Scope::AllSrc,
+        l3: Scope::AllSrc,
+        l6: Scope::AllSrc,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/engine",
+        l2: Scope::Files(&["src/cost.rs", "src/plan.rs", "src/planner.rs"]),
+        l3: Scope::AllSrc,
+        l6: Scope::AllSrc,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/federation",
+        l2: Scope::AllSrc,
+        l3: Scope::AllSrc,
+        l6: Scope::AllSrc,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/netsim",
+        l2: Scope::Off, // profiles are Vec-shaped; nothing iterates a map
+        l3: Scope::Off, // schedule builders are test scaffolding
+        l6: Scope::Off,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/remote",
+        l2: Scope::Off, // catalog is BTree by construction
+        l3: Scope::AllSrc,
+        l6: Scope::AllSrc,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/sim",
+        l2: Scope::AllSrc,
+        l3: Scope::Off, // explorer tooling; panics surface to the operator
+        l6: Scope::Off, // ditto: the explorer prints its reports
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/sql",
+        l2: Scope::Off, // parser; no iteration-order-sensitive decisions
+        l3: Scope::Off, // parse errors are Results already; no lib panics gate
+        l6: Scope::Off,
+        l10: Scope::Off, // no float comparisons in the AST layer
+    },
+    CrateCoverage {
+        dir: "crates/storage",
+        l2: Scope::Off, // tables keyed by BTree; scan order is positional
+        l3: Scope::Off,
+        l6: Scope::Off,
+        l10: Scope::AllSrc, // stats quantiles sort floats
+    },
+    CrateCoverage {
+        dir: "crates/workload",
+        l2: Scope::AllSrc,
+        l3: Scope::Off, // driver/report layer; operator-facing
+        l6: Scope::Off, // prints the experiment tables by design
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
+        dir: "crates/wrapper",
+        l2: Scope::Off,
+        l3: Scope::AllSrc,
+        l6: Scope::AllSrc,
+        l10: Scope::AllSrc,
+    },
+];
+
+/// Workspace members that are deliberately **not** scanned at all; they
+/// still must be listed somewhere so the deny-by-default check can tell
+/// "exempt" from "forgotten".
+pub const COVERAGE_EXEMPT: &[&str] = &["crates/xtask"];
+
+/// Resolve the crate directory a workspace-relative path belongs to:
+/// `crates/<name>/…` → `crates/<name>`, everything else (root `src/`,
+/// `tests/`, `examples/`) → `""` (the root package).
+pub fn crate_dir_of(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return &path[..7 + slash];
+        }
+    }
+    ""
+}
+
+/// Does `scope` put `path` (workspace-relative) in force for a crate
+/// rooted at `dir`?
+pub fn scope_applies(scope: Scope, dir: &str, path: &str) -> bool {
+    let rel = if dir.is_empty() {
+        path
+    } else {
+        match path.strip_prefix(dir).and_then(|r| r.strip_prefix('/')) {
+            Some(r) => r,
+            None => return false,
+        }
+    };
+    match scope {
+        Scope::Off => false,
+        Scope::AllSrc => rel.starts_with("src/"),
+        Scope::Files(files) => files.contains(&rel),
+    }
+}
+
+/// Look up the coverage entry for the crate containing `path`.
+pub fn coverage_for(path: &str) -> Option<&'static CrateCoverage> {
+    let dir = crate_dir_of(path);
+    COVERAGE.iter().find(|c| c.dir == dir)
+}
+
+/// Is this path test-like (exempt from the library-code rules)?
+pub fn is_test_like(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// Should this path be scanned at all?
+pub fn is_scanned(path: &str) -> bool {
+    path.ends_with(".rs") && !SKIP_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Options controlling a lint run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Restrict reporting to one rule (`--rule L8`). Disables the
+    /// unused-waiver and coverage meta-checks, which are only meaningful
+    /// when every rule ran.
+    pub rule_filter: Option<Rule>,
+    /// The run covers the whole workspace (not a path subset): enables
+    /// the unused-waiver and deny-by-default coverage meta-checks, which
+    /// would false-positive on partial file sets.
+    pub full_scan: bool,
+}
+
+/// Lint a set of files as one workspace. `files` are
+/// `(workspace-relative path, source)` pairs; callers pre-filter with
+/// [`is_scanned`]. This is the only entry point that runs the
+/// cross-file rule L8 and the meta-checks.
+pub fn lint_files(files: &[(String, String)], opts: &LintOptions) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut all_waivers: Vec<(usize, waivers::Waivers)> = Vec::new(); // index into files
+    let mut graph = rules_flow::LockGraph::default();
+    let mut indexes: Vec<index::FileIndex> = Vec::new();
+
+    // Pass 1: per-file lexing/indexing, token-local rules, local flow
+    // rules; accumulate the lock-acquisition facts for pass 2.
+    for (fi, (path, src)) in files.iter().enumerate() {
+        let toks = lexer::lex(src);
+        let wv = waivers::parse(&toks);
+        let idx = index::build(&toks, path);
+        let mut raw = Vec::new();
+        rules_line::check(path, &toks, &idx, &mut raw);
+        rules_flow::check_local(path, &toks, &idx, &mut raw);
+        graph.absorb(path, &idx);
+        for v in raw {
+            if !wv.covers(v.line, v.rule) {
+                out.push(v);
+            }
+        }
+        for (line, msg) in wv.malformed() {
+            out.push(Violation {
+                rule: Rule::W0,
+                path: path.clone(),
+                line,
+                col: 0,
+                message: msg,
+            });
+        }
+        all_waivers.push((fi, wv));
+        indexes.push(idx);
+    }
+
+    // Pass 2: workspace-wide lock-order analysis (L8). Edge sites go
+    // back through the owning file's waiver table like any finding.
+    for v in graph.analyze(&indexes) {
+        let covered = all_waivers
+            .iter()
+            .find(|(fi, _)| files[*fi].0 == v.path)
+            .is_some_and(|(_, wv)| wv.covers(v.line, v.rule));
+        if !covered {
+            out.push(v);
+        }
+    }
+
+    // Meta-checks: only on full, unfiltered runs (a path subset or a
+    // single-rule run makes "unused" and "uncovered" meaningless).
+    if opts.full_scan && opts.rule_filter.is_none() {
+        for (fi, wv) in &all_waivers {
+            let path = &files[*fi].0;
+            for (line, rules) in wv.unused() {
+                let names: Vec<String> = rules.iter().map(|r| r.to_string()).collect();
+                out.push(Violation {
+                    rule: Rule::W0,
+                    path: path.clone(),
+                    line,
+                    col: 0,
+                    message: format!(
+                        "unused waiver allow({}) — it no longer suppresses any finding; \
+                         delete it (stale waivers hide real regressions)",
+                        names.join(", ")
+                    ),
+                });
+            }
+        }
+        out.extend(check_coverage(files));
+    }
+
+    if let Some(rule) = opts.rule_filter {
+        out.retain(|v| v.rule == rule);
+    }
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    out.dedup();
+    out
+}
+
+/// Deny-by-default coverage: every crate directory observed in the scan
+/// set must be registered in [`COVERAGE`] (or listed exempt).
+fn check_coverage(files: &[(String, String)]) -> Vec<Violation> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (path, _) in files {
+        seen.insert(crate_dir_of(path));
+    }
+    let registered: BTreeSet<&str> = COVERAGE.iter().map(|c| c.dir).collect();
+    let mut out = Vec::new();
+    for dir in seen {
+        if !registered.contains(dir) && !COVERAGE_EXEMPT.contains(&dir) {
+            out.push(Violation {
+                rule: Rule::C0,
+                path: format!("{dir}/Cargo.toml"),
+                line: 1,
+                col: 0,
+                message: format!(
+                    "workspace member `{dir}` is not registered in the qcc-lint \
+                     coverage map — add a CrateCoverage entry (or an explicit \
+                     exemption) in crates/xtask/src/lint/mod.rs so the \
+                     determinism rules cannot be bypassed by omission"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Lint one file in isolation — the v1-compatible convenience used by
+/// unit tests. Runs every per-file rule (L1–L7, L9, L10, intra-file L8)
+/// but not the workspace meta-checks.
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    lint_files(
+        &[(path.to_string(), src.to_string())],
+        &LintOptions::default(),
+    )
+}
+
+/// Count violations per rule, with every rule present (zeros included)
+/// so the JSON shape is stable.
+pub fn count_by_rule(violations: &[Violation]) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for r in Rule::ALL {
+        counts.insert(r.to_string(), 0);
+    }
+    counts.insert(Rule::W0.to_string(), 0);
+    counts.insert(Rule::C0.to_string(), 0);
+    for v in violations {
+        *counts.entry(v.rule.to_string()).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,140 @@
+//! Byte-deterministic rendering of lint results — human text and a
+//! stable JSON shape (`schema_version` 2). Determinism matters because
+//! ci.sh diffs lint output across runs and the fixture self-test asserts
+//! exact bytes; everything here iterates sorted collections only.
+
+use super::{count_by_rule, Violation};
+use std::fmt::Write as _;
+
+/// JSON schema version; bump when the output shape changes.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the machine-readable report as a single JSON line.
+pub fn render_json(violations: &[Violation], files_scanned: usize) -> String {
+    let counts = count_by_rule(violations);
+    let count_items: Vec<String> = counts.iter().map(|(k, n)| format!("\"{k}\":{n}")).collect();
+    let items: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                v.rule,
+                json_escape(&v.path),
+                v.line,
+                v.col,
+                json_escape(&v.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema_version\":{},\"files_scanned\":{},\"violation_count\":{},\"counts\":{{{}}},\"violations\":[{}]}}",
+        SCHEMA_VERSION,
+        files_scanned,
+        violations.len(),
+        count_items.join(","),
+        items.join(",")
+    )
+}
+
+/// Render the human-readable report: one line per violation, then a
+/// summary line.
+pub fn render_text(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for v in violations {
+        let _ = writeln!(out, "{v}");
+    }
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "qcc-lint: {files_scanned} files scanned, 0 violations — clean"
+        );
+    } else {
+        let summary: Vec<String> = count_by_rule(violations)
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "qcc-lint: {} files scanned, {} violation(s) [{}]",
+            files_scanned,
+            violations.len(),
+            summary.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Rule;
+
+    fn v(rule: Rule, line: usize) -> Violation {
+        Violation {
+            rule,
+            path: "crates/core/src/lib.rs".to_string(),
+            line,
+            col: 5,
+            message: "msg with \"quotes\" and \\backslash\\".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_has_all_rule_keys() {
+        let vs = vec![v(Rule::L3, 10), v(Rule::L8, 20)];
+        let a = render_json(&vs, 42);
+        let b = render_json(&vs, 42);
+        assert_eq!(a, b);
+        for key in [
+            "\"L1\":0",
+            "\"L2\":0",
+            "\"L3\":1",
+            "\"L8\":1",
+            "\"L10\":0",
+            "\"W0\":0",
+            "\"C0\":0",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+        assert!(a.starts_with("{\"schema_version\":2,"));
+        assert!(a.contains("\"col\":5"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(
+            json_escape("a\"b\\c\nd\te\u{1}"),
+            "a\\\"b\\\\c\\nd\\te\\u0001"
+        );
+    }
+
+    #[test]
+    fn text_clean_and_dirty() {
+        assert_eq!(
+            render_text(&[], 7),
+            "qcc-lint: 7 files scanned, 0 violations — clean\n"
+        );
+        let dirty = render_text(&[v(Rule::L3, 10)], 7);
+        assert!(dirty.contains("crates/core/src/lib.rs:10:5: [L3]"));
+        assert!(dirty.contains("1 violation(s) [L3: 1]"));
+    }
+}

@@ -1,0 +1,600 @@
+//! Engine-level tests driven through [`lint_source`] — the v1 suite
+//! ported onto the v2 engine (same expected findings, so the rewrite is
+//! provably behavior-preserving where v1 was right), plus v2 coverage
+//! for the flow rules. The lexer, index, waiver, and report layers have
+//! their own unit tests; the seeded fixture suite in
+//! `tests/lint_fixtures.rs` asserts exact spans per rule.
+
+use super::*;
+
+fn rules(path: &str, src: &str) -> Vec<(Rule, usize)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+const CORE: &str = "crates/core/src/sample.rs";
+
+// ---- L1 ----
+
+#[test]
+fn l1_fires_on_instant_now() {
+    let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L1, 2)]);
+}
+
+#[test]
+fn l1_fires_on_system_time_even_in_tests_dirs() {
+    let src = "fn f() { let t = SystemTime::now(); }\n";
+    assert_eq!(rules("crates/core/tests/t.rs", src), vec![(Rule::L1, 1)]);
+}
+
+#[test]
+fn l1_exempts_the_virtual_clock_itself() {
+    let src = "pub fn now() -> Instant { Instant::now() }\n";
+    assert_eq!(rules(CLOCK_ALLOWLIST, src), vec![]);
+}
+
+#[test]
+fn l1_ignores_comments_and_strings() {
+    let src = "// Instant::now() is banned\nfn f() { let s = \"Instant::now()\"; }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l1_fires_when_rustfmt_splits_the_path() {
+    // v2: token matching is whitespace-blind, so a line break inside the
+    // path (pathological but legal) still matches.
+    let src = "fn f() { let t = Instant::\n    now(); }\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L1, 1)]);
+}
+
+// ---- L2 ----
+
+#[test]
+fn l2_fires_in_ordered_modules_only() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L2, 1)]);
+    assert_eq!(rules("crates/storage/src/table.rs", src), vec![]);
+}
+
+#[test]
+fn l2_respects_word_boundaries() {
+    let src = "struct MyHashMapLike;\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l2_exempts_cfg_test_modules() {
+    let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let m: HashMap<u32, u32> = HashMap::new(); }\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l2_scope_files_limits_to_listed_files() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(rules("crates/engine/src/cost.rs", src), vec![(Rule::L2, 1)]);
+    assert_eq!(rules("crates/engine/src/expr.rs", src), vec![]);
+}
+
+// ---- L3 ----
+
+#[test]
+fn l3_fires_on_each_panicking_construct() {
+    let src = "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    panic!(\"no\");\n    todo!();\n    unimplemented!();\n}\n";
+    let got = rules(CORE, src);
+    assert_eq!(
+        got,
+        vec![
+            (Rule::L3, 2),
+            (Rule::L3, 3),
+            (Rule::L3, 4),
+            (Rule::L3, 5),
+            (Rule::L3, 6)
+        ]
+    );
+}
+
+#[test]
+fn l3_does_not_fire_on_non_panicking_cousins() {
+    let src = "fn f() {\n    x.unwrap_or(0);\n    x.unwrap_or_else(|| 1);\n    x.unwrap_or_default();\n    r.expect_err(\"e\");\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l3_exempts_test_paths_and_cfg_test() {
+    let src = "fn f() { x.unwrap(); }\n";
+    assert_eq!(rules("crates/core/tests/t.rs", src), vec![]);
+    assert_eq!(rules("crates/core/benches/b.rs", src), vec![]);
+    assert_eq!(rules("examples/e.rs", src), vec![]);
+    let with_mod = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+    assert_eq!(rules(CORE, with_mod), vec![]);
+}
+
+#[test]
+fn l3_only_covers_the_federation_stack() {
+    let src = "fn f() { x.unwrap(); }\n";
+    assert_eq!(rules("crates/sql/src/parser.rs", src), vec![]);
+    assert_eq!(rules("crates/common/src/rng.rs", src), vec![]);
+}
+
+#[test]
+fn l3_still_fires_after_the_test_mod_closes() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn g() {}\n}\nfn f() { x.unwrap(); }\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L3, 5)]);
+}
+
+#[test]
+fn l3_fires_when_rustfmt_splits_the_chain() {
+    // v1 needed a two-line join hack and still missed three-line splits;
+    // v2 matches the token sequence regardless of layout.
+    let src = "fn f() {\n    x\n        .unwrap();\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L3, 3)]);
+}
+
+// ---- L4 ----
+
+#[test]
+fn l4_fires_on_std_lock_unwrap_idiom() {
+    let src = "fn f() { let g = m.lock().unwrap(); }\n";
+    assert_eq!(rules("crates/storage/src/x.rs", src), vec![(Rule::L4, 1)]);
+}
+
+#[test]
+fn l4_fires_when_rustfmt_splits_the_chain() {
+    let src = "fn f() {\n    let g = m\n        .lock()\n        .unwrap();\n}\n";
+    assert_eq!(rules("crates/storage/src/x.rs", src), vec![(Rule::L4, 3)]);
+}
+
+#[test]
+fn l4_fires_on_guard_held_across_remote_call() {
+    let src = "fn f() {\n    let state = self.state.lock();\n    server.execute(&plan, now);\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L4, 3)]);
+}
+
+#[test]
+fn l4_quiet_when_guard_dropped_before_call() {
+    let src = "fn f() {\n    let state = self.state.lock();\n    drop(state);\n    server.execute(&plan, now);\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l4_quiet_when_guard_scope_closed_before_call() {
+    let src = "fn f() {\n    {\n        let state = self.state.lock();\n        state.touch();\n    }\n    server.execute(&plan, now);\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l4_quiet_on_transient_guard_expression() {
+    let src = "fn f() {\n    *self.hits.lock() += 1;\n    server.execute(&plan, now);\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l4_quiet_on_chained_temporary_guard() {
+    // `let x = m.lock().get(…)…;` binds the chained result; the guard is
+    // a temporary that dies at the semicolon (v1 got this wrong in
+    // spirit — it tracked the binding as a guard).
+    let src = "fn f() {\n    let v = self.state.lock().get(&id).cloned();\n    server.execute(&plan, now);\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+// ---- L5 ----
+
+#[test]
+fn l5_fires_on_thread_spawn_and_scope() {
+    let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L5, 2), (Rule::L5, 3)]);
+    let bare = "use std::thread;\nfn f() { thread::spawn(|| {}); }\n";
+    assert_eq!(rules("crates/workload/src/x.rs", bare), vec![(Rule::L5, 2)]);
+}
+
+#[test]
+fn l5_exempts_the_scatter_layer_itself() {
+    let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+    assert_eq!(rules(THREAD_ALLOWLIST, src), vec![]);
+}
+
+#[test]
+fn l5_exempts_tests_benches_and_cfg_test() {
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(rules("crates/core/tests/t.rs", src), vec![]);
+    assert_eq!(rules("crates/bench/benches/b.rs", src), vec![]);
+    let with_mod =
+        "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+    assert_eq!(rules(CORE, with_mod), vec![]);
+}
+
+#[test]
+fn l5_is_waivable() {
+    let src = "// qcc-lint: allow(L5): detached watchdog, joins before exit\nfn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+// ---- L6 ----
+
+#[test]
+fn l6_fires_on_println_and_eprintln_in_library_code() {
+    let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L6, 2), (Rule::L6, 3)]);
+    assert_eq!(rules("crates/remote/src/server.rs", src).len(), 2);
+}
+
+#[test]
+fn l6_only_covers_the_federation_stack() {
+    let src = "fn f() { println!(\"report row\"); }\n";
+    assert_eq!(rules("crates/workload/src/report.rs", src), vec![]);
+    assert_eq!(rules("crates/bench/src/lib.rs", src), vec![]);
+}
+
+#[test]
+fn l6_exempts_tests_benches_examples_and_cfg_test() {
+    let src = "fn f() { println!(\"dbg\"); }\n";
+    assert_eq!(rules("crates/core/tests/t.rs", src), vec![]);
+    assert_eq!(rules("crates/core/benches/b.rs", src), vec![]);
+    assert_eq!(rules("examples/e.rs", src), vec![]);
+    let with_mod =
+        "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"dbg\"); }\n}\n";
+    assert_eq!(rules(CORE, with_mod), vec![]);
+}
+
+#[test]
+fn l6_ignores_comments_and_strings() {
+    let src = "// println! is banned here\nfn f() { let s = \"println!\"; s.len(); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l6_is_waivable() {
+    let src = "// qcc-lint: allow(L6): operator-facing fatal banner, no obs sink yet\nfn f() { eprintln!(\"fatal\"); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+// ---- L7 ----
+
+#[test]
+fn l7_fires_on_each_wall_clock_block() {
+    let src = "fn f() {\n    std::thread::sleep(d);\n    thread::park_timeout(d);\n    std::thread::sleep_ms(5);\n    let r = cv.wait_timeout(g, d);\n}\n";
+    assert_eq!(
+        rules("crates/admission/src/queue.rs", src),
+        vec![(Rule::L7, 2), (Rule::L7, 3), (Rule::L7, 4), (Rule::L7, 5)]
+    );
+}
+
+#[test]
+fn l7_covers_all_library_code_not_just_the_federation_stack() {
+    let src = "fn f() { std::thread::sleep(d); }\n";
+    assert_eq!(rules("crates/common/src/obs.rs", src), vec![(Rule::L7, 1)]);
+    assert_eq!(rules("crates/sql/src/parser.rs", src), vec![(Rule::L7, 1)]);
+}
+
+#[test]
+fn l7_exempts_tests_benches_examples_and_cfg_test() {
+    let src = "fn f() { std::thread::sleep(d); }\n";
+    assert_eq!(rules("crates/admission/tests/t.rs", src), vec![]);
+    assert_eq!(rules("crates/bench/benches/b.rs", src), vec![]);
+    assert_eq!(rules("examples/e.rs", src), vec![]);
+    let with_mod =
+        "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::sleep(d); }\n}\n";
+    assert_eq!(rules(CORE, with_mod), vec![]);
+}
+
+#[test]
+fn l7_ignores_comments_strings_and_non_blocking_cousins() {
+    let src = "// thread::sleep() is banned\nfn f() { let s = \"thread::sleep(d)\"; clock.sleep_for(d); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l7_is_waivable() {
+    let src = "// qcc-lint: allow(L7): backoff in the offline setup tool, not the serving path\nfn f() { std::thread::sleep(d); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+// ---- L8 ----
+
+#[test]
+fn l8_reports_two_lock_cycle() {
+    // f takes a then b; g takes b then a — no majority, both reported.
+    let src = "impl D {\n    fn f(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n    }\n    fn g(&self) {\n        let b = self.beta.lock();\n        let a = self.alpha.lock();\n    }\n}\n";
+    let got = rules(CORE, src);
+    assert_eq!(got, vec![(Rule::L8, 4), (Rule::L8, 8)]);
+}
+
+#[test]
+fn l8_reports_minority_inversion_only() {
+    // alpha→beta twice, beta→alpha once: only the minority site fires.
+    let src = "impl D {\n    fn f(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n    }\n    fn f2(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n    }\n    fn g(&self) {\n        let b = self.beta.lock();\n        let a = self.alpha.lock();\n    }\n}\n";
+    let got = rules(CORE, src);
+    assert_eq!(got, vec![(Rule::L8, 12)]);
+}
+
+#[test]
+fn l8_reports_recursive_acquisition_through_a_call() {
+    let src = "impl D {\n    fn outer(&self) {\n        let g = self.state.lock();\n        self.inner_op(1);\n    }\n    fn inner_op(&self, x: u32) {\n        let g = self.state.lock();\n    }\n}\n";
+    let got = rules(CORE, src);
+    assert_eq!(got, vec![(Rule::L8, 4)]);
+}
+
+#[test]
+fn l8_quiet_when_guard_dropped_before_call() {
+    let src = "impl D {\n    fn outer(&self) {\n        let g = self.state.lock();\n        drop(g);\n        self.inner_op(1);\n    }\n    fn inner_op(&self, x: u32) {\n        let g = self.state.lock();\n    }\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l8_quiet_on_consistent_order() {
+    let src = "impl D {\n    fn f(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n    }\n    fn g(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n    }\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l8_does_not_resolve_ambiguous_callee_names() {
+    // Two fns named `refresh` on different types: the call must not be
+    // resolved (it could be either), so no cross-fn edge forms.
+    let src = "impl A {\n    fn f(&self) {\n        let g = self.state.lock();\n        self.refresh();\n    }\n    fn refresh(&self) {}\n}\nimpl B {\n    fn refresh(&self) {\n        let g = self.state.lock();\n    }\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l8_is_waivable_at_the_acquisition_site() {
+    let src = "impl D {\n    fn f(&self) {\n        let a = self.alpha.lock();\n        // qcc-lint: allow(L8): startup-only path, single-threaded\n        let b = self.beta.lock();\n    }\n    fn g(&self) {\n        let b = self.beta.lock();\n        // qcc-lint: allow(L8): startup-only path, single-threaded\n        let a = self.alpha.lock();\n    }\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+// ---- L9 ----
+
+#[test]
+fn l9_fires_on_captured_mut_state() {
+    let src = "fn f(&self) {\n    scatter_indexed(n, threads, |i| {\n        results.push(i);\n        let x = &mut shared;\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L9, 4)]);
+}
+
+#[test]
+fn l9_allows_closure_local_mut() {
+    let src = "fn f(&self) {\n    scatter_indexed(n, threads, |i| {\n        let mut acc = Vec::new();\n        take(&mut acc);\n        acc\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l9_fires_on_ordered_obs_emission() {
+    let src = "fn f(&self) {\n    scatter_indexed(n, threads, |i| {\n        self.obs.event(at, \"probe\", vec![]);\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L9, 3)]);
+}
+
+#[test]
+fn l9_allows_deferred_and_commutative_emissions() {
+    let src = "fn f(&self) {\n    scatter_indexed(n, threads, |i| {\n        let mut fx = Deferred::new();\n        self.obs.counter_inc(\"probes\", &[]);\n        fx.defer(move |obs| obs.event(at, \"probe\", vec![]));\n        fx\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l9_fires_on_non_local_lock() {
+    let src = "fn f(&self) {\n    scatter_indexed(n, threads, |i| {\n        let st = self.state.lock();\n        st.len()\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L9, 3)]);
+}
+
+#[test]
+fn l9_allows_lock_on_closure_local() {
+    let src = "fn f(&self) {\n    scatter_indexed(n, threads, |i| {\n        let cell = make_cell(i);\n        let st = cell.inner.lock();\n        st.len()\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l9_applies_to_submit_batch_too() {
+    let src = "fn f(&self) {\n    pool.submit_batch(items, |item| {\n        let x = &mut tally;\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L9, 3)]);
+}
+
+#[test]
+fn l9_ignores_ordinary_closures() {
+    let src = "fn f(&self) {\n    items.iter().map(|i| {\n        let x = &mut shared;\n        self.obs.event(at, \"x\", vec![]);\n    });\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+// ---- L10 ----
+
+#[test]
+fn l10_fires_on_partial_cmp_unwrap() {
+    // storage is L3-Off, so only the L10 finding appears (in an L3 crate
+    // the same line additionally fires L3 — the unwrap itself).
+    let path = "crates/storage/src/stats.rs";
+    let src = "fn f(a: f64, b: f64) {\n    let o = a.partial_cmp(&b).unwrap();\n}\n";
+    assert_eq!(rules(path, src), vec![(Rule::L10, 2)]);
+    let src = "fn f(a: f64, b: f64) {\n    let o = a.partial_cmp(&b).expect(\"finite\");\n}\n";
+    assert_eq!(rules(path, src), vec![(Rule::L10, 2)]);
+}
+
+#[test]
+fn l10_fires_on_partial_cmp_in_sort_comparator() {
+    let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));\n}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L10, 2)]);
+}
+
+#[test]
+fn l10_allows_total_cmp() {
+    let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.total_cmp(b));\n    let o = x.total_cmp(&y);\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l10_allows_handled_partial_cmp_outside_comparators() {
+    // A bare partial_cmp whose Option is actually handled is fine — the
+    // rule targets the panic/collapse idioms, not the method itself.
+    let src = "fn f(a: f64, b: f64) -> Ordering {\n    match a.partial_cmp(&b) {\n        Some(o) => o,\n        None => Ordering::Equal,\n    }\n}\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn l10_respects_crate_coverage() {
+    let src = "fn f(a: f64, b: f64) {\n    let o = a.partial_cmp(&b).unwrap();\n}\n";
+    // sql is L10-Off; storage is L10-AllSrc.
+    assert_eq!(rules("crates/sql/src/parser.rs", src), vec![]);
+    assert_eq!(
+        rules("crates/storage/src/stats.rs", src),
+        vec![(Rule::L10, 2)]
+    );
+}
+
+#[test]
+fn l10_exempts_tests() {
+    let src = "fn f(a: f64, b: f64) {\n    let o = a.partial_cmp(&b).unwrap();\n}\n";
+    assert_eq!(rules("crates/storage/tests/t.rs", src), vec![]);
+}
+
+// ---- waivers ----
+
+#[test]
+fn waiver_trailing_silences_its_line() {
+    let src = "fn f() { x.unwrap(); } // qcc-lint: allow(L3): invariant upheld by caller\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn waiver_standalone_silences_next_line() {
+    let src = "// qcc-lint: allow(L3): cannot fail, len checked above\nfn f() { x.unwrap(); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn waiver_covers_only_named_rules() {
+    let src = "// qcc-lint: allow(L2): keyed lookups only, never iterated\nfn f(m: &HashMap<u32, u32>) { m.get(&1).unwrap(); }\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::L3, 2)]);
+}
+
+#[test]
+fn waiver_with_multiple_rules() {
+    let src = "// qcc-lint: allow(L2, L3): test helper mirroring prod shape\nfn f(m: &HashMap<u32, u32>) { m.get(&1).unwrap(); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn waiver_without_justification_is_w0() {
+    let src = "fn f() { x.unwrap(); } // qcc-lint: allow(L3)\n";
+    let got = rules(CORE, src);
+    assert!(got.contains(&(Rule::W0, 1)), "got {got:?}");
+    assert!(
+        got.contains(&(Rule::L3, 1)),
+        "unjustified waiver must not silence"
+    );
+}
+
+#[test]
+fn waiver_with_unknown_rule_is_w0() {
+    let src = "// qcc-lint: allow(L99): nope\nfn f() {}\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::W0, 1)]);
+}
+
+#[test]
+fn waiver_in_string_literal_is_w0() {
+    let src = "fn f() { let s = \"qcc-lint: allow(L3): nope\"; }\n";
+    assert_eq!(rules(CORE, src), vec![(Rule::W0, 1)]);
+}
+
+// ---- meta-checks (full-scan only) ----
+
+fn full(files: &[(&str, &str)]) -> Vec<(Rule, String, usize)> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_files(
+        &owned,
+        &LintOptions {
+            rule_filter: None,
+            full_scan: true,
+        },
+    )
+    .into_iter()
+    .map(|v| (v.rule, v.path, v.line))
+    .collect()
+}
+
+#[test]
+fn unused_waiver_is_w0_on_full_scans() {
+    let got = full(&[(
+        CORE,
+        "// qcc-lint: allow(L3): was needed before the refactor\nfn f() { x.ok(); }\n",
+    )]);
+    assert_eq!(got, vec![(Rule::W0, CORE.to_string(), 1)]);
+}
+
+#[test]
+fn used_waiver_is_not_reported() {
+    let got = full(&[(
+        CORE,
+        "// qcc-lint: allow(L3): caller checked\nfn f() { x.unwrap(); }\n",
+    )]);
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn unused_waiver_not_reported_on_partial_scans() {
+    // lint_source is a single-file (partial) run: no unused-waiver noise.
+    let src = "// qcc-lint: allow(L3): was needed before the refactor\nfn f() { x.ok(); }\n";
+    assert_eq!(rules(CORE, src), vec![]);
+}
+
+#[test]
+fn unregistered_crate_is_c0() {
+    let got = full(&[("crates/newthing/src/lib.rs", "pub fn f() {}\n")]);
+    assert_eq!(
+        got,
+        vec![(Rule::C0, "crates/newthing/Cargo.toml".to_string(), 1)]
+    );
+}
+
+#[test]
+fn registered_and_exempt_crates_are_not_c0() {
+    let got = full(&[
+        ("crates/core/src/lib.rs", "pub fn f() {}\n"),
+        ("src/lib.rs", "pub fn f() {}\n"),
+    ]);
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn every_workspace_member_is_registered_or_exempt() {
+    // The coverage map itself must keep up with the crates on disk
+    // (the workspace manifest uses a `crates/*` glob).
+    let crates_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates/ dir")
+        .to_path_buf();
+    let mut members: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir).expect("read crates/") {
+        let entry = entry.expect("dir entry");
+        if entry.path().join("Cargo.toml").is_file() {
+            members.push(format!("crates/{}", entry.file_name().to_string_lossy()));
+        }
+    }
+    assert!(
+        members.iter().any(|m| m == "crates/core"),
+        "member scan failed: {members:?}"
+    );
+    let registered: Vec<&str> = COVERAGE.iter().map(|c| c.dir).collect();
+    for m in &members {
+        assert!(
+            registered.contains(&m.as_str()) || COVERAGE_EXEMPT.contains(&m.as_str()),
+            "workspace member `{m}` missing from the qcc-lint coverage map"
+        );
+    }
+}
+
+// ---- --rule filter ----
+
+#[test]
+fn rule_filter_restricts_output() {
+    let src = "fn f() {\n    x.unwrap();\n    println!(\"x\");\n}\n";
+    let owned = vec![(CORE.to_string(), src.to_string())];
+    let only_l3 = lint_files(
+        &owned,
+        &LintOptions {
+            rule_filter: Some(Rule::L3),
+            full_scan: true,
+        },
+    );
+    assert_eq!(only_l3.len(), 1);
+    assert_eq!(only_l3[0].rule, Rule::L3);
+}

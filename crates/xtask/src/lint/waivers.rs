@@ -1,0 +1,205 @@
+//! Waiver parsing and lifecycle.
+//!
+//! A violation is silenced by an inline comment
+//! `// qcc-lint: allow(Ln): <justification>` — trailing on the offending
+//! line, or standalone on the line directly above. The justification is
+//! mandatory; a bare `allow(…)`, an unknown rule name, or a waiver tag
+//! outside a line comment is itself reported (`W0`). New in v2: a waiver
+//! that no longer suppresses any finding is also `W0` ("unused waiver"),
+//! so the waiver inventory can only shrink as code gets fixed — it
+//! cannot silently rot into a pile of blanket exemptions.
+//!
+//! Parsing happens on the token stream: the tag is only honored inside a
+//! `LineComment` token, so occurrences inside string literals are
+//! malformed by construction (they *look* like waivers to a human diff
+//! reviewer but do nothing).
+
+use super::lexer::{Tok, TokKind};
+use super::Rule;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+const WAIVER_TAG: &str = "qcc-lint: allow(";
+
+/// Waivers parsed from one file.
+pub struct Waivers {
+    /// Target line → rules waived there, with the comment's own line
+    /// (where an unused-waiver finding should be reported).
+    by_line: BTreeMap<usize, Vec<(Rule, usize)>>,
+    malformed: Vec<(usize, String)>,
+    /// (target line, rule) pairs that suppressed at least one finding.
+    used: RefCell<BTreeSet<(usize, Rule)>>,
+}
+
+/// Parse the waivers of one file from its token stream.
+pub fn parse(toks: &[Tok<'_>]) -> Waivers {
+    let mut by_line: BTreeMap<usize, Vec<(Rule, usize)>> = BTreeMap::new();
+    let mut malformed = Vec::new();
+
+    // Lines that carry at least one code token, for the
+    // standalone-vs-trailing distinction.
+    let mut code_lines: BTreeSet<u32> = BTreeSet::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            code_lines.insert(t.line);
+        }
+    }
+
+    for t in toks {
+        let Some(pos) = t.text.find(WAIVER_TAG) else {
+            continue;
+        };
+        let lineno = t.line as usize;
+        if t.kind != TokKind::LineComment {
+            malformed.push((
+                lineno,
+                "waiver tag outside a `//` comment has no effect — move it into a \
+                 line comment"
+                    .to_string(),
+            ));
+            continue;
+        }
+        let after = &t.text[pos + WAIVER_TAG.len()..];
+        let Some(close) = after.find(')') else {
+            malformed.push((lineno, "unterminated allow(...)".to_string()));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for part in after[..close].split(',') {
+            match Rule::parse(part) {
+                Some(r) => rules.push(r),
+                None => {
+                    malformed.push((lineno, format!("unknown rule `{}`", part.trim())));
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            continue;
+        }
+        // Mandatory justification: `): <non-empty text>`.
+        let rest = after[close + 1..].trim_start();
+        let justification = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            malformed.push((
+                lineno,
+                "waiver missing justification — write `qcc-lint: allow(Lx): <why>`".to_string(),
+            ));
+            continue;
+        }
+        // A standalone comment line waives the next line; a trailing
+        // comment waives its own line.
+        let standalone = !code_lines.contains(&t.line);
+        let target = if standalone { lineno + 1 } else { lineno };
+        by_line
+            .entry(target)
+            .or_default()
+            .extend(rules.into_iter().map(|r| (r, lineno)));
+    }
+
+    Waivers {
+        by_line,
+        malformed,
+        used: RefCell::new(BTreeSet::new()),
+    }
+}
+
+impl Waivers {
+    /// Does a waiver cover (line, rule)? Marks the waiver used.
+    pub fn covers(&self, line: usize, rule: Rule) -> bool {
+        let hit = self
+            .by_line
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|(r, _)| *r == rule));
+        if hit {
+            self.used.borrow_mut().insert((line, rule));
+        }
+        hit
+    }
+
+    /// Malformed waiver comments: (comment line, message).
+    pub fn malformed(&self) -> Vec<(usize, String)> {
+        self.malformed.clone()
+    }
+
+    /// Waivers that suppressed nothing: comment line → rules unused
+    /// there. Only meaningful after every rule has run over the file.
+    pub fn unused(&self) -> BTreeMap<usize, Vec<Rule>> {
+        let used = self.used.borrow();
+        let mut out: BTreeMap<usize, Vec<Rule>> = BTreeMap::new();
+        for (&target, rules) in &self.by_line {
+            for &(rule, comment_line) in rules {
+                if !used.contains(&(target, rule)) {
+                    out.entry(comment_line).or_default().push(rule);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let w = parse(&lex(
+            "fn f() { x.unwrap(); } // qcc-lint: allow(L3): caller checked\n",
+        ));
+        assert!(w.covers(1, Rule::L3));
+        assert!(!w.covers(1, Rule::L2));
+        assert!(w.malformed().is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_line() {
+        let w = parse(&lex(
+            "// qcc-lint: allow(L5): watchdog joins before exit\nfn f() {}\n",
+        ));
+        assert!(w.covers(2, Rule::L5));
+        assert!(!w.covers(1, Rule::L5));
+    }
+
+    #[test]
+    fn flow_rules_are_waivable() {
+        let w = parse(&lex(
+            "// qcc-lint: allow(L8, L10): ordering proven by construction\nfn f() {}\n",
+        ));
+        assert!(w.covers(2, Rule::L8));
+        assert!(w.covers(2, Rule::L10));
+    }
+
+    #[test]
+    fn tag_inside_string_is_malformed() {
+        let w = parse(&lex("let s = \"qcc-lint: allow(L3): nope\";\n"));
+        assert_eq!(w.malformed().len(), 1);
+        assert!(!w.covers(1, Rule::L3));
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        let w = parse(&lex("x(); // qcc-lint: allow(L3)\n"));
+        assert_eq!(w.malformed().len(), 1);
+        assert!(!w.covers(1, Rule::L3));
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let w = parse(&lex("// qcc-lint: allow(L99): nope\nfn f() {}\n"));
+        assert_eq!(w.malformed().len(), 1);
+    }
+
+    #[test]
+    fn unused_waivers_are_reported_per_rule() {
+        let w = parse(&lex(
+            "// qcc-lint: allow(L2, L3): only L3 still fires\nfn f() {}\n",
+        ));
+        assert!(w.covers(2, Rule::L3));
+        let unused = w.unused();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[&1], vec![Rule::L2]);
+    }
+}

@@ -3,23 +3,23 @@
 //!
 //! Subcommands:
 //!
-//! * `lint [--json] [PATH...]` — run the qcc-lint rules (L1–L7, see
-//!   `lint.rs` and DESIGN.md) over every tracked `.rs` file, or over the
-//!   given files/directories only. Exits nonzero if any unwaived
-//!   violation is found. `--json` emits a machine-readable summary on
-//!   stdout instead of the human format.
+//! * `lint [--json] [--rule Ln] [--budget-ms N] [PATH...]` — run the
+//!   qcc-lint rules (L1–L10, see `lint/` and DESIGN.md §7/§12) over
+//!   every tracked `.rs` file, or over the given files/directories only.
+//!   Exits nonzero if any unwaived violation is found. `--json` emits a
+//!   machine-readable summary on stdout instead of the human format;
+//!   `--rule L8` restricts reporting to one rule; `--budget-ms 5000`
+//!   fails the run if linting took longer than the budget (CI asserts
+//!   the analysis stays interactive).
 //! * `sim [ARGS...]` — build and run the `qcc-sim` deterministic
 //!   fault-injection explorer (release profile), forwarding all
 //!   arguments. `cargo xtask sim --help` prints the explorer's own
 //!   usage; the common calls are `--seeds N`, `--seed S`,
 //!   `--replay 'sim(...)'`, and `--replay-corpus` (see DESIGN.md §11).
 
-mod lint;
-
-use lint::{Rule, Violation};
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xtask::lint::{self, report, LintOptions, Rule};
 
 fn workspace_root() -> PathBuf {
     // xtask lives at <root>/crates/xtask.
@@ -67,60 +67,38 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn print_json(violations: &[Violation], files_scanned: usize) {
-    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    for r in Rule::ALL {
-        counts.insert(r.to_string(), 0);
-    }
-    counts.insert(Rule::W0.to_string(), 0);
-    for v in violations {
-        *counts.entry(v.rule.to_string()).or_insert(0) += 1;
-    }
-    let items: Vec<String> = violations
-        .iter()
-        .map(|v| {
-            format!(
-                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-                v.rule,
-                json_escape(&v.path),
-                v.line,
-                json_escape(&v.message)
-            )
-        })
-        .collect();
-    let count_items: Vec<String> = counts.iter().map(|(k, n)| format!("\"{k}\":{n}")).collect();
-    println!(
-        "{{\"files_scanned\":{},\"violation_count\":{},\"counts\":{{{}}},\"violations\":[{}]}}",
-        files_scanned,
-        violations.len(),
-        count_items.join(","),
-        items.join(",")
-    );
-}
-
 fn run_lint(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut rule_filter: Option<Rule> = None;
+    let mut budget_ms: Option<u64> = None;
     let mut targets: Vec<String> = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--rule" => {
+                let Some(name) = it.next() else {
+                    eprintln!("--rule needs an argument (L1..L10)");
+                    return ExitCode::FAILURE;
+                };
+                match Rule::parse(name) {
+                    Some(r) => rule_filter = Some(r),
+                    None => {
+                        eprintln!("unknown rule `{name}` — expected L1..L10");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--budget-ms" => {
+                let parsed = it.next().and_then(|n| n.parse::<u64>().ok());
+                let Some(ms) = parsed else {
+                    eprintln!("--budget-ms needs a millisecond count");
+                    return ExitCode::FAILURE;
+                };
+                budget_ms = Some(ms);
+            }
             "--help" | "-h" => {
-                println!("usage: cargo xtask lint [--json] [PATH...]");
+                println!("usage: cargo xtask lint [--json] [--rule Ln] [--budget-ms N] [PATH...]");
                 return ExitCode::SUCCESS;
             }
             other => targets.push(other.to_string()),
@@ -128,8 +106,9 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 
     let root = workspace_root();
+    let full_scan = targets.is_empty();
     let mut files = Vec::new();
-    if targets.is_empty() {
+    if full_scan {
         collect_rs_files(&root, &root, &mut files);
     } else {
         for t in &targets {
@@ -147,39 +126,33 @@ fn run_lint(args: &[String]) -> ExitCode {
         }
     }
 
-    let mut violations = Vec::new();
+    let started = std::time::Instant::now(); // xtask is host tooling, not simulation code
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in &files {
-        let full = root.join(rel);
-        match std::fs::read_to_string(&full) {
-            Ok(src) => violations.extend(lint::lint_source(rel, &src)),
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(src) => sources.push((rel.clone(), src)),
             Err(err) => eprintln!("warning: cannot read {rel}: {err}"),
         }
     }
+    let opts = LintOptions {
+        rule_filter,
+        full_scan,
+    };
+    let violations = lint::lint_files(&sources, &opts);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
 
     if json {
-        print_json(&violations, files.len());
+        println!("{}", report::render_json(&violations, sources.len()));
     } else {
-        for v in &violations {
-            println!("{v}");
+        print!("{}", report::render_text(&violations, sources.len()));
+    }
+
+    if let Some(budget) = budget_ms {
+        if elapsed_ms > budget {
+            eprintln!("qcc-lint: took {elapsed_ms} ms, over the --budget-ms {budget} budget");
+            return ExitCode::FAILURE;
         }
-        let mut counts: BTreeMap<Rule, usize> = BTreeMap::new();
-        for v in &violations {
-            *counts.entry(v.rule).or_insert(0) += 1;
-        }
-        let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
-        if violations.is_empty() {
-            println!(
-                "qcc-lint: {} files scanned, 0 violations — clean",
-                files.len()
-            );
-        } else {
-            println!(
-                "qcc-lint: {} files scanned, {} violation(s) [{}]",
-                files.len(),
-                violations.len(),
-                summary.join(", ")
-            );
-        }
+        eprintln!("qcc-lint: {elapsed_ms} ms (budget {budget} ms)");
     }
 
     if violations.is_empty() {
@@ -215,7 +188,7 @@ fn main() -> ExitCode {
         Some("sim") => run_sim(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!(
-                "usage: cargo xtask <command>\n\ncommands:\n  lint [--json] [PATH...]   enforce workspace invariants L1-L7\n  sim [ARGS...]             run the deterministic fault-injection explorer\n                            (--seed S | --seeds N | --replay 'sim(...)' |\n                             --replay-corpus [DIR]; `sim --help` for all flags)"
+                "usage: cargo xtask <command>\n\ncommands:\n  lint [--json] [--rule Ln] [--budget-ms N] [PATH...]\n                            enforce workspace invariants L1-L10\n  sim [ARGS...]             run the deterministic fault-injection explorer\n                            (--seed S | --seeds N | --replay 'sim(...)' |\n                             --replay-corpus [DIR]; `sim --help` for all flags)"
             );
             ExitCode::SUCCESS
         }

@@ -1,0 +1,14 @@
+// L1 fixture: host-clock reads. Linted as crates/core/src/fixture.rs.
+fn bad_instant() {
+    let t = std::time::Instant::now();
+    t
+}
+
+fn bad_system_time() {
+    let t = SystemTime::now();
+    t
+}
+
+fn good(clock: &SimClock) -> SimTime {
+    clock.now()
+}

@@ -1,0 +1,12 @@
+// L10 fixture: float-ordering hazards. Linted as crates/storage/src/….
+fn bad_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}
+
+fn bad_unwrap(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+fn good(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,11 @@
+// L2 fixture: hashed containers in an order-sensitive crate.
+use std::collections::HashMap;
+
+fn good(m: &std::collections::BTreeMap<u32, u32>) -> usize {
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet; // exempt: cfg(test)
+}

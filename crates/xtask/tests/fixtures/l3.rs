@@ -1,0 +1,10 @@
+// L3 fixture: panicking constructs in a panic-free crate.
+fn bad(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    panic!("boom");
+}
+
+fn good(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

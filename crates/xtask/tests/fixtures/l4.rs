@@ -1,0 +1,16 @@
+// L4 fixture: poisoning idiom (a) and guard held across a remote call (b).
+fn bad_poison(m: &std::sync::Mutex<u32>) -> u32 {
+    let g = m.lock().unwrap();
+    *g
+}
+
+fn bad_hold(server: &dyn Wrapper, state: &Mutex<State>) {
+    let st = state.lock();
+    server.execute(&plan, now);
+}
+
+fn good_drop(server: &dyn Wrapper, state: &Mutex<State>) {
+    let st = state.lock();
+    drop(st);
+    server.execute(&plan, now);
+}

@@ -1,0 +1,8 @@
+// L5 fixture: ad-hoc threads outside the scatter layer.
+fn bad() {
+    std::thread::spawn(|| {});
+}
+
+fn good(n: usize) {
+    qcc_common::scatter_indexed(n, 4, |i| i);
+}

@@ -1,0 +1,9 @@
+// L6 fixture: stdout writes in library code.
+fn bad() {
+    println!("hello");
+    eprintln!("oops");
+}
+
+fn good(obs: &Obs) {
+    obs.counter_inc("events", &[]);
+}

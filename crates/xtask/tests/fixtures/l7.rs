@@ -1,0 +1,8 @@
+// L7 fixture: wall-clock blocking on the serving path.
+fn bad(d: std::time::Duration) {
+    std::thread::sleep(d);
+}
+
+fn good(clock: &SimClock, d: SimDuration) {
+    clock.advance(d);
+}

@@ -1,0 +1,23 @@
+// L8 fixture: lock-order inversion. alpha→beta is the majority order
+// (two sites); ba() takes beta→alpha — the minority site is reported.
+struct D {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl D {
+    fn ab1(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+    }
+
+    fn ab2(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+    }
+
+    fn ba(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+    }
+}

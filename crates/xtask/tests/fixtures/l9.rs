@@ -1,0 +1,20 @@
+// L9 fixture: impure scatter closure (captured &mut, ordered obs
+// emission, non-local lock), then a pure one.
+fn bad(obs: &Obs, n: usize) {
+    qcc_common::scatter_indexed(n, 4, |i| {
+        let x = &mut shared;
+        obs.event(at, "probe", vec![]);
+        let st = global.state.lock();
+    });
+}
+
+fn good(obs: &Obs, n: usize) {
+    qcc_common::scatter_indexed(n, 4, |i| {
+        let mut acc = Vec::new();
+        acc.push(i);
+        obs.counter_inc("probes", &[]);
+        let mut fx = Deferred::new();
+        fx.defer(move |o| o.event(at, "probe", vec![]));
+        (acc, fx)
+    });
+}

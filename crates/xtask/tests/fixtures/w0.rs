@@ -1,0 +1,12 @@
+// W0 fixture: waiver lifecycle — a used waiver (silent), a stale one
+// (unused → W0), and an unjustified one (malformed → W0, not honored).
+fn covered(x: Option<u32>) -> u32 {
+    x.unwrap() // qcc-lint: allow(L3): fixture — justified and exercised
+}
+
+// qcc-lint: allow(L2): stale — nothing below still fires
+fn stale() {}
+
+fn unjustified(x: Option<u32>) -> u32 {
+    x.unwrap() // qcc-lint: allow(L3)
+}

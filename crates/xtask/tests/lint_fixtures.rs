@@ -1,0 +1,470 @@
+//! Seeded-fixture self-test: every rule L1–L10 plus W0 has a fixture
+//! file under `tests/fixtures/` carrying known violations, and this
+//! suite asserts the engine reports them at their exact (line, column)
+//! spans — no more, no fewer. Also round-trips the `--json` rendering
+//! through a minimal hand-rolled JSON parser (the workspace is
+//! dependency-free, so no serde) to pin the schema.
+//!
+//! Fixture files are *data*, not compiled test code (subdirectories of
+//! `tests/` are not test targets), and the linter itself skips
+//! `crates/xtask/`, so the deliberately-bad patterns in them are inert.
+
+use xtask::lint::{self, report, LintOptions, Rule, Violation};
+
+/// Load a fixture and lint it as `lint_path` (fixtures borrow a real
+/// crate's path so coverage scoping applies as in production).
+fn lint_fixture(name: &str, lint_path: &str, full_scan: bool) -> (Vec<String>, Vec<Violation>) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(dir.join(name)).expect("fixture readable");
+    let lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let files = vec![(lint_path.to_string(), src)];
+    let opts = LintOptions {
+        rule_filter: None,
+        full_scan,
+    };
+    (lines, lint::lint_files(&files, &opts))
+}
+
+/// Expected finding: `rule` at `line`, at the column where `needle`
+/// first occurs in that line (1-based). `col_override` pins findings
+/// that have no token (waiver meta-findings report column 0).
+struct Expect {
+    rule: Rule,
+    line: usize,
+    needle: &'static str,
+    col_override: Option<usize>,
+}
+
+fn exp(rule: Rule, line: usize, needle: &'static str) -> Expect {
+    Expect {
+        rule,
+        line,
+        needle,
+        col_override: None,
+    }
+}
+
+fn exp_at(rule: Rule, line: usize, col: usize) -> Expect {
+    Expect {
+        rule,
+        line,
+        needle: "",
+        col_override: Some(col),
+    }
+}
+
+fn check(fixture: &str, lint_path: &str, full_scan: bool, expected: &[Expect]) {
+    let (lines, got) = lint_fixture(fixture, lint_path, full_scan);
+    let want: Vec<(Rule, usize, usize)> = expected
+        .iter()
+        .map(|e| {
+            let col = e.col_override.unwrap_or_else(|| {
+                lines[e.line - 1]
+                    .find(e.needle)
+                    .unwrap_or_else(|| panic!("{fixture}:{} lacks `{}`", e.line, e.needle))
+                    + 1
+            });
+            (e.rule, e.line, col)
+        })
+        .collect();
+    let got_spans: Vec<(Rule, usize, usize)> =
+        got.iter().map(|v| (v.rule, v.line, v.col)).collect();
+    assert_eq!(
+        got_spans, want,
+        "{fixture} findings mismatch; got: {got:#?}"
+    );
+}
+
+const CORE: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn l1_fixture_spans() {
+    check(
+        "l1.rs",
+        CORE,
+        false,
+        &[exp(Rule::L1, 3, "Instant"), exp(Rule::L1, 8, "SystemTime")],
+    );
+}
+
+#[test]
+fn l2_fixture_spans() {
+    check("l2.rs", CORE, false, &[exp(Rule::L2, 2, "HashMap")]);
+}
+
+#[test]
+fn l3_fixture_spans() {
+    check(
+        "l3.rs",
+        CORE,
+        false,
+        &[
+            exp(Rule::L3, 3, ".unwrap"),
+            exp(Rule::L3, 4, ".expect"),
+            exp(Rule::L3, 5, "panic"),
+        ],
+    );
+}
+
+#[test]
+fn l4_fixture_spans() {
+    check(
+        "l4.rs",
+        CORE,
+        false,
+        &[
+            exp(Rule::L4, 3, ".lock"),
+            // CORE is L3-covered, so the unwrap itself also fires.
+            exp(Rule::L3, 3, ".unwrap"),
+            exp(Rule::L4, 9, "execute"),
+        ],
+    );
+}
+
+#[test]
+fn l5_fixture_spans() {
+    check("l5.rs", CORE, false, &[exp(Rule::L5, 3, "thread")]);
+}
+
+#[test]
+fn l6_fixture_spans() {
+    check(
+        "l6.rs",
+        CORE,
+        false,
+        &[exp(Rule::L6, 3, "println"), exp(Rule::L6, 4, "eprintln")],
+    );
+}
+
+#[test]
+fn l7_fixture_spans() {
+    check("l7.rs", CORE, false, &[exp(Rule::L7, 3, "thread")]);
+}
+
+#[test]
+fn l8_fixture_spans() {
+    // Only the minority-order site (beta held, alpha acquired) fires.
+    check("l8.rs", CORE, false, &[exp(Rule::L8, 21, "lock")]);
+}
+
+#[test]
+fn l9_fixture_spans() {
+    check(
+        "l9.rs",
+        CORE,
+        false,
+        &[
+            exp(Rule::L9, 5, "&"),
+            exp(Rule::L9, 6, "event"),
+            exp(Rule::L9, 7, "lock"),
+        ],
+    );
+}
+
+#[test]
+fn l10_fixture_spans() {
+    check(
+        "l10.rs",
+        "crates/storage/src/fixture.rs",
+        false,
+        &[
+            exp(Rule::L10, 3, "partial_cmp"),
+            exp(Rule::L10, 7, "partial_cmp"),
+        ],
+    );
+}
+
+#[test]
+fn w0_fixture_spans() {
+    // Full scan: the stale waiver (line 7) and the unjustified waiver
+    // (line 11) are W0; the unjustified one does not silence its L3.
+    check(
+        "w0.rs",
+        CORE,
+        true,
+        &[
+            exp_at(Rule::W0, 7, 0),
+            exp_at(Rule::W0, 11, 0),
+            exp(Rule::L3, 11, ".unwrap"),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------------
+// JSON round-trip: render every fixture finding, parse it back with a
+// minimal JSON parser, and compare against the in-memory violations.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key `{key}`")),
+            other => panic!("get({key}) on non-object {other:?}"),
+        }
+    }
+    fn as_num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("not a number: {other:?}"),
+        }
+    }
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("not a string: {other:?}"),
+        }
+    }
+    fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            other => panic!("not an array: {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(
+            self.bytes.get(self.pos),
+            Some(&b),
+            "expected `{}` at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.pos).expect("unexpected end of JSON")
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, val: Json) -> Json {
+        self.skip_ws();
+        assert!(
+            self.bytes[self.pos..].starts_with(word.as_bytes()),
+            "bad literal at {}",
+            self.pos
+        );
+        self.pos += word.len();
+        val
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8");
+        Json::Num(text.parse().expect("number"))
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes[self.pos] {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .expect("utf8");
+                            let code = u32::from_str_radix(hex, 16).expect("hex escape");
+                            out.push(char::from_u32(code).expect("scalar"));
+                            self.pos += 4;
+                        }
+                        other => panic!("unknown escape \\{}", other as char),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..]).expect("utf8");
+                    let c = s.chars().next().expect("char");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                other => panic!("bad array separator `{}`", other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.expect(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(fields);
+                }
+                other => panic!("bad object separator `{}`", other as char),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Json {
+    let mut p = Parser::new(s);
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, s.len(), "trailing bytes after JSON value");
+    v
+}
+
+#[test]
+fn json_report_round_trips() {
+    // Lint every fixture in one run to get a diverse violation set.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut files = Vec::new();
+    for (fixture, lint_path) in [
+        ("l1.rs", "crates/core/src/fx1.rs"),
+        ("l3.rs", "crates/core/src/fx3.rs"),
+        ("l8.rs", "crates/core/src/fx8.rs"),
+        ("l9.rs", "crates/core/src/fx9.rs"),
+        ("l10.rs", "crates/storage/src/fx10.rs"),
+    ] {
+        let src = std::fs::read_to_string(dir.join(fixture)).expect("fixture readable");
+        files.push((lint_path.to_string(), src));
+    }
+    let violations = lint::lint_files(&files, &LintOptions::default());
+    assert!(!violations.is_empty(), "fixtures must produce findings");
+
+    let rendered = report::render_json(&violations, files.len());
+    let parsed = parse_json(&rendered);
+
+    assert_eq!(parsed.get("schema_version").as_num(), 2.0);
+    assert_eq!(parsed.get("files_scanned").as_num(), files.len() as f64);
+    assert_eq!(
+        parsed.get("violation_count").as_num(),
+        violations.len() as f64
+    );
+
+    // Counts: every rule key present (stable schema), totals add up.
+    let counts = parsed.get("counts");
+    let mut total = 0.0;
+    for rule in [
+        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "W0", "C0",
+    ] {
+        total += counts.get(rule).as_num();
+    }
+    assert_eq!(total, violations.len() as f64);
+
+    // Violations array matches the in-memory list field-for-field.
+    let items = parsed.get("violations").as_arr();
+    assert_eq!(items.len(), violations.len());
+    for (item, v) in items.iter().zip(&violations) {
+        assert_eq!(item.get("rule").as_str(), v.rule.to_string());
+        assert_eq!(item.get("path").as_str(), v.path);
+        assert_eq!(item.get("line").as_num(), v.line as f64);
+        assert_eq!(item.get("col").as_num(), v.col as f64);
+        assert_eq!(item.get("message").as_str(), v.message);
+    }
+
+    // Byte determinism: rendering twice is identical.
+    assert_eq!(rendered, report::render_json(&violations, files.len()));
+}
+
+#[test]
+fn every_rule_has_a_fixture() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rule in Rule::ALL {
+        let name = format!("{}.rs", rule.to_string().to_lowercase());
+        assert!(
+            dir.join(&name).is_file(),
+            "rule {rule} lacks a fixture file tests/fixtures/{name}"
+        );
+    }
+    assert!(dir.join("w0.rs").is_file());
+}
