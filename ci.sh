@@ -52,6 +52,18 @@ echo "==> bench smoke: scatter_speedup (tiny scale)"
 QCC_LARGE_ROWS=2000 QCC_SMALL_ROWS=100 QCC_INSTANCES=2 QCC_WARMUP=1 \
     cargo bench -q --offline -p qcc-bench --bench scatter_speedup
 
+echo "==> row vs columnar equivalence property (exact rows + bit-exact Work)"
+cargo test -q --offline --test engine_vs_naive_prop
+
+echo "==> bench smoke: columnar_speedup (tiny scale; digest must be identical)"
+QCC_LARGE_ROWS=2000 QCC_SMALL_ROWS=100 \
+    cargo bench -q --offline -p qcc-bench --bench columnar_speedup \
+    | tee /tmp/qcc-colspeed.out
+if grep -q DIVERGED /tmp/qcc-colspeed.out; then
+    echo "columnar_speedup: virtual-time digest diverged" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

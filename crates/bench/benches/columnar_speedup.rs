@@ -1,0 +1,192 @@
+//! Wall-clock speedup of columnar batch execution (PR 7's tentpole).
+//!
+//! Virtual time is untouched by the execution model: the batch executor
+//! replicates the row executor's `Work` accounting expression for
+//! expression (operator-level totals, never per-chunk partials), so the
+//! virtual digest column must read `identical` on every row. What the
+//! columnar rewrite buys is *host* wall-clock time: zero-copy Arc-shared
+//! scans, selection vectors instead of row materialization, a
+//! column-compare fast path for simple predicates, and zone-map chunk
+//! pruning on clustered columns.
+//!
+//! Five workloads over the §5 scenario schema at `QCC_LARGE_ROWS` scale,
+//! each run through `rowexec::execute_rows` (the row-at-a-time reference)
+//! and `execute_batches` (the columnar engine) on the *same* plan:
+//!
+//! * `scan`          — full-table scan (Arc sharing vs per-row clones).
+//! * `filter`        — selective predicate on an unclustered column.
+//! * `filter zoned`  — range predicate on the clustered serial key, where
+//!   per-chunk min/max summaries let the batch engine skip whole chunks.
+//! * `join+agg`      — the paper's QT1 (large ⋈ large, group aggregate).
+//! * `agg`           — grouped aggregation over the large table.
+
+use qcc_bench::BenchScale;
+use qcc_common::WallStopwatch;
+use qcc_engine::{execute_batches, rowexec, Engine};
+use qcc_storage::{Catalog, ColumnSpec, TableSpec};
+
+const REPS: usize = 5;
+
+/// The scenario's table shapes (see `qcc-workload`), without indexes so
+/// every query has exactly one plan and both executors run it.
+fn build_catalog(large: u64, small: u64) -> Catalog {
+    let specs = vec![
+        TableSpec::new(
+            "big_a",
+            large,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "grp".into(),
+                    lo: 0,
+                    hi: small as i64,
+                },
+                ColumnSpec::FloatUniform {
+                    name: "val".into(),
+                    lo: 0.0,
+                    hi: 100.0,
+                },
+                ColumnSpec::IntUniform {
+                    name: "sel".into(),
+                    lo: 0,
+                    hi: 10_000,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "big_b",
+            large,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "a_id".into(),
+                    lo: 0,
+                    hi: large as i64,
+                },
+                ColumnSpec::IntUniform {
+                    name: "qty".into(),
+                    lo: 0,
+                    hi: 100,
+                },
+            ],
+        ),
+    ];
+    let mut catalog = Catalog::new();
+    for (i, spec) in specs.iter().enumerate() {
+        catalog.register(spec.generate(7_001 + i as u64));
+    }
+    catalog
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+struct Outcome {
+    rows_out: u64,
+    row_ms: f64,
+    batch_ms: f64,
+    digest_ok: bool,
+}
+
+/// Run one query through both executors and report medians plus the
+/// virtual-time digest comparison.
+fn run_query(engine: &Engine, sql: &str) -> Outcome {
+    let plans = engine.explain(sql).expect("bench query plans");
+    let plan = &plans[0].plan;
+    let mut row_times = Vec::with_capacity(REPS);
+    let mut batch_times = Vec::with_capacity(REPS);
+    let mut rows_out = 0u64;
+    let mut digest_ok = true;
+    for _ in 0..REPS {
+        let sw = WallStopwatch::start();
+        let (rrows, rwork) =
+            rowexec::execute_rows(plan, engine.catalog(), engine.cost_model()).expect("row engine");
+        row_times.push(sw.elapsed_nanos() as f64 / 1e6);
+
+        let sw = WallStopwatch::start();
+        let (batches, bwork) =
+            execute_batches(plan, engine.catalog(), engine.cost_model()).expect("batch engine");
+        batch_times.push(sw.elapsed_nanos() as f64 / 1e6);
+
+        rows_out = bwork.rows_output;
+        digest_ok = digest_ok
+            && bwork.cpu_units.to_bits() == rwork.cpu_units.to_bits()
+            && bwork.rows_output == rrows.len() as u64
+            && bwork.result_bytes == rwork.result_bytes
+            && batches
+                .iter()
+                .map(qcc_common::ColumnBatch::n_rows)
+                .sum::<usize>()
+                == rrows.len();
+    }
+    Outcome {
+        rows_out,
+        row_ms: median(row_times),
+        batch_ms: median(batch_times),
+        digest_ok,
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let large = scale.config.large_rows;
+    let small = scale.config.small_rows;
+    println!("columnar execution wall-clock speedup (large tables: {large} rows)");
+    let catalog = build_catalog(large, small);
+    let engine = Engine::new(catalog);
+
+    let zone_hi = (large / 50).max(1);
+    let workloads: Vec<(&str, String)> = vec![
+        ("scan", "SELECT * FROM big_a".into()),
+        (
+            "filter",
+            "SELECT * FROM big_a WHERE big_a.sel > 9000".into(),
+        ),
+        (
+            "filter zoned",
+            format!("SELECT * FROM big_a WHERE big_a.id < {zone_hi}"),
+        ),
+        (
+            "join+agg",
+            "SELECT a.grp, COUNT(*) AS n, SUM(b.qty) AS total \
+             FROM big_a a JOIN big_b b ON b.a_id = a.id \
+             WHERE a.sel > 2000 GROUP BY a.grp"
+                .into(),
+        ),
+        (
+            "agg",
+            "SELECT a.grp, COUNT(*) AS n, SUM(a.val) AS total FROM big_a a GROUP BY a.grp".into(),
+        ),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, sql) in &workloads {
+        let o = run_query(&engine, sql);
+        rows.push(vec![
+            (*name).to_string(),
+            o.rows_out.to_string(),
+            format!("{:.2}", o.row_ms),
+            format!("{:.2}", o.batch_ms),
+            format!("{:.2}x", o.row_ms / o.batch_ms),
+            if o.digest_ok {
+                "identical".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+    }
+    qcc_bench::print_table(
+        "row-at-a-time vs columnar batches (median of 5 runs)",
+        &[
+            "workload".to_string(),
+            "rows out".to_string(),
+            "row ms".to_string(),
+            "batch ms".to_string(),
+            "speedup".to_string(),
+            "virtual digest".to_string(),
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,646 @@
+//! Columnar batches: typed column vectors, borrowed cell views, and
+//! per-column summaries.
+//!
+//! The storage layer keeps every table as a sequence of fixed-size column
+//! chunks ([`BATCH_ROWS`] rows each, except when a batch is adopted
+//! wholesale), and the execution engines stream [`ColumnBatch`]es between
+//! operators instead of materializing `Vec<Row>` per node. [`CellRef`] is
+//! the zero-copy view of one cell; its comparison and arithmetic semantics
+//! mirror [`Value`] *exactly* — bit-for-bit on floats — because the
+//! virtual-time `Work` accounting downstream depends on identical results.
+
+use crate::row::Row;
+use crate::value::{DataType, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Rows per storage chunk. Batches produced by operators may be larger
+/// (a materialized join output is a single batch), but base tables are
+/// chunked at this granularity so zone maps stay selective.
+pub const BATCH_ROWS: usize = 1024;
+
+/// A borrowed view of one cell. Copyable; strings are borrowed.
+///
+/// Every comparison/arithmetic method mirrors the corresponding [`Value`]
+/// method exactly (same NULL propagation, same `f64::total_cmp` usage,
+/// same integer-overflow widening), so evaluating an expression over cells
+/// and over materialized rows yields identical `Value`s.
+#[derive(Debug, Clone, Copy)]
+pub enum CellRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Borrowed UTF-8 string.
+    Str(&'a str),
+}
+
+impl<'a> CellRef<'a> {
+    /// Borrowing view of a [`Value`].
+    pub fn of(v: &'a Value) -> CellRef<'a> {
+        match v {
+            Value::Null => CellRef::Null,
+            Value::Int(i) => CellRef::Int(*i),
+            Value::Float(f) => CellRef::Float(*f),
+            Value::Str(s) => CellRef::Str(s),
+        }
+    }
+
+    /// Owned value (clones the string for `Str`).
+    pub fn to_value(self) -> Value {
+        match self {
+            CellRef::Null => Value::Null,
+            CellRef::Int(i) => Value::Int(i),
+            CellRef::Float(f) => Value::Float(f),
+            CellRef::Str(s) => Value::Str(s.to_owned()),
+        }
+    }
+
+    /// True iff the cell is SQL NULL.
+    pub fn is_null(self) -> bool {
+        matches!(self, CellRef::Null)
+    }
+
+    /// Numeric view, mirroring [`Value::as_f64`].
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            CellRef::Int(i) => Some(i as f64),
+            CellRef::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// String view, mirroring [`Value::as_str`].
+    pub fn as_str(self) -> Option<&'a str> {
+        match self {
+            CellRef::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Approximate byte width, mirroring [`Value::byte_width`].
+    pub fn byte_width(self) -> usize {
+        match self {
+            CellRef::Null => 1,
+            CellRef::Int(_) | CellRef::Float(_) => 8,
+            CellRef::Str(s) => s.len(),
+        }
+    }
+
+    /// Total order mirroring [`Value::total_cmp`]: NULLs first, numbers
+    /// compared across Int/Float via `f64::total_cmp`, numbers before
+    /// strings.
+    pub fn total_cmp(self, other: CellRef<'_>) -> Ordering {
+        use CellRef::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(&b),
+            (Float(a), Float(b)) => a.total_cmp(&b),
+            (Int(a), Float(b)) => (a as f64).total_cmp(&b),
+            (Float(a), Int(b)) => a.total_cmp(&(b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+        }
+    }
+
+    /// Total order against an owned [`Value`].
+    pub fn total_cmp_value(self, other: &Value) -> Ordering {
+        self.total_cmp(CellRef::of(other))
+    }
+
+    /// Three-valued comparison mirroring [`Value::sql_cmp`].
+    pub fn sql_cmp(self, other: CellRef<'_>) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Three-valued equality mirroring [`Value::sql_eq`].
+    pub fn sql_eq(self, other: CellRef<'_>) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// Addition mirroring [`Value::add`].
+    pub fn add(self, other: CellRef<'a>) -> CellRef<'a> {
+        numeric_binop(self, other, |a, b| a + b, |a, b| a.checked_add(b))
+    }
+
+    /// Subtraction mirroring [`Value::sub`].
+    pub fn sub(self, other: CellRef<'a>) -> CellRef<'a> {
+        numeric_binop(self, other, |a, b| a - b, |a, b| a.checked_sub(b))
+    }
+
+    /// Multiplication mirroring [`Value::mul`].
+    pub fn mul(self, other: CellRef<'a>) -> CellRef<'a> {
+        numeric_binop(self, other, |a, b| a * b, |a, b| a.checked_mul(b))
+    }
+
+    /// Division mirroring [`Value::div`]: anything over (float or int) zero
+    /// is NULL, Int/Int truncates, mixed operands divide as floats.
+    pub fn div(self, other: CellRef<'a>) -> CellRef<'a> {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(_), Some(b)) if b == 0.0 => CellRef::Null,
+            (Some(a), Some(b)) => match (self, other) {
+                (CellRef::Int(x), CellRef::Int(y)) => CellRef::Int(x / y),
+                _ => CellRef::Float(a / b),
+            },
+            _ => CellRef::Null,
+        }
+    }
+}
+
+fn numeric_binop<'a>(
+    a: CellRef<'a>,
+    b: CellRef<'a>,
+    f_float: impl Fn(f64, f64) -> f64,
+    f_int: impl Fn(i64, i64) -> Option<i64>,
+) -> CellRef<'a> {
+    match (a, b) {
+        (CellRef::Int(x), CellRef::Int(y)) => match f_int(x, y) {
+            Some(v) => CellRef::Int(v),
+            None => CellRef::Float(f_float(x as f64, y as f64)),
+        },
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => CellRef::Float(f_float(x, y)),
+            _ => CellRef::Null,
+        },
+    }
+}
+
+/// One column of values, stored as a typed vector where possible.
+///
+/// Typed vectors carry a parallel null mask. A column falls back to the
+/// [`ColumnVector::Mixed`] representation when it receives values of more
+/// than one type (e.g. exact `Int` values stored in a FLOAT-typed column,
+/// which the row model preserves as `Value::Int`), so the round trip
+/// through columnar storage never changes a value's type.
+#[derive(Debug, Clone)]
+pub enum ColumnVector {
+    /// Integer vector with null mask.
+    Int {
+        /// Cell payloads (unspecified where null).
+        data: Vec<i64>,
+        /// Null mask, parallel to `data`.
+        nulls: Vec<bool>,
+    },
+    /// Float vector with null mask.
+    Float {
+        /// Cell payloads (unspecified where null).
+        data: Vec<f64>,
+        /// Null mask, parallel to `data`.
+        nulls: Vec<bool>,
+    },
+    /// String vector with null mask.
+    Str {
+        /// Cell payloads (empty where null).
+        data: Vec<String>,
+        /// Null mask, parallel to `data`.
+        nulls: Vec<bool>,
+    },
+    /// Fallback: heterogeneous values stored as-is.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnVector {
+    /// Empty vector for a declared type (`None` → [`ColumnVector::Mixed`]).
+    pub fn new_for(ty: Option<DataType>) -> ColumnVector {
+        match ty {
+            Some(DataType::Int) => ColumnVector::Int {
+                data: Vec::new(),
+                nulls: Vec::new(),
+            },
+            Some(DataType::Float) => ColumnVector::Float {
+                data: Vec::new(),
+                nulls: Vec::new(),
+            },
+            Some(DataType::Str) => ColumnVector::Str {
+                data: Vec::new(),
+                nulls: Vec::new(),
+            },
+            None => ColumnVector::Mixed(Vec::new()),
+        }
+    }
+
+    /// Empty vector of the same representation as `self`.
+    pub fn empty_like(&self) -> ColumnVector {
+        match self {
+            ColumnVector::Int { .. } => ColumnVector::new_for(Some(DataType::Int)),
+            ColumnVector::Float { .. } => ColumnVector::new_for(Some(DataType::Float)),
+            ColumnVector::Str { .. } => ColumnVector::new_for(Some(DataType::Str)),
+            ColumnVector::Mixed(_) => ColumnVector::Mixed(Vec::new()),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVector::Int { data, .. } => data.len(),
+            ColumnVector::Float { data, .. } => data.len(),
+            ColumnVector::Str { data, .. } => data.len(),
+            ColumnVector::Mixed(v) => v.len(),
+        }
+    }
+
+    /// True if the vector has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrowed view of cell `i`.
+    pub fn cell(&self, i: usize) -> CellRef<'_> {
+        match self {
+            ColumnVector::Int { data, nulls } => {
+                if nulls[i] {
+                    CellRef::Null
+                } else {
+                    CellRef::Int(data[i])
+                }
+            }
+            ColumnVector::Float { data, nulls } => {
+                if nulls[i] {
+                    CellRef::Null
+                } else {
+                    CellRef::Float(data[i])
+                }
+            }
+            ColumnVector::Str { data, nulls } => {
+                if nulls[i] {
+                    CellRef::Null
+                } else {
+                    CellRef::Str(&data[i])
+                }
+            }
+            ColumnVector::Mixed(v) => CellRef::of(&v[i]),
+        }
+    }
+
+    /// Owned clone of cell `i`.
+    pub fn value(&self, i: usize) -> Value {
+        self.cell(i).to_value()
+    }
+
+    /// Append an owned value, demoting to [`ColumnVector::Mixed`] when the
+    /// value does not fit the current representation.
+    pub fn push(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ColumnVector::Int { data, nulls }, Value::Int(i)) => {
+                data.push(i);
+                nulls.push(false);
+            }
+            (ColumnVector::Int { data, nulls }, Value::Null) => {
+                data.push(0);
+                nulls.push(true);
+            }
+            (ColumnVector::Float { data, nulls }, Value::Float(f)) => {
+                data.push(f);
+                nulls.push(false);
+            }
+            (ColumnVector::Float { data, nulls }, Value::Null) => {
+                data.push(0.0);
+                nulls.push(true);
+            }
+            (ColumnVector::Str { data, nulls }, Value::Str(s)) => {
+                data.push(s);
+                nulls.push(false);
+            }
+            (ColumnVector::Str { data, nulls }, Value::Null) => {
+                data.push(String::new());
+                nulls.push(true);
+            }
+            (ColumnVector::Mixed(vals), v) => vals.push(v),
+            (_, v) => {
+                self.demote_to_mixed();
+                if let ColumnVector::Mixed(vals) = self {
+                    vals.push(v);
+                }
+            }
+        }
+    }
+
+    /// Append a borrowed cell (clones the string for `Str`).
+    pub fn push_cell(&mut self, c: CellRef<'_>) {
+        match (&mut *self, c) {
+            (ColumnVector::Int { data, nulls }, CellRef::Int(i)) => {
+                data.push(i);
+                nulls.push(false);
+            }
+            (ColumnVector::Int { data, nulls }, CellRef::Null) => {
+                data.push(0);
+                nulls.push(true);
+            }
+            (ColumnVector::Float { data, nulls }, CellRef::Float(f)) => {
+                data.push(f);
+                nulls.push(false);
+            }
+            (ColumnVector::Float { data, nulls }, CellRef::Null) => {
+                data.push(0.0);
+                nulls.push(true);
+            }
+            (ColumnVector::Str { data, nulls }, CellRef::Str(s)) => {
+                data.push(s.to_owned());
+                nulls.push(false);
+            }
+            (ColumnVector::Str { data, nulls }, CellRef::Null) => {
+                data.push(String::new());
+                nulls.push(true);
+            }
+            (ColumnVector::Mixed(vals), c) => vals.push(c.to_value()),
+            (_, c) => {
+                self.demote_to_mixed();
+                if let ColumnVector::Mixed(vals) = self {
+                    vals.push(c.to_value());
+                }
+            }
+        }
+    }
+
+    fn demote_to_mixed(&mut self) {
+        if matches!(self, ColumnVector::Mixed(_)) {
+            return;
+        }
+        let vals: Vec<Value> = (0..self.len()).map(|i| self.value(i)).collect();
+        *self = ColumnVector::Mixed(vals);
+    }
+
+    /// Total byte width of all cells (matches summing [`Value::byte_width`]
+    /// over the materialized rows).
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            ColumnVector::Int { nulls, .. } | ColumnVector::Float { nulls, .. } => {
+                let n = nulls.iter().filter(|b| **b).count() as u64;
+                8 * (nulls.len() as u64 - n) + n
+            }
+            ColumnVector::Str { data, nulls } => data
+                .iter()
+                .zip(nulls)
+                .map(|(s, null)| if *null { 1 } else { s.len() as u64 })
+                .sum(),
+            ColumnVector::Mixed(vals) => vals.iter().map(|v| v.byte_width() as u64).sum(),
+        }
+    }
+
+    /// One-pass summary (min / max / null count) over all cells.
+    pub fn summarize(&self) -> ColumnSummary {
+        let mut s = ColumnSummary::default();
+        for i in 0..self.len() {
+            s.observe_cell(self.cell(i));
+        }
+        s
+    }
+}
+
+/// Per-chunk zone map: min / max (by the total value order) and null count.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnSummary {
+    /// Smallest non-null value, `None` when all cells are null (or empty).
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+    /// Number of NULL cells.
+    pub null_count: u64,
+}
+
+impl ColumnSummary {
+    /// Fold one owned value into the summary.
+    pub fn observe(&mut self, v: &Value) {
+        self.observe_cell(CellRef::of(v));
+    }
+
+    /// Fold one borrowed cell into the summary.
+    pub fn observe_cell(&mut self, c: CellRef<'_>) {
+        if c.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        match &self.min {
+            None => self.min = Some(c.to_value()),
+            Some(m) if c.total_cmp_value(m) == Ordering::Less => self.min = Some(c.to_value()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(c.to_value()),
+            Some(m) if c.total_cmp_value(m) == Ordering::Greater => self.max = Some(c.to_value()),
+            _ => {}
+        }
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &ColumnSummary) {
+        self.null_count += other.null_count;
+        if let Some(m) = &other.min {
+            self.observe(m);
+        }
+        if let Some(m) = &other.max {
+            self.observe(m);
+        }
+    }
+}
+
+/// A batch of rows in columnar form. Columns are `Arc`-shared so scans,
+/// fragment results, and the coordinator merge can pass table data around
+/// without copying it.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    columns: Vec<Arc<ColumnVector>>,
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// Batch from shared columns. `rows` is carried explicitly so that
+    /// zero-column batches (degenerate but legal) keep their row count.
+    pub fn new(columns: Vec<Arc<ColumnVector>>, rows: usize) -> ColumnBatch {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        ColumnBatch { columns, rows }
+    }
+
+    /// Batch from materialized rows (used at row-oriented boundaries such
+    /// as the file wrapper). `arity` disambiguates the empty case.
+    pub fn from_rows(arity: usize, rows: Vec<Row>) -> ColumnBatch {
+        let n = rows.len();
+        let mut cols: Vec<ColumnVector> = (0..arity)
+            .map(|_| ColumnVector::Mixed(Vec::new()))
+            .collect();
+        for row in rows {
+            for (i, v) in row.into_values().into_iter().enumerate() {
+                if i < arity {
+                    cols[i].push(v);
+                }
+            }
+        }
+        ColumnBatch {
+            columns: cols.into_iter().map(Arc::new).collect(),
+            rows: n,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The shared columns.
+    pub fn columns(&self) -> &[Arc<ColumnVector>] {
+        &self.columns
+    }
+
+    /// Materialize the batch as rows (the `Row` compatibility view).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows)
+            .map(|r| Row::new(self.columns.iter().map(|c| c.value(r)).collect()))
+            .collect()
+    }
+
+    /// Total byte width of all cells.
+    pub fn byte_size(&self) -> u64 {
+        let cells: u64 = self.columns.iter().map(|c| c.byte_size()).sum();
+        if self.columns.is_empty() {
+            0
+        } else {
+            cells
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cellref_mirrors_value_total_cmp() {
+        let cases = [
+            Value::Null,
+            Value::Int(-3),
+            Value::Int(3),
+            Value::Float(3.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Str("a".into()),
+            Value::Str("b".into()),
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(
+                    CellRef::of(a).total_cmp(CellRef::of(b)),
+                    a.total_cmp(b),
+                    "total_cmp({a}, {b})"
+                );
+                assert_eq!(CellRef::of(a).sql_cmp(CellRef::of(b)), a.sql_cmp(b));
+                assert_eq!(CellRef::of(a).sql_eq(CellRef::of(b)), a.sql_eq(b));
+            }
+        }
+    }
+
+    #[test]
+    fn cellref_mirrors_value_arithmetic() {
+        let cases = [
+            Value::Null,
+            Value::Int(7),
+            Value::Int(2),
+            Value::Int(0),
+            Value::Int(i64::MAX),
+            Value::Float(1.5),
+            Value::Float(0.0),
+            Value::Str("x".into()),
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(CellRef::of(a).add(CellRef::of(b)).to_value(), a.add(b));
+                assert_eq!(CellRef::of(a).sub(CellRef::of(b)).to_value(), a.sub(b));
+                assert_eq!(CellRef::of(a).mul(CellRef::of(b)).to_value(), a.mul(b));
+                assert_eq!(
+                    CellRef::of(a).div(CellRef::of(b)).to_value(),
+                    a.div(b),
+                    "div({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn typed_vector_roundtrip_with_nulls() {
+        let mut v = ColumnVector::new_for(Some(DataType::Int));
+        v.push(Value::Int(1));
+        v.push(Value::Null);
+        v.push(Value::Int(3));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.value(0), Value::Int(1));
+        assert_eq!(v.value(1), Value::Null);
+        assert_eq!(v.value(2), Value::Int(3));
+        assert_eq!(v.byte_size(), 8 + 1 + 8);
+    }
+
+    #[test]
+    fn float_column_demotes_to_preserve_int_values() {
+        // The row model stores exact Int values in FLOAT columns; the
+        // columnar form must round-trip them unchanged.
+        let mut v = ColumnVector::new_for(Some(DataType::Float));
+        v.push(Value::Float(0.5));
+        v.push(Value::Int(3));
+        assert!(matches!(v, ColumnVector::Mixed(_)));
+        assert_eq!(v.value(0), Value::Float(0.5));
+        assert_eq!(v.value(1), Value::Int(3));
+    }
+
+    #[test]
+    fn summary_tracks_min_max_nulls() {
+        let mut v = ColumnVector::new_for(Some(DataType::Int));
+        for x in [5i64, -2, 9, 9] {
+            v.push(Value::Int(x));
+        }
+        v.push(Value::Null);
+        let s = v.summarize();
+        assert_eq!(s.min, Some(Value::Int(-2)));
+        assert_eq!(s.max, Some(Value::Int(9)));
+        assert_eq!(s.null_count, 1);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = ColumnSummary::default();
+        a.observe(&Value::Int(4));
+        let mut b = ColumnSummary::default();
+        b.observe(&Value::Int(10));
+        b.observe(&Value::Null);
+        a.merge(&b);
+        assert_eq!(a.min, Some(Value::Int(4)));
+        assert_eq!(a.max, Some(Value::Int(10)));
+        assert_eq!(a.null_count, 1);
+    }
+
+    #[test]
+    fn batch_from_rows_roundtrip() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::from("a")]),
+            Row::new(vec![Value::Null, Value::from("b")]),
+        ];
+        let batch = ColumnBatch::from_rows(2, rows.clone());
+        assert_eq!(batch.n_rows(), 2);
+        assert_eq!(batch.to_rows(), rows);
+        assert_eq!(
+            batch.byte_size(),
+            rows.iter().map(|r| r.byte_width() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_batch_keeps_arity_and_rows() {
+        let batch = ColumnBatch::from_rows(3, vec![]);
+        assert_eq!(batch.n_rows(), 0);
+        assert_eq!(batch.n_cols(), 3);
+        assert!(batch.to_rows().is_empty());
+    }
+}

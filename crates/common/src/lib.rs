@@ -8,6 +8,7 @@
 //!
 //! Nothing in here depends on any other crate in the workspace.
 
+pub mod column;
 pub mod cost;
 pub mod error;
 pub mod ids;
@@ -19,6 +20,7 @@ pub mod stats;
 pub mod time;
 pub mod value;
 
+pub use column::{CellRef, ColumnBatch, ColumnSummary, ColumnVector, BATCH_ROWS};
 pub use cost::Cost;
 pub use error::{QccError, Result};
 pub use ids::{FragmentId, QueryId, ServerId};

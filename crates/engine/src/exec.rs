@@ -1,18 +1,64 @@
-//! Materializing executor with CPU-work accounting.
+//! Vectorized executor with CPU-work accounting.
 //!
-//! Execution returns both the result rows and a [`Work`] record describing
-//! how much CPU work was actually done, in the same optimizer units the
-//! cost model estimates. The remote-server simulation divides work by the
+//! Operators consume and produce columnar [`Chunk`]s — `Arc`-shared column
+//! vectors plus a selection vector — instead of materializing a `Vec<Row>`
+//! at every plan node. Scans are zero-copy views of table storage, filters
+//! only narrow the selection, and zone maps (per-chunk min/max summaries)
+//! skip whole chunks that cannot match a pushed-down predicate.
+//!
+//! Execution returns the result batches and a [`Work`] record describing
+//! how much CPU work was *accounted*, in the same optimizer units the cost
+//! model estimates. The remote-server simulation divides work by the
 //! server's speed and multiplies by its load slowdown to produce the
-//! virtual response time the meta-wrapper observes.
+//! virtual response time the meta-wrapper observes. The accounting is the
+//! virtual-time contract: every `cpu_units` add below replicates the
+//! row-at-a-time reference in [`crate::rowexec`] add-for-add (f64 addition
+//! is order-sensitive), and all adds use operator-level totals, so chunk
+//! pruning changes wall-clock time but never virtual time.
 
 use crate::cost::CostModel;
 use crate::expr::{AggAccumulator, CompiledExpr};
 use crate::plan::{AggSpec, IndexPredicate, PlanNode};
-use qcc_common::{QccError, Result, Row, Value};
+use crate::vexpr::{eval_cells, eval_predicate_cells, PairView, RowView};
+use qcc_common::{CellRef, ColumnBatch, ColumnSummary, ColumnVector, QccError, Result, Row, Value};
+use qcc_sql::BinaryOp;
 use qcc_storage::Catalog;
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Bound;
+use std::sync::Arc;
+
+/// FNV-1a hasher for the executor's hot maps (join build tables,
+/// aggregation groups, distinct sets). Engine-internal keys only, so
+/// DoS resistance is irrelevant; map iteration order never reaches the
+/// output (first-seen order vectors, probe order), so swapping the
+/// hasher cannot change results.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+type FnvSet<K> = HashSet<K, BuildHasherDefault<FnvHasher>>;
 
 /// Actual work performed by an execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -36,15 +82,107 @@ impl Work {
     }
 }
 
-/// Execute a plan against a catalog.
-pub fn execute(plan: &PlanNode, catalog: &Catalog, m: &CostModel) -> Result<(Vec<Row>, Work)> {
+/// Which rows of a chunk are live.
+enum Sel {
+    /// Every physical row.
+    All,
+    /// The listed physical rows, in order.
+    Ids(Vec<u32>),
+}
+
+/// A unit of columnar data flowing between operators: shared column
+/// vectors of `len` physical rows, narrowed by a selection.
+struct Chunk {
+    cols: Vec<Arc<ColumnVector>>,
+    len: usize,
+    sel: Sel,
+}
+
+enum SelIter<'a> {
+    All(std::ops::Range<usize>),
+    Ids(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for SelIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelIter::All(r) => r.next(),
+            SelIter::Ids(it) => it.next().map(|&i| i as usize),
+        }
+    }
+}
+
+impl Chunk {
+    fn n_selected(&self) -> usize {
+        match &self.sel {
+            Sel::All => self.len,
+            Sel::Ids(v) => v.len(),
+        }
+    }
+
+    fn selected(&self) -> SelIter<'_> {
+        match &self.sel {
+            Sel::All => SelIter::All(0..self.len),
+            Sel::Ids(v) => SelIter::Ids(v.iter()),
+        }
+    }
+}
+
+fn total_selected(chunks: &[Chunk]) -> usize {
+    chunks.iter().map(Chunk::n_selected).sum()
+}
+
+/// Execute a plan against a catalog, returning columnar batches.
+pub fn execute_batches(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    m: &CostModel,
+) -> Result<(Vec<ColumnBatch>, Work)> {
     let mut work = Work {
         cpu_units: m.startup,
         ..Work::default()
     };
-    let rows = exec_node(plan, catalog, m, &mut work)?;
-    work.rows_output = rows.len() as u64;
-    work.result_bytes = rows.iter().map(|r| r.byte_width() as u64).sum();
+    let chunks = exec_node(plan, catalog, m, &mut work)?;
+    let mut batches = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let n = chunk.n_selected();
+        if n == 0 {
+            continue;
+        }
+        match chunk.sel {
+            Sel::All => batches.push(ColumnBatch::new(chunk.cols, chunk.len)),
+            Sel::Ids(ids) => {
+                let cols: Vec<Arc<ColumnVector>> = chunk
+                    .cols
+                    .iter()
+                    .map(|c| {
+                        let mut b = c.empty_like();
+                        for &i in &ids {
+                            b.push_cell(c.cell(i as usize));
+                        }
+                        Arc::new(b)
+                    })
+                    .collect();
+                batches.push(ColumnBatch::new(cols, n));
+            }
+        }
+    }
+    work.rows_output = batches.iter().map(|b| b.n_rows() as u64).sum();
+    work.result_bytes = batches.iter().map(ColumnBatch::byte_size).sum();
+    Ok((batches, work))
+}
+
+/// Execute a plan against a catalog, materializing rows (the `Row`
+/// compatibility boundary for row-oriented callers).
+pub fn execute(plan: &PlanNode, catalog: &Catalog, m: &CostModel) -> Result<(Vec<Row>, Work)> {
+    let (batches, work) = execute_batches(plan, catalog, m)?;
+    let mut rows = Vec::with_capacity(work.rows_output as usize);
+    for b in &batches {
+        rows.extend(b.to_rows());
+    }
     Ok((rows, work))
 }
 
@@ -53,26 +191,77 @@ fn exec_node(
     catalog: &Catalog,
     m: &CostModel,
     work: &mut Work,
-) -> Result<Vec<Row>> {
+) -> Result<Vec<Chunk>> {
     match plan {
         PlanNode::SeqScan {
             table, predicate, ..
         } => {
             let entry = catalog.entry(table)?;
-            let base = entry.table.rows();
-            work.rows_scanned += base.len() as u64;
-            work.cpu_units += base.len() as f64 * m.scan_row;
-            let out: Vec<Row> = match predicate {
-                None => base.to_vec(),
-                Some(p) => {
-                    work.cpu_units += base.len() as f64 * p.node_count() as f64 * m.pred_node;
-                    base.iter()
-                        .filter(|r| p.eval_predicate(r))
-                        .cloned()
-                        .collect()
+            let total = entry.table.row_count();
+            work.rows_scanned += total as u64;
+            work.cpu_units += total as f64 * m.scan_row;
+            let mut out: Vec<Chunk> = Vec::new();
+            match predicate {
+                None => {
+                    for ch in entry.table.chunks() {
+                        if ch.is_empty() {
+                            continue;
+                        }
+                        out.push(Chunk {
+                            cols: ch.columns().to_vec(),
+                            len: ch.len(),
+                            sel: Sel::All,
+                        });
+                    }
                 }
-            };
-            work.cpu_units += out.len() as f64 * m.output_row;
+                Some(p) => {
+                    work.cpu_units += total as f64 * p.node_count() as f64 * m.pred_node;
+                    let fast = simple_cmp(p);
+                    for ch in entry.table.chunks() {
+                        if ch.is_empty() {
+                            continue;
+                        }
+                        match zone_verdict(p, ch.summaries()) {
+                            Verdict::SkipAll => {}
+                            Verdict::KeepAll => out.push(Chunk {
+                                cols: ch.columns().to_vec(),
+                                len: ch.len(),
+                                sel: Sel::All,
+                            }),
+                            Verdict::Eval => {
+                                let ids: Vec<u32> = match fast {
+                                    Some((op, i, lit)) => {
+                                        let col = &ch.columns()[i];
+                                        let lit = CellRef::of(lit);
+                                        (0..ch.len())
+                                            .filter(|&r| cmp_keep(op, col.cell(r), lit))
+                                            .map(|r| r as u32)
+                                            .collect()
+                                    }
+                                    None => {
+                                        let cols = ch.columns();
+                                        (0..ch.len())
+                                            .filter(|&r| {
+                                                eval_predicate_cells(p, &RowView { cols, row: r })
+                                            })
+                                            .map(|r| r as u32)
+                                            .collect()
+                                    }
+                                };
+                                if !ids.is_empty() {
+                                    out.push(Chunk {
+                                        cols: ch.columns().to_vec(),
+                                        len: ch.len(),
+                                        sel: Sel::Ids(ids),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let kept = total_selected(&out);
+            work.cpu_units += kept as f64 * m.output_row;
             Ok(out)
         }
         PlanNode::IndexScan {
@@ -109,20 +298,42 @@ fn exec_node(
             };
             work.rows_scanned += positions.len() as u64;
             work.cpu_units += positions.len() as f64 * m.index_match_row;
-            let base = entry.table.rows();
-            let mut out = Vec::with_capacity(positions.len());
+            let chunks = entry.table.chunks();
+            let mut picks: Vec<(usize, usize)> = Vec::with_capacity(positions.len());
             for pos in positions {
-                let row = &base[pos as usize];
+                let (ci, pi) = entry.table.locate(pos as usize).ok_or_else(|| {
+                    QccError::Execution(format!("index position {pos} out of range"))
+                })?;
                 if let Some(p) = residual {
                     work.cpu_units += p.node_count() as f64 * m.pred_node;
-                    if !p.eval_predicate(row) {
+                    let view = RowView {
+                        cols: chunks[ci].columns(),
+                        row: pi,
+                    };
+                    if !eval_predicate_cells(p, &view) {
                         continue;
                     }
                 }
-                out.push(row.clone());
+                picks.push((ci, pi));
             }
-            work.cpu_units += out.len() as f64 * m.output_row;
-            Ok(out)
+            work.cpu_units += picks.len() as f64 * m.output_row;
+            if picks.is_empty() {
+                return Ok(Vec::new());
+            }
+            let arity = chunks[picks[0].0].columns().len();
+            let mut builders: Vec<ColumnVector> = (0..arity)
+                .map(|j| chunks[picks[0].0].columns()[j].empty_like())
+                .collect();
+            for &(ci, pi) in &picks {
+                for (j, b) in builders.iter_mut().enumerate() {
+                    b.push_cell(chunks[ci].columns()[j].cell(pi));
+                }
+            }
+            Ok(vec![Chunk {
+                cols: builders.into_iter().map(Arc::new).collect(),
+                len: picks.len(),
+                sel: Sel::All,
+            }])
         }
         PlanNode::HashJoin {
             left,
@@ -134,37 +345,71 @@ fn exec_node(
         } => {
             let build = exec_node(left, catalog, m, work)?;
             let probe = exec_node(right, catalog, m, work)?;
-            work.cpu_units += build.len() as f64 * m.hash_build_row;
-            work.cpu_units += probe.len() as f64 * m.hash_probe_row;
-            let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
-            for row in &build {
-                let key: Vec<Value> = left_keys.iter().map(|k| k.eval(row)).collect();
-                if key.iter().any(Value::is_null) {
-                    continue; // NULL keys never join.
-                }
-                table.entry(key).or_default().push(row);
-            }
-            let mut out = Vec::new();
-            for row in &probe {
-                let key: Vec<Value> = right_keys.iter().map(|k| k.eval(row)).collect();
-                if key.iter().any(Value::is_null) {
-                    continue;
-                }
-                if let Some(matches) = table.get(&key) {
-                    for b in matches {
-                        let joined = b.join(row);
-                        if let Some(p) = residual {
-                            work.cpu_units += p.node_count() as f64 * m.pred_node;
-                            if !p.eval_predicate(&joined) {
-                                continue;
-                            }
+            work.cpu_units += total_selected(&build) as f64 * m.hash_build_row;
+            work.cpu_units += total_selected(&probe) as f64 * m.hash_probe_row;
+            // The scratch key is reused across rows (slice lookup via
+            // `Borrow<[Value]>`); it is cloned only when a build key is
+            // first inserted, never on the probe side.
+            let mut table: FnvMap<Vec<Value>, Vec<(u32, u32)>> = FnvMap::default();
+            let mut key: Vec<Value> = Vec::with_capacity(left_keys.len());
+            for (ci, ch) in build.iter().enumerate() {
+                for pi in ch.selected() {
+                    let view = RowView {
+                        cols: &ch.cols,
+                        row: pi,
+                    };
+                    key.clear();
+                    for k in left_keys {
+                        key.push(eval_cells(k, &view).to_value());
+                    }
+                    if key.iter().any(Value::is_null) {
+                        continue; // NULL keys never join.
+                    }
+                    match table.get_mut(key.as_slice()) {
+                        Some(hits) => hits.push((ci as u32, pi as u32)),
+                        None => {
+                            table.insert(key.clone(), vec![(ci as u32, pi as u32)]);
                         }
-                        work.cpu_units += m.output_row;
-                        out.push(joined);
                     }
                 }
             }
-            Ok(out)
+            let mut lpicks: Vec<(u32, u32)> = Vec::new();
+            let mut rpicks: Vec<(u32, u32)> = Vec::new();
+            for (ci, ch) in probe.iter().enumerate() {
+                for pi in ch.selected() {
+                    let view = RowView {
+                        cols: &ch.cols,
+                        row: pi,
+                    };
+                    key.clear();
+                    for k in right_keys {
+                        key.push(eval_cells(k, &view).to_value());
+                    }
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(key.as_slice()) {
+                        for &(bci, bpi) in matches {
+                            if let Some(p) = residual {
+                                work.cpu_units += p.node_count() as f64 * m.pred_node;
+                                let pair = PairView {
+                                    left: &build[bci as usize].cols,
+                                    lrow: bpi as usize,
+                                    right: &ch.cols,
+                                    rrow: pi,
+                                };
+                                if !eval_predicate_cells(p, &pair) {
+                                    continue;
+                                }
+                            }
+                            work.cpu_units += m.output_row;
+                            lpicks.push((bci, bpi));
+                            rpicks.push((ci as u32, pi as u32));
+                        }
+                    }
+                }
+            }
+            Ok(join_output(&build, &lpicks, &probe, &rpicks))
         }
         PlanNode::NestedLoopJoin {
             left,
@@ -174,85 +419,210 @@ fn exec_node(
         } => {
             let outer = exec_node(left, catalog, m, work)?;
             let inner = exec_node(right, catalog, m, work)?;
-            let pairs = outer.len() as f64 * inner.len() as f64;
+            let pairs = total_selected(&outer) as f64 * total_selected(&inner) as f64;
             work.cpu_units += pairs
                 * (m.hash_probe_row
                     + predicate
                         .as_ref()
                         .map_or(0.0, |p| p.node_count() as f64 * m.pred_node));
-            let mut out = Vec::new();
-            for l in &outer {
-                for r in &inner {
-                    let joined = l.join(r);
-                    let keep = predicate.as_ref().is_none_or(|p| p.eval_predicate(&joined));
-                    if keep {
-                        work.cpu_units += m.output_row;
-                        out.push(joined);
+            let mut lpicks: Vec<(u32, u32)> = Vec::new();
+            let mut rpicks: Vec<(u32, u32)> = Vec::new();
+            for (oci, och) in outer.iter().enumerate() {
+                for opi in och.selected() {
+                    for (ici, ich) in inner.iter().enumerate() {
+                        for ipi in ich.selected() {
+                            let keep = predicate.as_ref().is_none_or(|p| {
+                                let pair = PairView {
+                                    left: &och.cols,
+                                    lrow: opi,
+                                    right: &ich.cols,
+                                    rrow: ipi,
+                                };
+                                eval_predicate_cells(p, &pair)
+                            });
+                            if keep {
+                                work.cpu_units += m.output_row;
+                                lpicks.push((oci as u32, opi as u32));
+                                rpicks.push((ici as u32, ipi as u32));
+                            }
+                        }
                     }
                 }
             }
-            Ok(out)
+            Ok(join_output(&outer, &lpicks, &inner, &rpicks))
         }
         PlanNode::Filter {
             input, predicate, ..
         } => {
-            let rows = exec_node(input, catalog, m, work)?;
-            work.cpu_units += rows.len() as f64 * predicate.node_count() as f64 * m.pred_node;
-            Ok(rows
-                .into_iter()
-                .filter(|r| predicate.eval_predicate(r))
-                .collect())
+            let chunks = exec_node(input, catalog, m, work)?;
+            let total = total_selected(&chunks);
+            work.cpu_units += total as f64 * predicate.node_count() as f64 * m.pred_node;
+            let mut out = Vec::with_capacity(chunks.len());
+            for ch in chunks {
+                let ids: Vec<u32> = ch
+                    .selected()
+                    .filter(|&r| {
+                        eval_predicate_cells(
+                            predicate,
+                            &RowView {
+                                cols: &ch.cols,
+                                row: r,
+                            },
+                        )
+                    })
+                    .map(|r| r as u32)
+                    .collect();
+                if !ids.is_empty() {
+                    out.push(Chunk {
+                        cols: ch.cols,
+                        len: ch.len,
+                        sel: Sel::Ids(ids),
+                    });
+                }
+            }
+            Ok(out)
         }
-        PlanNode::Project { input, exprs, .. } => {
-            let rows = exec_node(input, catalog, m, work)?;
+        PlanNode::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let chunks = exec_node(input, catalog, m, work)?;
             let nodes: usize = exprs.iter().map(CompiledExpr::node_count).sum();
-            work.cpu_units += rows.len() as f64 * nodes as f64 * m.pred_node;
-            Ok(rows
-                .iter()
-                .map(|r| Row::new(exprs.iter().map(|e| e.eval(r)).collect()))
-                .collect())
+            let total = total_selected(&chunks);
+            work.cpu_units += total as f64 * nodes as f64 * m.pred_node;
+            let mut out = Vec::with_capacity(chunks.len());
+            for ch in &chunks {
+                let k = ch.n_selected();
+                if k == 0 {
+                    continue;
+                }
+                let mut builders: Vec<ColumnVector> = (0..exprs.len())
+                    .map(|j| ColumnVector::new_for(schema.columns().get(j).map(|c| c.ty)))
+                    .collect();
+                for r in ch.selected() {
+                    let view = RowView {
+                        cols: &ch.cols,
+                        row: r,
+                    };
+                    for (j, e) in exprs.iter().enumerate() {
+                        builders[j].push_cell(eval_cells(e, &view));
+                    }
+                }
+                out.push(Chunk {
+                    cols: builders.into_iter().map(Arc::new).collect(),
+                    len: k,
+                    sel: Sel::All,
+                });
+            }
+            Ok(out)
         }
         PlanNode::HashAggregate {
             input,
             group_by,
             aggs,
+            schema,
             ..
         } => {
-            let rows = exec_node(input, catalog, m, work)?;
-            work.cpu_units += rows.len() as f64 * (1 + aggs.len()) as f64 * m.agg_row;
-            exec_aggregate(&rows, group_by, aggs, m, work)
+            let chunks = exec_node(input, catalog, m, work)?;
+            let total = total_selected(&chunks);
+            work.cpu_units += total as f64 * (1 + aggs.len()) as f64 * m.agg_row;
+            exec_aggregate(&chunks, group_by, aggs, schema, m, work)
         }
         PlanNode::Sort { input, keys } => {
-            let mut rows = exec_node(input, catalog, m, work)?;
-            let n = rows.len().max(2) as f64;
+            let chunks = exec_node(input, catalog, m, work)?;
+            let picks: Vec<(u32, u32)> = chunks
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, ch)| ch.selected().map(move |pi| (ci as u32, pi as u32)))
+                .collect();
+            let n = picks.len().max(2) as f64;
             work.cpu_units += m.sort_row_log * n * n.log2();
-            rows.sort_by(|a, b| {
-                for (k, desc) in keys {
-                    let va = k.eval(a);
-                    let vb = k.eval(b);
-                    let ord = va.total_cmp(&vb);
+            if picks.is_empty() {
+                return Ok(Vec::new());
+            }
+            // Evaluate each sort key once per row into key columns, then
+            // stably sort the row indices. The comparator is identical to
+            // the row engine's, and both sorts are stable, so the
+            // permutation matches row-at-a-time execution exactly.
+            let mut keycols: Vec<ColumnVector> = keys
+                .iter()
+                .map(|_| ColumnVector::Mixed(Vec::new()))
+                .collect();
+            for &(ci, pi) in &picks {
+                let view = RowView {
+                    cols: &chunks[ci as usize].cols,
+                    row: pi as usize,
+                };
+                for ((k, _), col) in keys.iter().zip(keycols.iter_mut()) {
+                    col.push(eval_cells(k, &view).to_value());
+                }
+            }
+            let mut order: Vec<u32> = (0..picks.len() as u32).collect();
+            order.sort_by(|&a, &b| {
+                for ((_, desc), col) in keys.iter().zip(&keycols) {
+                    let ord = col.cell(a as usize).total_cmp(col.cell(b as usize));
                     let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
+                    if ord != Ordering::Equal {
                         return ord;
                     }
                 }
-                std::cmp::Ordering::Equal
+                Ordering::Equal
             });
-            Ok(rows)
+            let permuted: Vec<(u32, u32)> = order.iter().map(|&i| picks[i as usize]).collect();
+            let cols = gather_columns(&chunks, &permuted);
+            Ok(vec![Chunk {
+                cols,
+                len: permuted.len(),
+                sel: Sel::All,
+            }])
         }
         PlanNode::Limit { input, n } => {
-            let mut rows = exec_node(input, catalog, m, work)?;
-            rows.truncate(*n as usize);
-            Ok(rows)
+            let chunks = exec_node(input, catalog, m, work)?;
+            let mut remaining = *n as usize;
+            let mut out = Vec::new();
+            for ch in chunks {
+                if remaining == 0 {
+                    break;
+                }
+                let k = ch.n_selected();
+                if k <= remaining {
+                    remaining -= k;
+                    out.push(ch);
+                } else {
+                    let ids: Vec<u32> = ch.selected().take(remaining).map(|r| r as u32).collect();
+                    out.push(Chunk {
+                        cols: ch.cols,
+                        len: ch.len,
+                        sel: Sel::Ids(ids),
+                    });
+                    remaining = 0;
+                }
+            }
+            Ok(out)
         }
         PlanNode::Distinct { input, .. } => {
-            let rows = exec_node(input, catalog, m, work)?;
-            work.cpu_units += rows.len() as f64 * m.hash_build_row;
-            let mut seen = std::collections::HashSet::new();
-            let mut out = Vec::new();
-            for r in rows {
-                if seen.insert(r.clone()) {
-                    out.push(r); // Order-preserving: first occurrence wins.
+            let chunks = exec_node(input, catalog, m, work)?;
+            let total = total_selected(&chunks);
+            work.cpu_units += total as f64 * m.hash_build_row;
+            let mut seen: FnvSet<Vec<Value>> = FnvSet::default();
+            let mut out = Vec::with_capacity(chunks.len());
+            for ch in chunks {
+                // Order-preserving: first occurrence wins.
+                let ids: Vec<u32> = ch
+                    .selected()
+                    .filter(|&r| {
+                        let key: Vec<Value> = ch.cols.iter().map(|c| c.value(r)).collect();
+                        seen.insert(key)
+                    })
+                    .map(|r| r as u32)
+                    .collect();
+                if !ids.is_empty() {
+                    out.push(Chunk {
+                        cols: ch.cols,
+                        len: ch.len,
+                        sel: Sel::Ids(ids),
+                    });
                 }
             }
             Ok(out)
@@ -260,62 +630,302 @@ fn exec_node(
     }
 }
 
+/// Gather picked rows of `chunks` into fresh columns, one per source
+/// column, preserving pick order.
+fn gather_columns(chunks: &[Chunk], picks: &[(u32, u32)]) -> Vec<Arc<ColumnVector>> {
+    let Some(&(c0, _)) = picks.first() else {
+        return Vec::new();
+    };
+    let arity = chunks[c0 as usize].cols.len();
+    let mut out = Vec::with_capacity(arity);
+    for j in 0..arity {
+        let mut b = chunks[c0 as usize].cols[j].empty_like();
+        for &(ci, pi) in picks {
+            b.push_cell(chunks[ci as usize].cols[j].cell(pi as usize));
+        }
+        out.push(Arc::new(b));
+    }
+    out
+}
+
+/// Materialize a join result: left-side columns then right-side columns.
+fn join_output(
+    left: &[Chunk],
+    lpicks: &[(u32, u32)],
+    right: &[Chunk],
+    rpicks: &[(u32, u32)],
+) -> Vec<Chunk> {
+    if lpicks.is_empty() {
+        return Vec::new();
+    }
+    let mut cols = gather_columns(left, lpicks);
+    cols.extend(gather_columns(right, rpicks));
+    vec![Chunk {
+        cols,
+        len: lpicks.len(),
+        sel: Sel::All,
+    }]
+}
+
+/// What a chunk's zone map says about a pushed-down predicate.
+enum Verdict {
+    /// Must evaluate row by row.
+    Eval,
+    /// No row can satisfy the predicate.
+    SkipAll,
+    /// Every row definitely satisfies the predicate.
+    KeepAll,
+}
+
+/// Decide whether a chunk can be skipped or kept wholesale from its
+/// per-column min/max summaries. Sound for WHERE semantics (`NULL`
+/// rejects): `SkipAll` requires every row's predicate truth to be false or
+/// unknown, `KeepAll` requires definite truth for every row (hence zero
+/// nulls in the tested column).
+fn zone_verdict(p: &CompiledExpr, sums: &[ColumnSummary]) -> Verdict {
+    match p {
+        CompiledExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => match (zone_verdict(left, sums), zone_verdict(right, sums)) {
+            (Verdict::SkipAll, _) | (_, Verdict::SkipAll) => Verdict::SkipAll,
+            (Verdict::KeepAll, Verdict::KeepAll) => Verdict::KeepAll,
+            _ => Verdict::Eval,
+        },
+        CompiledExpr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => match (zone_verdict(left, sums), zone_verdict(right, sums)) {
+            (Verdict::KeepAll, _) | (_, Verdict::KeepAll) => Verdict::KeepAll,
+            (Verdict::SkipAll, Verdict::SkipAll) => Verdict::SkipAll,
+            _ => Verdict::Eval,
+        },
+        _ => match simple_cmp(p) {
+            Some((op, i, lit)) => cmp_zone(op, &sums[i], lit),
+            None => Verdict::Eval,
+        },
+    }
+}
+
+fn cmp_zone(op: BinaryOp, s: &ColumnSummary, lit: &Value) -> Verdict {
+    if lit.is_null() {
+        // Comparison with NULL is unknown for every row; WHERE rejects.
+        return Verdict::SkipAll;
+    }
+    let (Some(min), Some(max)) = (&s.min, &s.max) else {
+        // All cells are NULL (or the chunk is empty): nothing matches.
+        return Verdict::SkipAll;
+    };
+    let no_nulls = s.null_count == 0;
+    // min/max are extremes under the same total order `sql_cmp` uses for
+    // non-null values, so range reasoning below is sound for any mix of
+    // types (including NaN, which the total order places deterministically).
+    let lo = min.total_cmp(lit);
+    let hi = max.total_cmp(lit);
+    use Ordering::*;
+    match op {
+        BinaryOp::Eq => {
+            if hi == Less || lo == Greater {
+                Verdict::SkipAll
+            } else if lo == Equal && hi == Equal && no_nulls {
+                Verdict::KeepAll
+            } else {
+                Verdict::Eval
+            }
+        }
+        BinaryOp::NotEq => {
+            if lo == Equal && hi == Equal {
+                Verdict::SkipAll
+            } else if (hi == Less || lo == Greater) && no_nulls {
+                Verdict::KeepAll
+            } else {
+                Verdict::Eval
+            }
+        }
+        BinaryOp::Lt => {
+            if lo != Less {
+                Verdict::SkipAll
+            } else if hi == Less && no_nulls {
+                Verdict::KeepAll
+            } else {
+                Verdict::Eval
+            }
+        }
+        BinaryOp::LtEq => {
+            if lo == Greater {
+                Verdict::SkipAll
+            } else if hi != Greater && no_nulls {
+                Verdict::KeepAll
+            } else {
+                Verdict::Eval
+            }
+        }
+        BinaryOp::Gt => {
+            if hi != Greater {
+                Verdict::SkipAll
+            } else if lo == Greater && no_nulls {
+                Verdict::KeepAll
+            } else {
+                Verdict::Eval
+            }
+        }
+        BinaryOp::GtEq => {
+            if hi == Less {
+                Verdict::SkipAll
+            } else if lo != Less && no_nulls {
+                Verdict::KeepAll
+            } else {
+                Verdict::Eval
+            }
+        }
+        _ => Verdict::Eval,
+    }
+}
+
+/// Recognize `column <cmp> literal` (either operand order), the shape that
+/// gets both a zone-map verdict and a tight evaluation loop.
+fn simple_cmp(p: &CompiledExpr) -> Option<(BinaryOp, usize, &Value)> {
+    let CompiledExpr::Binary { op, left, right } = p else {
+        return None;
+    };
+    use BinaryOp::*;
+    if !matches!(op, Eq | NotEq | Lt | LtEq | Gt | GtEq) {
+        return None;
+    }
+    match (&**left, &**right) {
+        (CompiledExpr::Column(i), CompiledExpr::Literal(v)) => Some((*op, *i, v)),
+        (CompiledExpr::Literal(v), CompiledExpr::Column(i)) => Some((flip(*op), *i, v)),
+        _ => None,
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// WHERE-keep decision for `cell <cmp> lit`, identical to evaluating the
+/// comparison through the expression tree (unknown rejects).
+fn cmp_keep(op: BinaryOp, c: CellRef<'_>, lit: CellRef<'_>) -> bool {
+    match c.sql_cmp(lit) {
+        None => false,
+        Some(ord) => match op {
+            BinaryOp::Eq => ord == Ordering::Equal,
+            BinaryOp::NotEq => ord != Ordering::Equal,
+            BinaryOp::Lt => ord == Ordering::Less,
+            BinaryOp::LtEq => ord != Ordering::Greater,
+            BinaryOp::Gt => ord == Ordering::Greater,
+            BinaryOp::GtEq => ord != Ordering::Less,
+            _ => false,
+        },
+    }
+}
+
 fn exec_aggregate(
-    rows: &[Row],
+    chunks: &[Chunk],
     group_by: &[CompiledExpr],
     aggs: &[AggSpec],
+    schema: &qcc_common::Schema,
     m: &CostModel,
     work: &mut Work,
-) -> Result<Vec<Row>> {
+) -> Result<Vec<Chunk>> {
     // Group rows preserving first-seen key order for determinism.
     let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, Vec<AggAccumulator>> = HashMap::new();
+    let mut groups: FnvMap<Vec<Value>, usize> = FnvMap::default();
     let make_accs = || -> Vec<AggAccumulator> {
         aggs.iter()
             .map(|a| AggAccumulator::new(a.func, a.distinct))
             .collect()
     };
+    let arity = group_by.len() + aggs.len();
+    let mut builders: Vec<ColumnVector> = (0..arity)
+        .map(|j| ColumnVector::new_for(schema.columns().get(j).map(|c| c.ty)))
+        .collect();
 
     if group_by.is_empty() {
         // Global aggregation always yields exactly one row.
         let mut accs = make_accs();
-        for row in rows {
-            feed(&mut accs, aggs, row);
+        for ch in chunks {
+            for r in ch.selected() {
+                let view = RowView {
+                    cols: &ch.cols,
+                    row: r,
+                };
+                feed(&mut accs, aggs, &view);
+            }
         }
-        let values: Vec<Value> = accs.iter().map(AggAccumulator::finish).collect();
         work.cpu_units += m.output_row;
-        return Ok(vec![Row::new(values)]);
+        for (b, acc) in builders.iter_mut().zip(&accs) {
+            b.push(acc.finish());
+        }
+        return Ok(vec![Chunk {
+            cols: builders.into_iter().map(Arc::new).collect(),
+            len: 1,
+            sel: Sel::All,
+        }]);
     }
 
-    for row in rows {
-        let key: Vec<Value> = group_by.iter().map(|k| k.eval(row)).collect();
-        let accs = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            make_accs()
-        });
-        feed(accs, aggs, row);
+    // Accumulators live in a dense per-group vector; the map only holds
+    // key → group index. The scratch key is reused across rows (slice
+    // lookup via `Borrow<[Value]>`), so steady-state rows hash without
+    // allocating — keys are cloned once per distinct group, not per row.
+    let mut group_accs: Vec<Vec<AggAccumulator>> = Vec::new();
+    let mut key: Vec<Value> = Vec::with_capacity(group_by.len());
+    for ch in chunks {
+        for r in ch.selected() {
+            let view = RowView {
+                cols: &ch.cols,
+                row: r,
+            };
+            key.clear();
+            for k in group_by {
+                key.push(eval_cells(k, &view).to_value());
+            }
+            let gi = match groups.get(key.as_slice()) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = group_accs.len();
+                    groups.insert(key.clone(), gi);
+                    order.push(key.clone());
+                    group_accs.push(make_accs());
+                    gi
+                }
+            };
+            feed(&mut group_accs[gi], aggs, &view);
+        }
     }
     work.cpu_units += order.len() as f64 * m.output_row;
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let accs = groups
-            .remove(&key)
-            .ok_or_else(|| QccError::Execution("aggregation group vanished".into()))?;
-        let mut values = key;
-        values.extend(accs.iter().map(AggAccumulator::finish));
-        out.push(Row::new(values));
+    let n = order.len();
+    if n == 0 {
+        return Ok(Vec::new());
     }
-    Ok(out)
+    for (key, accs) in order.into_iter().zip(group_accs) {
+        for (j, v) in key.into_iter().enumerate() {
+            builders[j].push(v);
+        }
+        for (j, acc) in accs.iter().enumerate() {
+            builders[group_by.len() + j].push(acc.finish());
+        }
+    }
+    Ok(vec![Chunk {
+        cols: builders.into_iter().map(Arc::new).collect(),
+        len: n,
+        sel: Sel::All,
+    }])
 }
 
-fn feed(accs: &mut [AggAccumulator], aggs: &[AggSpec], row: &Row) {
+fn feed<C: crate::vexpr::Cells>(accs: &mut [AggAccumulator], aggs: &[AggSpec], view: &C) {
     for (acc, spec) in accs.iter_mut().zip(aggs) {
         match &spec.arg {
-            None => acc.push(None),
-            Some(e) => {
-                let v = e.eval(row);
-                acc.push(Some(&v));
-            }
+            None => acc.push_cell(None),
+            Some(e) => acc.push_cell(Some(eval_cells(e, view))),
         }
     }
 }
@@ -519,5 +1129,68 @@ mod tests {
             est / actual < 10.0 && actual / est < 10.0,
             "estimate {est} vs actual {actual}"
         );
+    }
+
+    /// Every plan the optimizer offers must produce the same rows, in the
+    /// same order, with a bit-identical `Work` record through the
+    /// vectorized executor as through the row-at-a-time reference.
+    #[test]
+    fn batches_match_row_reference_bit_exact() {
+        let e = engine();
+        let queries = [
+            "SELECT * FROM sales WHERE amount >= 8",
+            "SELECT * FROM sales WHERE id = 42",
+            "SELECT * FROM sales WHERE id >= 100 AND id < 110",
+            "SELECT s.id, r.manager FROM sales s JOIN regions r ON s.region = r.name",
+            "SELECT region, COUNT(*) AS n, SUM(amount) AS t FROM sales GROUP BY region",
+            "SELECT COUNT(*), AVG(amount) FROM sales",
+            "SELECT DISTINCT region FROM sales ORDER BY region DESC LIMIT 2",
+            "SELECT id * 2 + 1 AS x FROM sales WHERE id < 5 ORDER BY x DESC",
+        ];
+        for sql in queries {
+            for planned in e.explain(sql).unwrap() {
+                let (brows, bwork) = e.execute_plan(&planned.plan).unwrap();
+                let (rrows, rwork) =
+                    crate::rowexec::execute_rows(&planned.plan, e.catalog(), e.cost_model())
+                        .unwrap();
+                assert_eq!(brows, rrows, "rows for {sql}");
+                assert_eq!(bwork, rwork, "work for {sql}");
+            }
+        }
+    }
+
+    /// Zone maps over a clustered column prune most chunks without
+    /// changing results or accounting.
+    #[test]
+    fn zone_pruning_is_transparent() {
+        let mut c = Catalog::new();
+        let mut t = Table::new(
+            "seq",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("v", DataType::Int),
+            ]),
+        );
+        for i in 0..5000i64 {
+            t.insert(Row::new(vec![Value::Int(i), Value::Int(i % 7)]))
+                .unwrap();
+        }
+        c.register(t);
+        let e = Engine::new(c);
+        for sql in [
+            "SELECT * FROM seq WHERE id > 4950",
+            "SELECT * FROM seq WHERE id >= 0",
+            "SELECT * FROM seq WHERE id < 0",
+            "SELECT COUNT(*) FROM seq WHERE id BETWEEN 1000 AND 1010 AND v = 3",
+        ] {
+            for planned in e.explain(sql).unwrap() {
+                let (brows, bwork) = e.execute_plan(&planned.plan).unwrap();
+                let (rrows, rwork) =
+                    crate::rowexec::execute_rows(&planned.plan, e.catalog(), e.cost_model())
+                        .unwrap();
+                assert_eq!(brows, rrows, "rows for {sql}");
+                assert_eq!(bwork, rwork, "work for {sql}");
+            }
+        }
     }
 }

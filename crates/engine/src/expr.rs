@@ -5,7 +5,7 @@
 //! are represented as `Value::Int(0 | 1)` with `Value::Null` as SQL's
 //! *unknown*; [`CompiledExpr::eval_predicate`] maps unknown to `false` (WHERE semantics).
 
-use qcc_common::{QccError, Result, Row, Schema, Value};
+use qcc_common::{CellRef, QccError, Result, Row, Schema, Value};
 use qcc_sql::{AggFunc, BinaryOp, Expr, UnaryOp};
 
 /// An expression with all column references resolved to row positions.
@@ -376,6 +376,58 @@ impl AggAccumulator {
         match &self.max {
             None => self.max = Some(v.clone()),
             Some(m) if v > m => self.max = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    /// Feed one input cell (`None` means `COUNT(*)`'s row marker).
+    ///
+    /// Cell-level twin of [`AggAccumulator::push`]: identical NULL
+    /// handling, DISTINCT gating and — critically — the same `f64`
+    /// accumulation, so a columnar execution produces bit-identical
+    /// aggregate state. Values are only materialized on the slow paths
+    /// (DISTINCT insertion, new MIN/MAX extremes).
+    pub fn push_cell(&mut self, c: Option<CellRef<'_>>) {
+        let c = match c {
+            None => {
+                // COUNT(*) counts rows regardless of content.
+                self.count += 1;
+                return;
+            }
+            Some(c) => c,
+        };
+        if c.is_null() {
+            return; // Aggregates skip NULLs.
+        }
+        if self.distinct && !self.seen.insert(c.to_value()) {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = c.as_f64() {
+            self.sum += x;
+            match c {
+                CellRef::Int(i) => {
+                    if let Some(s) = self.int_sum.checked_add(i) {
+                        self.int_sum = s;
+                    } else {
+                        self.sum_is_int = false;
+                    }
+                }
+                _ => self.sum_is_int = false,
+            }
+        }
+        match &self.min {
+            None => self.min = Some(c.to_value()),
+            Some(m) if c.total_cmp_value(m) == std::cmp::Ordering::Less => {
+                self.min = Some(c.to_value())
+            }
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(c.to_value()),
+            Some(m) if c.total_cmp_value(m) == std::cmp::Ordering::Greater => {
+                self.max = Some(c.to_value())
+            }
             _ => {}
         }
     }

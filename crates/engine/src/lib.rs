@@ -19,14 +19,17 @@ pub mod expr;
 pub mod naive;
 pub mod plan;
 pub mod planner;
+pub mod rowexec;
+mod vexpr;
 
 pub use cost::{estimate_plan, CostModel};
-pub use exec::{execute, Work};
+pub use exec::{execute, execute_batches, Work};
 pub use expr::{compile, CompiledExpr};
 pub use plan::{AggSpec, IndexPredicate, PlanNode};
 pub use planner::{plan_query, PlannerConfig};
+pub use rowexec::execute_rows;
 
-use qcc_common::{Cost, Result, Row};
+use qcc_common::{ColumnBatch, Cost, Result, Row};
 use qcc_storage::Catalog;
 
 /// A candidate physical plan with its estimated cost.
@@ -91,6 +94,12 @@ impl Engine {
     /// Execute a previously planned query against the real data.
     pub fn execute_plan(&self, plan: &PlanNode) -> Result<(Vec<Row>, Work)> {
         execute(plan, &self.catalog, &self.cost_model)
+    }
+
+    /// Execute a previously planned query, returning columnar batches
+    /// (the zero-copy path used by the remote servers).
+    pub fn execute_plan_batches(&self, plan: &PlanNode) -> Result<(Vec<ColumnBatch>, Work)> {
+        execute_batches(plan, &self.catalog, &self.cost_model)
     }
 
     /// Convenience: plan with the default (cheapest) plan and execute.

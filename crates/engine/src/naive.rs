@@ -18,9 +18,10 @@ pub fn evaluate(stmt: &SelectStmt, catalog: &Catalog) -> Result<Vec<Row>> {
     for t in stmt.tables() {
         let entry = catalog.entry(&t.name)?;
         let tschema = entry.table.schema().qualify(t.binding_name());
+        let trows = entry.table.rows();
         let mut next = Vec::new();
         for left in &rows {
-            for right in entry.table.rows() {
+            for right in &trows {
                 next.push(left.join(right));
             }
         }

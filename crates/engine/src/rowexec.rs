@@ -1,0 +1,306 @@
+//! Row-at-a-time executor (the pre-columnar engine), kept as a reference
+//! implementation.
+//!
+//! [`execute_rows`] materializes a `Vec<Row>` at every plan node, exactly
+//! as the engine did before the vectorized executor in [`crate::exec`]
+//! replaced it on the serving path. It remains here for two reasons:
+//!
+//! * the row-vs-columnar equivalence property (`engine_vs_naive_prop`)
+//!   asserts both engines produce identical rows *and* bit-identical
+//!   [`Work`] records on random plans, pinning the virtual-time contract;
+//! * the `columnar_speedup` bench measures the wall-clock gap between the
+//!   two executors over the same columnar storage.
+//!
+//! The `Work` accounting below is the normative definition the vectorized
+//! executor must replicate add-for-add (f64 addition is order-sensitive).
+
+use crate::cost::CostModel;
+use crate::exec::Work;
+use crate::expr::{AggAccumulator, CompiledExpr};
+use crate::plan::{AggSpec, IndexPredicate, PlanNode};
+use qcc_common::{QccError, Result, Row, Value};
+use qcc_storage::Catalog;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Execute a plan row-at-a-time against a catalog.
+pub fn execute_rows(plan: &PlanNode, catalog: &Catalog, m: &CostModel) -> Result<(Vec<Row>, Work)> {
+    let mut work = Work {
+        cpu_units: m.startup,
+        ..Work::default()
+    };
+    let rows = exec_node(plan, catalog, m, &mut work)?;
+    work.rows_output = rows.len() as u64;
+    work.result_bytes = rows.iter().map(|r| r.byte_width() as u64).sum();
+    Ok((rows, work))
+}
+
+fn exec_node(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    m: &CostModel,
+    work: &mut Work,
+) -> Result<Vec<Row>> {
+    match plan {
+        PlanNode::SeqScan {
+            table, predicate, ..
+        } => {
+            let entry = catalog.entry(table)?;
+            let base = entry.table.rows();
+            work.rows_scanned += base.len() as u64;
+            work.cpu_units += base.len() as f64 * m.scan_row;
+            let out: Vec<Row> = match predicate {
+                None => base,
+                Some(p) => {
+                    work.cpu_units += base.len() as f64 * p.node_count() as f64 * m.pred_node;
+                    base.into_iter().filter(|r| p.eval_predicate(r)).collect()
+                }
+            };
+            work.cpu_units += out.len() as f64 * m.output_row;
+            Ok(out)
+        }
+        PlanNode::IndexScan {
+            table,
+            column,
+            pred,
+            residual,
+            ..
+        } => {
+            let entry = catalog.entry(table)?;
+            let index = entry
+                .indexes
+                .iter()
+                .find(|i| i.column_name().eq_ignore_ascii_case(column))
+                .ok_or_else(|| {
+                    QccError::Execution(format!("index on {table}.{column} disappeared"))
+                })?;
+            work.cpu_units += m.index_probe;
+            let positions: Vec<u32> = match pred {
+                IndexPredicate::Eq(v) => index.lookup_eq(v).to_vec(),
+                IndexPredicate::Range { lo, hi } => {
+                    let lo_b = match lo {
+                        Some((v, true)) => Bound::Included(v),
+                        Some((v, false)) => Bound::Excluded(v),
+                        None => Bound::Unbounded,
+                    };
+                    let hi_b = match hi {
+                        Some((v, true)) => Bound::Included(v),
+                        Some((v, false)) => Bound::Excluded(v),
+                        None => Bound::Unbounded,
+                    };
+                    index.lookup_range(lo_b, hi_b)
+                }
+            };
+            work.rows_scanned += positions.len() as u64;
+            work.cpu_units += positions.len() as f64 * m.index_match_row;
+            let mut out = Vec::with_capacity(positions.len());
+            for pos in positions {
+                let row = entry.table.row_at(pos as usize).ok_or_else(|| {
+                    QccError::Execution(format!("index position {pos} out of range"))
+                })?;
+                if let Some(p) = residual {
+                    work.cpu_units += p.node_count() as f64 * m.pred_node;
+                    if !p.eval_predicate(&row) {
+                        continue;
+                    }
+                }
+                out.push(row);
+            }
+            work.cpu_units += out.len() as f64 * m.output_row;
+            Ok(out)
+        }
+        PlanNode::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            ..
+        } => {
+            let build = exec_node(left, catalog, m, work)?;
+            let probe = exec_node(right, catalog, m, work)?;
+            work.cpu_units += build.len() as f64 * m.hash_build_row;
+            work.cpu_units += probe.len() as f64 * m.hash_probe_row;
+            let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            for row in &build {
+                let key: Vec<Value> = left_keys.iter().map(|k| k.eval(row)).collect();
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL keys never join.
+                }
+                table.entry(key).or_default().push(row);
+            }
+            let mut out = Vec::new();
+            for row in &probe {
+                let key: Vec<Value> = right_keys.iter().map(|k| k.eval(row)).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for b in matches {
+                        let joined = b.join(row);
+                        if let Some(p) = residual {
+                            work.cpu_units += p.node_count() as f64 * m.pred_node;
+                            if !p.eval_predicate(&joined) {
+                                continue;
+                            }
+                        }
+                        work.cpu_units += m.output_row;
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            let outer = exec_node(left, catalog, m, work)?;
+            let inner = exec_node(right, catalog, m, work)?;
+            let pairs = outer.len() as f64 * inner.len() as f64;
+            work.cpu_units += pairs
+                * (m.hash_probe_row
+                    + predicate
+                        .as_ref()
+                        .map_or(0.0, |p| p.node_count() as f64 * m.pred_node));
+            let mut out = Vec::new();
+            for l in &outer {
+                for r in &inner {
+                    let joined = l.join(r);
+                    let keep = predicate.as_ref().is_none_or(|p| p.eval_predicate(&joined));
+                    if keep {
+                        work.cpu_units += m.output_row;
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Filter {
+            input, predicate, ..
+        } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            work.cpu_units += rows.len() as f64 * predicate.node_count() as f64 * m.pred_node;
+            Ok(rows
+                .into_iter()
+                .filter(|r| predicate.eval_predicate(r))
+                .collect())
+        }
+        PlanNode::Project { input, exprs, .. } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            let nodes: usize = exprs.iter().map(CompiledExpr::node_count).sum();
+            work.cpu_units += rows.len() as f64 * nodes as f64 * m.pred_node;
+            Ok(rows
+                .iter()
+                .map(|r| Row::new(exprs.iter().map(|e| e.eval(r)).collect()))
+                .collect())
+        }
+        PlanNode::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            work.cpu_units += rows.len() as f64 * (1 + aggs.len()) as f64 * m.agg_row;
+            exec_aggregate(&rows, group_by, aggs, m, work)
+        }
+        PlanNode::Sort { input, keys } => {
+            let mut rows = exec_node(input, catalog, m, work)?;
+            let n = rows.len().max(2) as f64;
+            work.cpu_units += m.sort_row_log * n * n.log2();
+            rows.sort_by(|a, b| {
+                for (k, desc) in keys {
+                    let va = k.eval(a);
+                    let vb = k.eval(b);
+                    let ord = va.total_cmp(&vb);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        PlanNode::Limit { input, n } => {
+            let mut rows = exec_node(input, catalog, m, work)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+        PlanNode::Distinct { input, .. } => {
+            let rows = exec_node(input, catalog, m, work)?;
+            work.cpu_units += rows.len() as f64 * m.hash_build_row;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for r in rows {
+                if seen.insert(r.clone()) {
+                    out.push(r); // Order-preserving: first occurrence wins.
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn exec_aggregate(
+    rows: &[Row],
+    group_by: &[CompiledExpr],
+    aggs: &[AggSpec],
+    m: &CostModel,
+    work: &mut Work,
+) -> Result<Vec<Row>> {
+    // Group rows preserving first-seen key order for determinism.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<AggAccumulator>> = HashMap::new();
+    let make_accs = || -> Vec<AggAccumulator> {
+        aggs.iter()
+            .map(|a| AggAccumulator::new(a.func, a.distinct))
+            .collect()
+    };
+
+    if group_by.is_empty() {
+        // Global aggregation always yields exactly one row.
+        let mut accs = make_accs();
+        for row in rows {
+            feed(&mut accs, aggs, row);
+        }
+        let values: Vec<Value> = accs.iter().map(AggAccumulator::finish).collect();
+        work.cpu_units += m.output_row;
+        return Ok(vec![Row::new(values)]);
+    }
+
+    for row in rows {
+        let key: Vec<Value> = group_by.iter().map(|k| k.eval(row)).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            make_accs()
+        });
+        feed(accs, aggs, row);
+    }
+    work.cpu_units += order.len() as f64 * m.output_row;
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups
+            .remove(&key)
+            .ok_or_else(|| QccError::Execution("aggregation group vanished".into()))?;
+        let mut values = key;
+        values.extend(accs.iter().map(AggAccumulator::finish));
+        out.push(Row::new(values));
+    }
+    Ok(out)
+}
+
+fn feed(accs: &mut [AggAccumulator], aggs: &[AggSpec], row: &Row) {
+    for (acc, spec) in accs.iter_mut().zip(aggs) {
+        match &spec.arg {
+            None => acc.push(None),
+            Some(e) => {
+                let v = e.eval(row);
+                acc.push(Some(&v));
+            }
+        }
+    }
+}

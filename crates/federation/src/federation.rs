@@ -390,8 +390,7 @@ impl Federation {
                 .iter()
                 .map(|_| ColumnStats {
                     distinct: (card / 2).max(1),
-                    null_count: 0,
-                    histogram: None,
+                    ..ColumnStats::default()
                 })
                 .collect();
             let stats = TableStats::virtual_table(card, 8.0 * schema.len() as f64, columns);
@@ -754,19 +753,21 @@ impl Federation {
                 let rows = results
                     .into_iter()
                     .next()
-                    .map(|r| r.rows)
+                    .map(|r| r.rows())
                     .unwrap_or_default();
                 Ok((rows, fragment_times))
             }
             MergeSpec::Merge { stmt } => {
-                // Register the shipped fragment results as temp tables and
-                // run the merge with the real engine.
+                // Register the shipped fragment batches as temp tables —
+                // adopting the columnar data without copying — and run the
+                // merge with the real engine.
                 let mut catalog = Catalog::new();
                 for (i, (frag, result)) in decomposed.fragments.iter().zip(results).enumerate() {
-                    let mut table = Table::new(frag_table(i), frag.output_schema());
-                    table.insert_all(result.rows).map_err(|e| {
-                        QccError::Execution(format!("fragment {i} result mismatch: {e}"))
-                    })?;
+                    let table =
+                        Table::from_batches(frag_table(i), frag.output_schema(), result.batches)
+                            .map_err(|e| {
+                                QccError::Execution(format!("fragment {i} result mismatch: {e}"))
+                            })?;
                     catalog.register(table);
                 }
                 let engine = Engine::new(catalog);

@@ -1,7 +1,7 @@
 //! The remote server implementation.
 
 use parking_lot::Mutex;
-use qcc_common::{Cost, Pcg32, QccError, Result, Row, ServerId, SimDuration, SimTime};
+use qcc_common::{ColumnBatch, Cost, Pcg32, QccError, Result, Row, ServerId, SimDuration, SimTime};
 use qcc_engine::{Engine, PlanNode};
 use qcc_netsim::{slowdown, AvailabilitySchedule, FaultSchedule, LoadProfile, ServerLoad};
 use qcc_storage::Catalog;
@@ -52,12 +52,27 @@ pub struct RemotePlan {
 /// The outcome of executing a fragment at a remote server.
 #[derive(Debug, Clone)]
 pub struct RemoteResult {
-    /// Result rows.
-    pub rows: Vec<Row>,
+    /// Result batches in columnar form. Columns are `Arc`-shared with the
+    /// server's storage where the plan permits (bare scans), so shipping a
+    /// fragment result does not copy table data.
+    pub batches: Vec<ColumnBatch>,
     /// Virtual service time at the server (excluding network).
     pub elapsed: SimDuration,
     /// Result size in bytes (for transfer costing).
     pub result_bytes: u64,
+}
+
+impl RemoteResult {
+    /// Materialize the result as rows (compatibility view for row-oriented
+    /// consumers and tests).
+    pub fn rows(&self) -> Vec<Row> {
+        self.batches.iter().flat_map(ColumnBatch::to_rows).collect()
+    }
+
+    /// Total result rows across batches.
+    pub fn n_rows(&self) -> usize {
+        self.batches.iter().map(ColumnBatch::n_rows).sum()
+    }
 }
 
 /// A simulated remote DBMS server.
@@ -199,11 +214,11 @@ impl RemoteServer {
         // is represented by in-flight guards the driver may hold).
         let rho = self.load.utilization(at);
         let sensitivity = self.effective_sensitivity(descriptor);
-        let (rows, work) = self.engine.execute_plan(descriptor)?;
+        let (batches, work) = self.engine.execute_plan_batches(descriptor)?;
         let service_ms = work.cpu_units / self.profile.speed * slowdown(rho, sensitivity);
         Ok(RemoteResult {
             result_bytes: work.result_bytes,
-            rows,
+            batches,
             elapsed: SimDuration::from_millis(service_ms),
         })
     }
@@ -319,7 +334,7 @@ mod tests {
             .explain("SELECT COUNT(*) FROM items", SimTime::ZERO)
             .unwrap();
         let r = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
-        assert_eq!(r.rows[0].get(0), &Value::Int(10_000));
+        assert_eq!(r.rows()[0].get(0), &Value::Int(10_000));
         assert!(r.elapsed.as_millis() > 0.0);
     }
 

@@ -27,12 +27,17 @@ impl Index {
             return Err(QccError::Config("table too large to index".into()));
         }
         let mut map: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
-        for (pos, row) in table.rows().iter().enumerate() {
-            let key = row.get(column).clone();
-            if key.is_null() {
-                continue; // NULLs are not indexed (SQL semantics: = never matches).
+        let mut pos = 0u32;
+        for chunk in table.chunks() {
+            let vector = &chunk.columns()[column];
+            for r in 0..chunk.len() {
+                let key = vector.value(r);
+                if !key.is_null() {
+                    // NULLs are not indexed (SQL semantics: = never matches).
+                    map.entry(key).or_default().push(pos);
+                }
+                pos += 1;
             }
-            map.entry(key).or_default().push(pos as u32);
         }
         Ok(Index {
             column,

@@ -16,5 +16,5 @@ pub mod table;
 pub use catalog::Catalog;
 pub use datagen::{ColumnSpec, TableSpec};
 pub use index::Index;
-pub use stats::{ColumnStats, Histogram, TableStats};
-pub use table::Table;
+pub use stats::{ColumnQuickStats, ColumnStats, Histogram, TableStats};
+pub use table::{apply_update_batch, Table, TableChunk};

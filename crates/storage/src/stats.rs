@@ -6,7 +6,7 @@
 //! ("assuming that the original cost estimates are valid", §3.1).
 
 use crate::table::Table;
-use qcc_common::Value;
+use qcc_common::{CellRef, ColumnSummary, Value};
 use std::collections::HashSet;
 
 /// Number of buckets in the equi-depth histograms.
@@ -97,7 +97,7 @@ impl Histogram {
 }
 
 /// Statistics for a single column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ColumnStats {
     /// Number of distinct non-null values.
     pub distinct: u64,
@@ -105,6 +105,10 @@ pub struct ColumnStats {
     pub null_count: u64,
     /// Histogram over numeric values (absent for string columns).
     pub histogram: Option<Histogram>,
+    /// Smallest non-null value (from the columnar zone maps).
+    pub min: Option<Value>,
+    /// Largest non-null value (from the columnar zone maps).
+    pub max: Option<Value>,
 }
 
 impl ColumnStats {
@@ -135,28 +139,40 @@ pub struct TableStats {
 
 impl TableStats {
     /// Collect statistics from a table (a full scan; fine for a simulator).
+    ///
+    /// The scan is column-major over the table's chunks, visiting each
+    /// column's cells in row order — so distinct counts, null counts, and
+    /// histograms are identical to what the old row-major analyze produced.
     pub fn analyze(table: &Table) -> TableStats {
         let ncols = table.schema().len();
-        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); ncols];
-        let mut nulls = vec![0u64; ncols];
-        let mut numerics: Vec<Vec<f64>> = vec![Vec::new(); ncols];
-        for row in table.rows() {
-            for (i, v) in row.values().iter().enumerate() {
-                if v.is_null() {
-                    nulls[i] += 1;
-                    continue;
-                }
-                distinct[i].insert(v.clone());
-                if let Some(x) = v.as_f64() {
-                    numerics[i].push(x);
-                }
-            }
-        }
         let columns = (0..ncols)
-            .map(|i| ColumnStats {
-                distinct: distinct[i].len() as u64,
-                null_count: nulls[i],
-                histogram: Histogram::build(std::mem::take(&mut numerics[i])),
+            .map(|i| {
+                let mut distinct: HashSet<Value> = HashSet::new();
+                let mut nulls = 0u64;
+                let mut numerics: Vec<f64> = Vec::new();
+                let mut summary = ColumnSummary::default();
+                for chunk in table.chunks() {
+                    summary.merge(&chunk.summaries()[i]);
+                    let vector = &chunk.columns()[i];
+                    for r in 0..chunk.len() {
+                        let cell = vector.cell(r);
+                        if cell.is_null() {
+                            nulls += 1;
+                            continue;
+                        }
+                        distinct.insert(cell.to_value());
+                        if let Some(x) = cell.as_f64() {
+                            numerics.push(x);
+                        }
+                    }
+                }
+                ColumnStats {
+                    distinct: distinct.len() as u64,
+                    null_count: nulls,
+                    histogram: Histogram::build(numerics),
+                    min: summary.min,
+                    max: summary.max,
+                }
             })
             .collect();
         TableStats {
@@ -176,6 +192,101 @@ impl TableStats {
             columns,
         }
     }
+}
+
+/// Slots in the linear-counting bitmap used by
+/// [`ColumnQuickStats::collect`]'s distinct estimator.
+const LINEAR_COUNTING_SLOTS: usize = 4096;
+
+/// Cheap per-column summary read straight off the columnar chunks, without
+/// materializing any `Value`s: zone-map min / max / null count plus a
+/// linear-counting distinct estimate (hash every non-null cell into a
+/// fixed bitmap and invert the fill rate). Groundwork for
+/// selectivity-estimation refinements that should not pay a full
+/// `ANALYZE`-style exact-distinct pass.
+#[derive(Debug, Clone)]
+pub struct ColumnQuickStats {
+    /// Smallest non-null value.
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Estimated number of distinct non-null values (exact up to hash
+    /// collisions for cardinalities well below the bitmap size).
+    pub distinct_estimate: u64,
+}
+
+impl ColumnQuickStats {
+    /// Collect quick stats for column `col`, or `None` when the column
+    /// index is out of range.
+    pub fn collect(table: &Table, col: usize) -> Option<ColumnQuickStats> {
+        if col >= table.schema().len() {
+            return None;
+        }
+        let mut summary = ColumnSummary::default();
+        let mut slots = vec![false; LINEAR_COUNTING_SLOTS];
+        let mut non_null = 0u64;
+        for chunk in table.chunks() {
+            summary.merge(&chunk.summaries()[col]);
+            let vector = &chunk.columns()[col];
+            for r in 0..chunk.len() {
+                let cell = vector.cell(r);
+                if cell.is_null() {
+                    continue;
+                }
+                non_null += 1;
+                slots[(hash_cell(cell) % LINEAR_COUNTING_SLOTS as u64) as usize] = true;
+            }
+        }
+        let filled = slots.iter().filter(|b| **b).count();
+        let m = LINEAR_COUNTING_SLOTS as f64;
+        let zero = (LINEAR_COUNTING_SLOTS - filled).max(1) as f64;
+        // Linear counting: n ≈ m · ln(m / z), capped by the non-null count.
+        let estimate = (m * (m / zero).ln()).round() as u64;
+        Some(ColumnQuickStats {
+            min: summary.min,
+            max: summary.max,
+            null_count: summary.null_count,
+            distinct_estimate: estimate.min(non_null),
+        })
+    }
+}
+
+/// FNV-1a over a type-tagged byte encoding of the cell. Mirrors the
+/// equivalence classes of `Value`'s `Hash` (integral floats hash like the
+/// equal integer) so `Int(3)` and `Float(3.0)` count as one distinct value.
+fn hash_cell(cell: CellRef<'_>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match cell {
+        CellRef::Null => eat(&[0]),
+        CellRef::Int(i) => {
+            eat(&[1]);
+            eat(&i.to_le_bytes());
+        }
+        CellRef::Float(f) => {
+            if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                eat(&[1]);
+                eat(&(f as i64).to_le_bytes());
+            } else {
+                eat(&[2]);
+                eat(&f.to_bits().to_le_bytes());
+            }
+        }
+        CellRef::Str(s) => {
+            eat(&[3]);
+            eat(s.as_bytes());
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -268,5 +379,59 @@ mod tests {
         let t = int_table(&[]);
         let stats = TableStats::analyze(&t);
         assert_eq!(stats.columns[0].selectivity_eq(0), 0.0);
+    }
+
+    #[test]
+    fn analyze_exposes_min_max_from_zone_maps() {
+        let t = int_table(&[7, -3, 12, 12]);
+        let stats = TableStats::analyze(&t);
+        assert_eq!(stats.columns[0].min, Some(Value::Int(-3)));
+        assert_eq!(stats.columns[0].max, Some(Value::Int(12)));
+        let empty = TableStats::analyze(&int_table(&[]));
+        assert_eq!(empty.columns[0].min, None);
+        assert_eq!(empty.columns[0].max, None);
+    }
+
+    #[test]
+    fn quick_stats_min_max_nulls() {
+        let mut t = Table::new("t", Schema::new(vec![Column::new("v", DataType::Int)]));
+        for v in [5i64, 1, 9] {
+            t.insert(Row::new(vec![Value::Int(v)])).unwrap();
+        }
+        t.insert(Row::new(vec![Value::Null])).unwrap();
+        let q = ColumnQuickStats::collect(&t, 0).unwrap();
+        assert_eq!(q.min, Some(Value::Int(1)));
+        assert_eq!(q.max, Some(Value::Int(9)));
+        assert_eq!(q.null_count, 1);
+        assert!(ColumnQuickStats::collect(&t, 1).is_none(), "out of range");
+    }
+
+    #[test]
+    fn quick_stats_distinct_estimate_tracks_cardinality() {
+        // A serial column: estimate should land close to the true count.
+        let t = int_table(&(0..500).collect::<Vec<_>>());
+        let q = ColumnQuickStats::collect(&t, 0).unwrap();
+        let est = q.distinct_estimate as f64;
+        assert!(
+            (est - 500.0).abs() / 500.0 < 0.1,
+            "estimate {est} should be within 10% of 500"
+        );
+        // A constant column: exactly one distinct value.
+        let t = int_table(&vec![42; 1000]);
+        let q = ColumnQuickStats::collect(&t, 0).unwrap();
+        assert_eq!(q.distinct_estimate, 1);
+        // Empty column: zero.
+        let q = ColumnQuickStats::collect(&int_table(&[]), 0).unwrap();
+        assert_eq!(q.distinct_estimate, 0);
+    }
+
+    #[test]
+    fn quick_stats_merge_int_and_integral_float() {
+        // Int(3) and Float(3.0) are the same value in this type system.
+        let mut t = Table::new("t", Schema::new(vec![Column::new("v", DataType::Float)]));
+        t.insert(Row::new(vec![Value::Int(3)])).unwrap();
+        t.insert(Row::new(vec![Value::Float(3.0)])).unwrap();
+        let q = ColumnQuickStats::collect(&t, 0).unwrap();
+        assert_eq!(q.distinct_estimate, 1);
     }
 }

@@ -1,13 +1,74 @@
-//! Row-oriented in-memory tables.
+//! Columnar in-memory tables.
+//!
+//! A table stores its rows as a sequence of column chunks ([`BATCH_ROWS`]
+//! rows each on the insert path; adopted batches keep their own size).
+//! Each chunk carries per-column [`ColumnSummary`] zone maps (min / max /
+//! null count) that the vectorized scan uses to skip or bulk-accept whole
+//! chunks. `rows()` materializes the legacy `Row` view for row-oriented
+//! boundaries (the naive reference evaluator, tests, result display).
 
-use qcc_common::{DataType, QccError, Result, Row, Schema, Value};
+use qcc_common::{
+    ColumnBatch, ColumnSummary, ColumnVector, DataType, QccError, Result, Row, Schema, Value,
+    BATCH_ROWS,
+};
+use std::sync::Arc;
 
-/// An in-memory base table: a schema plus a vector of rows.
+/// One chunk of a table: `Arc`-shared column vectors plus zone maps.
+#[derive(Debug, Clone)]
+pub struct TableChunk {
+    columns: Vec<Arc<ColumnVector>>,
+    summaries: Vec<ColumnSummary>,
+    len: usize,
+}
+
+impl TableChunk {
+    fn empty(schema: &Schema) -> TableChunk {
+        TableChunk {
+            columns: schema
+                .columns()
+                .iter()
+                .map(|c| Arc::new(ColumnVector::new_for(Some(c.ty))))
+                .collect(),
+            summaries: vec![ColumnSummary::default(); schema.len()],
+            len: 0,
+        }
+    }
+
+    /// The shared column vectors.
+    pub fn columns(&self) -> &[Arc<ColumnVector>] {
+        &self.columns
+    }
+
+    /// Per-column zone maps, in schema order.
+    pub fn summaries(&self) -> &[ColumnSummary] {
+        &self.summaries
+    }
+
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the chunk has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zero-copy view of the chunk as a batch.
+    pub fn to_batch(&self) -> ColumnBatch {
+        ColumnBatch::new(self.columns.clone(), self.len)
+    }
+}
+
+/// An in-memory base table: a schema plus columnar chunks.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    chunks: Vec<TableChunk>,
+    /// Starting global row position of each chunk (parallel to `chunks`).
+    starts: Vec<usize>,
+    row_count: usize,
 }
 
 impl Table {
@@ -16,8 +77,98 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            chunks: Vec::new(),
+            starts: Vec::new(),
+            row_count: 0,
         }
+    }
+
+    /// Build a table by adopting pre-built column batches without copying
+    /// cell data: each batch's `Arc`-shared columns become one chunk. Every
+    /// batch must match the schema's arity and column types (NULL anywhere;
+    /// exact `Int` values are acceptable in FLOAT columns, mirroring the
+    /// row-level insert rules).
+    pub fn from_batches(
+        name: impl Into<String>,
+        schema: Schema,
+        batches: Vec<ColumnBatch>,
+    ) -> Result<Table> {
+        let mut table = Table::new(name, schema);
+        for batch in batches {
+            if batch.n_rows() == 0 {
+                continue;
+            }
+            table.adopt_batch(batch)?;
+        }
+        Ok(table)
+    }
+
+    fn adopt_batch(&mut self, batch: ColumnBatch) -> Result<()> {
+        if batch.n_cols() != self.schema.len() {
+            return Err(QccError::TypeMismatch(format!(
+                "table {} expects {} columns, batch has {}",
+                self.name,
+                self.schema.len(),
+                batch.n_cols()
+            )));
+        }
+        let mut summaries = Vec::with_capacity(batch.n_cols());
+        for (i, col) in batch.columns().iter().enumerate() {
+            let expected = self.schema.column(i).ty;
+            self.check_column(col, expected, i)?;
+            summaries.push(col.summarize());
+        }
+        let len = batch.n_rows();
+        self.starts.push(self.row_count);
+        self.chunks.push(TableChunk {
+            columns: batch.columns().to_vec(),
+            summaries,
+            len,
+        });
+        self.row_count += len;
+        Ok(())
+    }
+
+    fn check_column(&self, col: &ColumnVector, expected: DataType, idx: usize) -> Result<()> {
+        let ok = match (col, expected) {
+            (ColumnVector::Int { .. }, DataType::Int | DataType::Float) => true,
+            (ColumnVector::Float { .. }, DataType::Float) => true,
+            (ColumnVector::Str { .. }, DataType::Str) => true,
+            (ColumnVector::Mixed(vals), e) => {
+                match vals.iter().find(|v| {
+                    !matches!(
+                        (v.data_type(), e),
+                        (None, _) | (Some(DataType::Int), DataType::Float)
+                    ) && v.data_type() != Some(e)
+                }) {
+                    None => true,
+                    Some(v) => {
+                        return Err(self.column_type_error(idx, expected, v.data_type()));
+                    }
+                }
+            }
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            let got = match col {
+                ColumnVector::Int { .. } => Some(DataType::Int),
+                ColumnVector::Float { .. } => Some(DataType::Float),
+                ColumnVector::Str { .. } => Some(DataType::Str),
+                ColumnVector::Mixed(_) => None,
+            };
+            Err(self.column_type_error(idx, expected, got))
+        }
+    }
+
+    fn column_type_error(&self, idx: usize, expected: DataType, got: Option<DataType>) -> QccError {
+        let got = got.map_or_else(|| "mixed".to_string(), |t| t.to_string());
+        QccError::TypeMismatch(format!(
+            "table {} column {} expects {expected}, got {got}",
+            self.name,
+            self.schema.column(idx).name,
+        ))
     }
 
     /// Table name.
@@ -30,21 +181,61 @@ impl Table {
         &self.schema
     }
 
-    /// Stored rows.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// The columnar chunks, in row order.
+    pub fn chunks(&self) -> &[TableChunk] {
+        &self.chunks
+    }
+
+    /// Materialized `Row` compatibility view of the whole table.
+    pub fn rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.row_count);
+        for chunk in &self.chunks {
+            for r in 0..chunk.len {
+                out.push(Row::new(chunk.columns.iter().map(|c| c.value(r)).collect()));
+            }
+        }
+        out
+    }
+
+    /// Materialize the row at a global position.
+    pub fn row_at(&self, pos: usize) -> Option<Row> {
+        let (chunk, off) = self.locate(pos)?;
+        let chunk = &self.chunks[chunk];
+        Some(Row::new(
+            chunk.columns.iter().map(|c| c.value(off)).collect(),
+        ))
+    }
+
+    /// Map a global row position to `(chunk index, offset within chunk)`.
+    pub fn locate(&self, pos: usize) -> Option<(usize, usize)> {
+        if pos >= self.row_count {
+            return None;
+        }
+        let chunk = self.starts.partition_point(|&s| s <= pos) - 1;
+        Some((chunk, pos - self.starts[chunk]))
     }
 
     /// Number of stored rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.row_count
     }
 
     /// Append a row after validating its arity and types. NULL is accepted
     /// in any column.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         self.validate(&row)?;
-        self.rows.push(row);
+        if self.chunks.last().is_none_or(|c| c.len >= BATCH_ROWS) {
+            self.starts.push(self.row_count);
+            self.chunks.push(TableChunk::empty(&self.schema));
+        }
+        if let Some(chunk) = self.chunks.last_mut() {
+            for (i, v) in row.into_values().into_iter().enumerate() {
+                chunk.summaries[i].observe(&v);
+                Arc::make_mut(&mut chunk.columns[i]).push(v);
+            }
+            chunk.len += 1;
+        }
+        self.row_count += 1;
         Ok(())
     }
 
@@ -59,16 +250,20 @@ impl Table {
     /// Total byte width of all rows (approximation used for transfer-cost
     /// accounting and stats).
     pub fn byte_size(&self) -> usize {
-        self.rows.iter().map(Row::byte_width).sum()
+        self.chunks
+            .iter()
+            .flat_map(|c| c.columns.iter())
+            .map(|c| c.byte_size() as usize)
+            .sum()
     }
 
     /// Average row width in bytes (the schema-width default when empty).
     pub fn avg_row_width(&self) -> f64 {
-        if self.rows.is_empty() {
+        if self.row_count == 0 {
             // Assume 8 bytes per column when there is no data to measure.
             return (self.schema.len() * 8) as f64;
         }
-        self.byte_size() as f64 / self.rows.len() as f64
+        self.byte_size() as f64 / self.row_count as f64
     }
 
     fn validate(&self, row: &Row) -> Result<()> {
@@ -104,7 +299,7 @@ impl Table {
 /// Used by the experiments' heavy-update-load phases; the data itself is
 /// perturbed in place so that repeated runs stay realistic.
 pub fn apply_update_batch(table: &mut Table, fraction: f64, bump: i64) -> usize {
-    let n = ((table.rows.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    let n = ((table.row_count as f64) * fraction.clamp(0.0, 1.0)) as usize;
     let int_cols: Vec<usize> = table
         .schema
         .columns()
@@ -116,13 +311,38 @@ pub fn apply_update_batch(table: &mut Table, fraction: f64, bump: i64) -> usize 
     if int_cols.is_empty() {
         return 0;
     }
-    for r in 0..n.min(table.rows.len()) {
+    let mut dirty: Vec<(usize, usize)> = Vec::new();
+    for r in 0..n.min(table.row_count) {
         let col = int_cols[r % int_cols.len()];
-        let mut values = table.rows[r].clone().into_values();
-        if let Value::Int(v) = values[col] {
-            values[col] = Value::Int(v.wrapping_add(bump));
+        let Some((ci, off)) = table.locate(r) else {
+            break;
+        };
+        let vector = Arc::make_mut(&mut table.chunks[ci].columns[col]);
+        let bumped = match vector {
+            ColumnVector::Int { data, nulls } => {
+                if nulls[off] {
+                    false
+                } else {
+                    data[off] = data[off].wrapping_add(bump);
+                    true
+                }
+            }
+            ColumnVector::Mixed(vals) => {
+                if let Value::Int(v) = vals[off] {
+                    vals[off] = Value::Int(v.wrapping_add(bump));
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if bumped && !dirty.contains(&(ci, col)) {
+            dirty.push((ci, col));
         }
-        table.rows[r] = Row::new(values);
+    }
+    for (ci, col) in dirty {
+        table.chunks[ci].summaries[col] = table.chunks[ci].columns[col].summarize();
     }
     n
 }
@@ -187,6 +407,8 @@ mod tests {
             Value::Int(3),
         ]))
         .unwrap();
+        // The exact Int value must survive the columnar round trip.
+        assert_eq!(t.rows()[0].get(2), &Value::Int(3));
     }
 
     #[test]
@@ -214,5 +436,63 @@ mod tests {
             &Value::Int(5),
             "beyond fraction untouched"
         );
+        // Zone maps follow the mutation.
+        assert_eq!(
+            t.chunks()[0].summaries()[0].max,
+            Some(Value::Int(104)),
+            "summary recomputed after update"
+        );
+    }
+
+    #[test]
+    fn chunking_splits_at_batch_rows() {
+        let mut t = Table::new("t", Schema::new(vec![Column::new("v", DataType::Int)]));
+        for i in 0..(BATCH_ROWS as i64 + 5) {
+            t.insert(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        assert_eq!(t.chunks().len(), 2);
+        assert_eq!(t.chunks()[0].len(), BATCH_ROWS);
+        assert_eq!(t.chunks()[1].len(), 5);
+        assert_eq!(t.locate(BATCH_ROWS + 2), Some((1, 2)));
+        assert_eq!(
+            t.row_at(BATCH_ROWS + 2).unwrap().get(0).as_i64(),
+            Some(BATCH_ROWS as i64 + 2)
+        );
+        assert_eq!(
+            t.chunks()[0].summaries()[0].max,
+            Some(Value::Int(BATCH_ROWS as i64 - 1))
+        );
+    }
+
+    #[test]
+    fn from_batches_adopts_columns_without_copy() {
+        let mut src = Table::new("src", Schema::new(vec![Column::new("v", DataType::Int)]));
+        for i in 0..10 {
+            src.insert(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        let batch = src.chunks()[0].to_batch();
+        let shared = Arc::as_ptr(&batch.columns()[0]);
+        let t = Table::from_batches("dst", src.schema().clone(), vec![batch]).unwrap();
+        assert_eq!(t.row_count(), 10);
+        assert_eq!(
+            Arc::as_ptr(&t.chunks()[0].columns()[0]),
+            shared,
+            "adopted, not copied"
+        );
+        assert_eq!(t.rows(), src.rows());
+    }
+
+    #[test]
+    fn from_batches_rejects_wrong_types() {
+        let mut v = ColumnVector::new_for(Some(DataType::Str));
+        v.push(Value::from("a"));
+        let batch = ColumnBatch::new(vec![Arc::new(v)], 1);
+        let err = Table::from_batches(
+            "t",
+            Schema::new(vec![Column::new("v", DataType::Int)]),
+            vec![batch],
+        )
+        .unwrap_err();
+        assert!(matches!(err, QccError::TypeMismatch(_)));
     }
 }

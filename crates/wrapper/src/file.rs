@@ -122,8 +122,14 @@ impl Wrapper for FileWrapper {
         let response = self
             .network
             .transfer_time(&self.id, bytes, at + request + service)?;
+        // Ship in columnar form like every other source; the arity comes
+        // from the fragment result itself (projection may narrow the file
+        // schema), falling back to the file schema for empty results.
+        let arity = rows
+            .first()
+            .map_or_else(|| file.schema.len(), qcc_common::Row::len);
         Ok(WrapperResult {
-            rows,
+            batches: vec![qcc_common::ColumnBatch::from_rows(arity, rows)],
             bytes,
             response_time: request + service + response,
         })
@@ -183,7 +189,7 @@ mod tests {
         let w = setup();
         let (plans, _) = w.plan("SELECT * FROM logs", SimTime::ZERO).unwrap();
         let r = w.execute(&plans[0], SimTime::ZERO).unwrap();
-        assert_eq!(r.rows.len(), 100);
+        assert_eq!(r.n_rows(), 100);
         assert!(r.response_time.as_millis() > 4.0, "pays two RTTs");
     }
 

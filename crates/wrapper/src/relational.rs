@@ -87,7 +87,7 @@ impl Wrapper for RelationalWrapper {
             .transfer_time(&id, result.result_bytes, served)?;
         Ok(WrapperResult {
             bytes: result.result_bytes,
-            rows: result.rows,
+            batches: result.batches,
             response_time: request + result.elapsed + response,
         })
     }
@@ -147,7 +147,7 @@ mod tests {
         let (plans_far, _) = far.plan("SELECT * FROM t", SimTime::ZERO).unwrap();
         let rn = near.execute(&plans_near[0], SimTime::ZERO).unwrap();
         let rf = far.execute(&plans_far[0], SimTime::ZERO).unwrap();
-        assert_eq!(rn.rows.len(), rf.rows.len());
+        assert_eq!(rn.n_rows(), rf.n_rows());
         assert!(
             rf.response_time.as_millis() > rn.response_time.as_millis() + 90.0,
             "two RTTs difference: {} vs {}",

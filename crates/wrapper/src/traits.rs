@@ -1,6 +1,6 @@
 //! The wrapper abstraction.
 
-use qcc_common::{Cost, Result, Row, ServerId, SimDuration, SimTime};
+use qcc_common::{ColumnBatch, Cost, Result, Row, ServerId, SimDuration, SimTime};
 use qcc_engine::PlanNode;
 
 /// The two wrapper families the paper distinguishes.
@@ -34,13 +34,27 @@ pub struct FragmentPlan {
 /// The runtime outcome of executing a fragment plan through a wrapper.
 #[derive(Debug, Clone)]
 pub struct WrapperResult {
-    /// Result rows.
-    pub rows: Vec<Row>,
+    /// Result batches in columnar form, `Arc`-shared with the source where
+    /// the plan permits (no copy for bare scans).
+    pub batches: Vec<ColumnBatch>,
     /// End-to-end fragment response time observed at the integrator:
     /// request transfer + remote service + result transfer.
     pub response_time: SimDuration,
     /// Result payload size in bytes.
     pub bytes: u64,
+}
+
+impl WrapperResult {
+    /// Materialize the result as rows (compatibility view for row-oriented
+    /// consumers and tests).
+    pub fn rows(&self) -> Vec<Row> {
+        self.batches.iter().flat_map(ColumnBatch::to_rows).collect()
+    }
+
+    /// Total result rows across batches.
+    pub fn n_rows(&self) -> usize {
+        self.batches.iter().map(ColumnBatch::n_rows).sum()
+    }
 }
 
 /// A source wrapper: the integrator's only interface to a remote source.

@@ -5,9 +5,9 @@
 //! Driven by the workspace's deterministic `Pcg32` so the suite runs
 //! offline and failures reproduce from the fixed seeds.
 
-use load_aware_federation::common::{Column, DataType, Pcg32, Row, Schema, Value};
-use load_aware_federation::engine::{naive, Engine};
-use load_aware_federation::storage::{Catalog, Table};
+use load_aware_federation::common::{Column, ColumnBatch, DataType, Pcg32, Row, Schema, Value};
+use load_aware_federation::engine::{execute_batches, naive, rowexec, Engine};
+use load_aware_federation::storage::{Catalog, ColumnSpec, Table, TableSpec};
 use qcc_sql::parse_select;
 
 /// Random small tables `ta(a, b, s)` and `tb(a, c)`.
@@ -173,4 +173,185 @@ fn every_offered_plan_is_equivalent() {
         multi_plan_cases > 10,
         "expected the generator to hit multi-plan queries, got {multi_plan_cases}"
     );
+}
+
+fn batch_rows(batches: &[ColumnBatch]) -> Vec<Row> {
+    batches.iter().flat_map(ColumnBatch::to_rows).collect()
+}
+
+/// The columnar executor must be observationally identical to the
+/// row-at-a-time reference: same rows IN THE SAME ORDER (both executors
+/// preserve scan/probe/first-seen order) and the exact same virtual-time
+/// `Work` (bit-identical f64 accounting — zone-map pruning and batching
+/// may change wall-clock time but never virtual time).
+#[test]
+fn columnar_engine_matches_row_engine() {
+    let mut rng = Pcg32::seed_from(303);
+    let mut plans_checked = 0usize;
+    for case in 0..128 {
+        let catalog = random_catalog(&mut rng);
+        let sql = random_query(&mut rng);
+        let engine = Engine::new(catalog);
+        let plans = engine.explain(&sql).expect("plans");
+        for (pi, p) in plans.iter().enumerate() {
+            let (rrows, rwork) =
+                rowexec::execute_rows(&p.plan, engine.catalog(), engine.cost_model())
+                    .unwrap_or_else(|e| {
+                        panic!("case {case} plan {pi}: row engine failed on {sql}: {e}")
+                    });
+            let (batches, bwork) = execute_batches(&p.plan, engine.catalog(), engine.cost_model())
+                .unwrap_or_else(|e| {
+                    panic!("case {case} plan {pi}: batch engine failed on {sql}: {e}")
+                });
+            assert_eq!(
+                batch_rows(&batches),
+                rrows,
+                "case {case} plan {pi}: row divergence for {sql}"
+            );
+            assert_eq!(
+                bwork, rwork,
+                "case {case} plan {pi}: virtual-time Work divergence for {sql}"
+            );
+            plans_checked += 1;
+        }
+    }
+    assert!(
+        plans_checked > 128,
+        "too few plans exercised: {plans_checked}"
+    );
+}
+
+/// Scenario-shaped tables (the §5 schema at reduced scale) through the four
+/// paper query templates: both executors agree exactly, plan by plan.
+#[test]
+fn columnar_engine_matches_row_engine_on_scenario_templates() {
+    const LARGE: u64 = 400;
+    const SMALL: u64 = 20;
+    let specs = vec![
+        TableSpec::new(
+            "big_a",
+            LARGE,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "grp".into(),
+                    lo: 0,
+                    hi: SMALL as i64,
+                },
+                ColumnSpec::FloatUniform {
+                    name: "val".into(),
+                    lo: 0.0,
+                    hi: 100.0,
+                },
+                ColumnSpec::IntUniform {
+                    name: "sel".into(),
+                    lo: 0,
+                    hi: 10_000,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "big_d",
+            LARGE,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "grp".into(),
+                    lo: 0,
+                    hi: SMALL as i64,
+                },
+                ColumnSpec::FloatUniform {
+                    name: "val".into(),
+                    lo: 0.0,
+                    hi: 100.0,
+                },
+                ColumnSpec::IntUniform {
+                    name: "sel".into(),
+                    lo: 0,
+                    hi: 10_000,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "big_b",
+            LARGE,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "a_id".into(),
+                    lo: 0,
+                    hi: LARGE as i64,
+                },
+                ColumnSpec::IntUniform {
+                    name: "qty".into(),
+                    lo: 0,
+                    hi: 100,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "big_c",
+            LARGE,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::IntUniform {
+                    name: "b_id".into(),
+                    lo: 0,
+                    hi: LARGE as i64,
+                },
+                ColumnSpec::IntUniform {
+                    name: "flag".into(),
+                    lo: 0,
+                    hi: 200,
+                },
+            ],
+        ),
+        TableSpec::new(
+            "small_s",
+            SMALL,
+            vec![
+                ColumnSpec::Serial { name: "id".into() },
+                ColumnSpec::StrPool {
+                    name: "cat".into(),
+                    pool_size: 10,
+                },
+                ColumnSpec::FloatUniform {
+                    name: "bonus".into(),
+                    lo: 0.0,
+                    hi: 100.0,
+                },
+            ],
+        ),
+    ];
+    let mut catalog = Catalog::new();
+    for (i, spec) in specs.iter().enumerate() {
+        catalog.register(spec.generate(0xC01A + i as u64));
+    }
+    catalog.create_index("big_a", "sel").unwrap();
+    catalog.create_index("big_a", "id").unwrap();
+    catalog.create_index("big_d", "sel").unwrap();
+    catalog.create_index("big_c", "flag").unwrap();
+    let engine = Engine::new(catalog);
+
+    for qt in qcc_workload::ALL_QUERY_TYPES {
+        for instance in 0..4u32 {
+            let sql = qt.sql(instance);
+            let plans = engine.explain(&sql).expect("plans");
+            assert!(!plans.is_empty(), "{qt} instance {instance}: no plans");
+            for (pi, p) in plans.iter().enumerate() {
+                let (rrows, rwork) =
+                    rowexec::execute_rows(&p.plan, engine.catalog(), engine.cost_model())
+                        .unwrap_or_else(|e| panic!("{qt}#{instance} plan {pi}: row engine: {e}"));
+                let (batches, bwork) =
+                    execute_batches(&p.plan, engine.catalog(), engine.cost_model())
+                        .unwrap_or_else(|e| panic!("{qt}#{instance} plan {pi}: batch engine: {e}"));
+                assert_eq!(
+                    batch_rows(&batches),
+                    rrows,
+                    "{qt}#{instance} plan {pi}: rows"
+                );
+                assert_eq!(bwork, rwork, "{qt}#{instance} plan {pi}: Work");
+            }
+        }
+    }
 }
