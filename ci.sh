@@ -64,6 +64,15 @@ if grep -q DIVERGED /tmp/qcc-colspeed.out; then
     exit 1
 fi
 
+echo "==> bench smoke: admission_overload (default scale; admission-on must dominate)"
+cargo bench -q --offline -p qcc-bench --bench admission_overload \
+    | tee /tmp/qcc-admission.out
+if grep -q "goodput dominance: VIOLATED" /tmp/qcc-admission.out; then
+    echo "admission_overload: admission-on lost to the unprotected baseline" >&2
+    exit 1
+fi
+grep -q "goodput dominance: OK" /tmp/qcc-admission.out
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -41,12 +41,15 @@ impl fmt::Display for PriorityClass {
 /// Admission-control configuration.
 #[derive(Debug, Clone)]
 pub struct AdmissionConfig {
-    /// Maximum virtual time a query may wait in the arrival queue before it
-    /// is shed at dequeue time (`0.0` disables the queue deadline).
+    /// Queue-wait component of the per-query deadline budget (`0.0`
+    /// contributes nothing). Together with `exec_deadline_ms` it forms the
+    /// total arrival-relative deadline each ticket carries; a ticket is shed
+    /// at dispatch time only when it can no longer make that deadline.
     pub queue_deadline_ms: f64,
-    /// Execution deadline measured from arrival: once exceeded, the retry
-    /// budget is forfeited and late completions are counted as deadline
-    /// misses (`0.0` disables the execution deadline).
+    /// Execution component of the deadline budget, also enforced from
+    /// dispatch: once a query's remaining budget is exhausted mid-flight,
+    /// the retry budget is forfeited and late completions count as deadline
+    /// misses (`0.0` disables; both components zero means no deadline).
     pub exec_deadline_ms: f64,
     /// Concurrency tokens contributed by a healthy, well-calibrated server.
     /// Calibration slowdown and reliability penalties scale this down;
@@ -58,6 +61,19 @@ pub struct AdmissionConfig {
     /// Weighted-fair share per query template. Missing templates get weight
     /// `1.0`; larger weights drain proportionally faster within a class.
     pub template_weights: BTreeMap<String, f64>,
+    /// Safety multiplier on the per-template execution-time estimate used
+    /// by the shed-on-dispatch check (`now + shed_safety × estimate >
+    /// deadline` sheds). `1.0` trusts the estimate; larger values shed
+    /// earlier, smaller values admit more borderline work.
+    pub shed_safety: f64,
+    /// Hedged-dispatch trigger: when a query's remaining deadline budget is
+    /// below `hedge_slack_factor ×` a fragment's estimated cost, the
+    /// federation duplicates that fragment onto a second within-band
+    /// replica and takes the faster result (`0.0` disables hedging).
+    pub hedge_slack_factor: f64,
+    /// Cost band for hedge replicas: an alternate fragment plan qualifies
+    /// only if its calibrated cost is within `hedge_band ×` the primary's.
+    pub hedge_band: f64,
 }
 
 impl Default for AdmissionConfig {
@@ -68,6 +84,9 @@ impl Default for AdmissionConfig {
             base_tokens: 4,
             max_queue_depth: 1024,
             template_weights: BTreeMap::new(),
+            shed_safety: 1.0,
+            hedge_slack_factor: 2.0,
+            hedge_band: 1.5,
         }
     }
 }
@@ -81,6 +100,17 @@ impl AdmissionConfig {
             w
         } else {
             1.0
+        }
+    }
+
+    /// Total arrival-relative deadline budget (queue + execution
+    /// components), or `None` when both components are disabled.
+    pub fn deadline_budget_ms(&self) -> Option<f64> {
+        let budget = self.queue_deadline_ms.max(0.0) + self.exec_deadline_ms.max(0.0);
+        if budget > 0.0 {
+            Some(budget)
+        } else {
+            None
         }
     }
 }

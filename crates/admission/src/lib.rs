@@ -5,20 +5,28 @@
 //! should run **now**, **wait**, or be **shed**, using the same calibrated
 //! state the router already maintains.
 //!
-//! Three mechanisms, all on virtual time:
+//! Four mechanisms, all on virtual time:
 //!
 //! 1. **Arrival queue** ([`queue`]) — strict [`PriorityClass`]es with
-//!    weighted-fair dequeue per query template, so an open-loop arrival
-//!    process past saturation degrades into bounded queueing instead of
-//!    unbounded concurrency.
+//!    earliest-deadline-first dequeue per class (WFQ finish tags as the
+//!    tie-break), so an open-loop arrival process past saturation degrades
+//!    into bounded queueing instead of unbounded concurrency and the
+//!    scarce dispatch slots go to the work that can still make it.
 //! 2. **Concurrency tokens** ([`tokens`]) — per-server capacities derived
 //!    by the coordinator from QCC calibration factors and availability
 //!    state (down ⇒ zero, flaky ⇒ reduced). The frozen capacity snapshot
-//!    gates candidate selection in `Federation::run` and the aggregate
-//!    quota bounds each dequeue round's width.
-//! 3. **Deadlines & shedding** — a queue deadline sheds stale arrivals at
-//!    dequeue time (typed `QccError::Shed`, before any work), and an
-//!    execution deadline forfeits the retry budget mid-flight.
+//!    gates candidate selection in `Federation::run`, the aggregate quota
+//!    bounds each dequeue round's width, and the deadline-aware
+//!    [`AdmissionController::dispatch_slots`] plan releases tokens to the
+//!    most urgent tickets first.
+//! 3. **Shed-on-dispatch** ([`estimate`]) — tickets carry an absolute
+//!    arrival-relative deadline; at dispatch time a ticket is shed only
+//!    when `now + estimate > deadline` (per-template execution EWMA fed
+//!    back from completed queries), so transient bursts drain instead of
+//!    being dropped on raw queue age.
+//! 4. **Execution deadlines** — each dispatched ticket hands its remaining
+//!    budget to the federation, which forfeits the retry budget mid-flight
+//!    and hedges pressured fragments when the budget runs short.
 //!
 //! ## Determinism
 //!
@@ -31,16 +39,29 @@
 //! `tests/admission_determinism.rs`.
 
 pub mod config;
+mod estimate;
 pub mod queue;
 pub mod tokens;
 
 pub use config::{AdmissionConfig, PriorityClass};
 pub use queue::QueueTicket;
 
+use crate::estimate::EstimateBook;
 use crate::queue::{ArrivalQueue, EnqueueOutcome};
 use crate::tokens::TokenPool;
 use qcc_common::{FieldValue, Obs, QccError, ServerId, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every reason a query can be shed, exactly as it appears in the
+/// `sheds_total{reason}` metric and `shed` journal events. The per-reason
+/// counters partition [`AdmissionCounts::shed`]: each shed increments
+/// exactly one reason (pinned by `tests/admission_overload_e2e.rs`).
+pub const SHED_REASONS: &[&str] = &[
+    "queue_full",
+    "deadline_lapsed",
+    "predicted_late",
+    "no_tokens",
+];
 
 /// Counter snapshot for quick assertions without an `Obs` handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,17 +70,20 @@ pub struct AdmissionCounts {
     pub enqueued: u64,
     /// Queries released for dispatch by `dequeue_batch`.
     pub dispatched: u64,
-    /// Queries shed (queue full, queue deadline, or no tokens — the
-    /// federation reports its token sheds back via [`AdmissionController::note_shed`]).
+    /// Queries shed, summed over every [`SHED_REASONS`] entry (the
+    /// federation reports its token sheds back via
+    /// [`AdmissionController::note_shed`]).
     pub shed: u64,
 }
 
 /// Result of one dequeue round.
 #[derive(Debug, Default)]
 pub struct DequeuedBatch {
-    /// Tickets released for dispatch, in WFQ order, at most `dispatch_quota`.
+    /// Tickets released for dispatch, in EDF-over-WFQ order, at most
+    /// `dispatch_quota`.
     pub admitted: Vec<QueueTicket>,
-    /// Tickets shed at dequeue time for exceeding the queue deadline.
+    /// Tickets shed at dispatch time: deadline already lapsed, or the
+    /// service-time estimate predicts a miss.
     pub shed: Vec<QueueTicket>,
 }
 
@@ -73,6 +97,7 @@ pub struct AdmissionController {
     config: AdmissionConfig,
     queue: ArrivalQueue,
     tokens: TokenPool,
+    estimates: EstimateBook,
     obs: Obs,
     enqueued: AtomicU64,
     dispatched: AtomicU64,
@@ -92,6 +117,7 @@ impl AdmissionController {
             config,
             queue: ArrivalQueue::default(),
             tokens: TokenPool::new(base),
+            estimates: EstimateBook::default(),
             obs,
             enqueued: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
@@ -106,6 +132,9 @@ impl AdmissionController {
 
     /// Offer a query to the arrival queue. Returns the admission sequence
     /// number, or `QccError::Shed` if the queue is at `max_queue_depth`.
+    /// The ticket is stamped with its absolute deadline (arrival plus the
+    /// configured budget); age alone never sheds it — only the
+    /// shed-on-dispatch check in [`Self::dequeue_batch`] can.
     pub fn enqueue(
         &self,
         sql: &str,
@@ -114,11 +143,16 @@ impl AdmissionController {
         now: SimTime,
     ) -> Result<u64, QccError> {
         let weight = self.config.weight_of(template);
+        let deadline_ms = match self.config.deadline_budget_ms() {
+            Some(budget) => now.as_millis() + budget,
+            None => f64::INFINITY,
+        };
         match self.queue.enqueue(
             sql,
             template,
             class,
             now,
+            deadline_ms,
             weight,
             self.config.max_queue_depth,
         ) {
@@ -151,8 +185,13 @@ impl AdmissionController {
     }
 
     /// Release the next dispatch batch: up to [`Self::dispatch_quota`]
-    /// tickets in WFQ order, shedding (not counting against the quota) any
-    /// whose queue wait has exceeded the queue deadline.
+    /// tickets in EDF-over-WFQ order. Shedding happens here, at dispatch
+    /// time, and only on predicted lateness — a ticket whose deadline has
+    /// already passed sheds as `deadline_lapsed`, one whose per-template
+    /// service estimate predicts a miss (`now + shed_safety × estimate >
+    /// deadline`) sheds as `predicted_late`, and neither counts against
+    /// the quota. A backlog that can still drain in time is dispatched in
+    /// full, however old.
     pub fn dequeue_batch(&self, now: SimTime) -> DequeuedBatch {
         let quota = self.tokens.dispatch_quota();
         let mut batch = DequeuedBatch::default();
@@ -161,11 +200,19 @@ impl AdmissionController {
                 break;
             };
             let waited = now.since(ticket.enqueued_at).as_millis();
-            if self.config.queue_deadline_ms > 0.0 && waited > self.config.queue_deadline_ms {
-                self.record_shed(&ticket, now, "queue_deadline");
+            if ticket.lapsed(now) {
+                self.record_shed(&ticket, now, "deadline_lapsed");
                 batch.shed.push(ticket);
                 continue;
             }
+            let estimate =
+                self.config.shed_safety.max(0.0) * self.estimates.exec_estimate(&ticket.template);
+            if ticket.predicted_late(now, estimate) {
+                self.record_shed(&ticket, now, "predicted_late");
+                batch.shed.push(ticket);
+                continue;
+            }
+            self.estimates.record_wait(waited);
             self.dispatched.fetch_add(1, Ordering::Relaxed);
             self.obs.counter_inc(
                 "admission_dispatched_total",
@@ -202,6 +249,35 @@ impl AdmissionController {
     /// Frozen per-server capacity as of the last coordinator refresh.
     pub fn capacity(&self, server: &ServerId) -> u32 {
         self.tokens.capacity(server)
+    }
+
+    /// Deadline-aware token release order for a round of `n` dispatches:
+    /// slot `i` names the server whose inflight token the `i`-th dequeued
+    /// (earliest-deadline) ticket should hold, healthiest servers first.
+    /// Empty before the first capacity refresh or when every server is
+    /// down — callers then fall back to round-robin placement.
+    pub fn dispatch_slots(&self, n: usize) -> Vec<ServerId> {
+        self.tokens.slot_plan(n)
+    }
+
+    /// Coordinator-side feedback: one observed dispatch→completion time
+    /// for `template`. Feeds the shed-on-dispatch estimator; call it
+    /// between batches only (the open-loop drivers do, from completed
+    /// outcomes) so estimates stay thread-count independent.
+    pub fn record_exec(&self, template: &str, exec_ms: f64) {
+        self.estimates.record_exec(template, exec_ms);
+    }
+
+    /// Current per-template execution-time estimate (`0.0` if unseen).
+    pub fn exec_estimate(&self, template: &str) -> f64 {
+        self.estimates.exec_estimate(template)
+    }
+
+    /// EWMA of realized queue waits over dispatched tickets — the
+    /// burst-drain signal (rising expected wait means the backlog is
+    /// outgrowing the token quota).
+    pub fn expected_wait_ms(&self) -> f64 {
+        self.estimates.wait_estimate()
     }
 
     /// Coordinator-side capacity update (between batches only). Returns
@@ -339,24 +415,102 @@ mod tests {
     }
 
     #[test]
-    fn queue_deadline_sheds_stale_entries_without_consuming_quota() {
+    fn lapsed_deadline_sheds_at_dispatch_without_consuming_quota() {
         let ctl = controller(AdmissionConfig {
             queue_deadline_ms: 10.0,
+            exec_deadline_ms: 0.0, // total budget: 10ms from arrival
             base_tokens: 1,
             ..AdmissionConfig::default()
         });
-        enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0); // will be stale
-        let fresh = enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 48.0);
+        enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0); // deadline 10ms
+        let fresh = enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 48.0); // deadline 58ms
         let now = SimTime::ZERO + SimDuration::from_millis(50.0);
         let batch = ctl.dequeue_batch(now);
-        assert_eq!(batch.shed.len(), 1, "stale entry shed at dequeue");
+        assert_eq!(batch.shed.len(), 1, "lapsed entry shed at dispatch");
         assert_eq!(batch.admitted.len(), 1, "shed does not consume quota");
         assert_eq!(batch.admitted[0].seq, fresh);
         assert_eq!(
             ctl.obs_handle()
-                .counter_value("sheds_total", &[("reason", "queue_deadline")]),
+                .counter_value("sheds_total", &[("reason", "deadline_lapsed")]),
             1
         );
+    }
+
+    #[test]
+    fn old_but_still_viable_backlog_is_dispatched_not_shed() {
+        // The old policy shed on raw queue age; the new one only sheds
+        // work that can no longer make its deadline. An entry well past
+        // the queue-budget component but with execution budget to spare
+        // must dispatch.
+        let ctl = controller(AdmissionConfig {
+            queue_deadline_ms: 10.0,
+            exec_deadline_ms: 100.0, // total budget: 110ms
+            base_tokens: 1,
+            ..AdmissionConfig::default()
+        });
+        let seq = enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0);
+        let batch = ctl.dequeue_batch(SimTime::from_millis(50.0));
+        assert_eq!(batch.admitted.first().map(|t| t.seq), Some(seq));
+        assert!(batch.shed.is_empty(), "transient burst drains, not drops");
+    }
+
+    #[test]
+    fn predicted_late_sheds_when_estimate_cannot_make_deadline() {
+        let ctl = controller(AdmissionConfig {
+            queue_deadline_ms: 20.0,
+            exec_deadline_ms: 40.0, // total budget: 60ms
+            base_tokens: 4,
+            ..AdmissionConfig::default()
+        });
+        ctl.record_exec("QT1", 100.0); // QT1 is known to take ~100ms
+        ctl.record_exec("QT2", 5.0); // QT2 is quick
+        let doomed = enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 0.0);
+        let viable = enqueue_ok(&ctl, "QT2", PriorityClass::Normal, 0.0);
+        let batch = ctl.dequeue_batch(SimTime::from_millis(10.0));
+        assert_eq!(batch.shed.first().map(|t| t.seq), Some(doomed));
+        assert_eq!(batch.admitted.first().map(|t| t.seq), Some(viable));
+        assert_eq!(
+            ctl.obs_handle()
+                .counter_value("sheds_total", &[("reason", "predicted_late")]),
+            1
+        );
+    }
+
+    #[test]
+    fn edf_dequeue_prefers_earlier_deadline_within_class() {
+        let ctl = controller(AdmissionConfig {
+            base_tokens: 4,
+            ..AdmissionConfig::default()
+        });
+        // Later arrival ⇒ later deadline; EDF must still drain the earlier
+        // arrival first even though WFQ tags alone would interleave.
+        let first = enqueue_ok(&ctl, "QT2", PriorityClass::Normal, 0.0);
+        let second = enqueue_ok(&ctl, "QT1", PriorityClass::Normal, 5.0);
+        let batch = ctl.dequeue_batch(SimTime::from_millis(6.0));
+        assert_eq!(batch.admitted[0].seq, first);
+        assert_eq!(batch.admitted[1].seq, second);
+    }
+
+    #[test]
+    fn dispatch_slots_release_tokens_to_strong_servers_first() {
+        let ctl = controller(AdmissionConfig::default());
+        assert!(
+            ctl.dispatch_slots(3).is_empty(),
+            "no slot plan before the first capacity refresh"
+        );
+        let (s1, s2, s3) = (
+            ServerId::new("S1"),
+            ServerId::new("S2"),
+            ServerId::new("S3"),
+        );
+        ctl.set_capacity(&s1, 1, SimTime::ZERO);
+        ctl.set_capacity(&s2, 3, SimTime::ZERO);
+        ctl.set_capacity(&s3, 0, SimTime::ZERO);
+        let slots = ctl.dispatch_slots(6);
+        let names: Vec<&str> = slots.iter().map(|s| s.as_str()).collect();
+        // Token-by-token, highest capacity first, downed server excluded,
+        // wrapping once the 4 real tokens are spent.
+        assert_eq!(names, ["S2", "S1", "S2", "S2", "S2", "S1"]);
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! Deterministic virtual-time arrival queue.
 //!
-//! Discipline: strict priority across [`PriorityClass`]es; weighted-fair
-//! queueing (WFQ by finish tag) across query templates *within* a class.
-//! Each subqueue is FIFO, each enqueue stamps a finish tag
-//! `max(class_virtual_time, last_tag_of_template) + 1/weight`, and dequeue
-//! picks the minimum head tag in the highest nonempty class, breaking ties
-//! by template name. All state lives behind one mutex and every input is a
-//! `SimTime`, so the drain order is a pure function of the arrival sequence
-//! — no wall clock, no thread interleaving.
+//! Discipline: strict priority across [`PriorityClass`]es;
+//! earliest-deadline-first (EDF) across query templates *within* a class,
+//! with the weighted-fair finish tag as the tie-break so template fairness
+//! survives whenever deadlines don't discriminate (equal arrivals, or
+//! deadlines disabled). Each subqueue is FIFO — open-loop drivers enqueue
+//! in arrival order, so per-template deadlines are monotone and the head
+//! is always the subqueue's earliest deadline. Each enqueue stamps a
+//! finish tag `max(class_virtual_time, last_tag_of_template) + 1/weight`,
+//! and dequeue picks the minimum `(deadline, tag, template)` head in the
+//! highest nonempty class. All state lives behind one mutex and every
+//! input is a `SimTime`, so the drain order is a pure function of the
+//! arrival sequence — no wall clock, no thread interleaving.
 
 use crate::config::PriorityClass;
 use parking_lot::Mutex;
 use qcc_common::SimTime;
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, VecDeque};
 
 /// One admitted-to-queue query, identified by a monotone sequence number
@@ -28,6 +33,37 @@ pub struct QueueTicket {
     pub class: PriorityClass,
     /// Virtual time the query entered the queue.
     pub enqueued_at: SimTime,
+    /// Absolute deadline on the virtual timeline (arrival plus the
+    /// configured budget); `f64::INFINITY` when deadlines are disabled.
+    pub deadline_ms: f64,
+}
+
+impl QueueTicket {
+    /// True once the deadline has *passed*. The comparison is strictly
+    /// greater on both the enqueue and dequeue sides: a ticket whose age
+    /// exactly equals its budget is still admissible (see the boundary
+    /// test below).
+    pub fn lapsed(&self, now: SimTime) -> bool {
+        now.as_millis() > self.deadline_ms
+    }
+
+    /// Shed-on-dispatch predicate: would dispatching now, with
+    /// `estimate_ms` of predicted service time, miss the deadline? Uses
+    /// the same strictly-greater boundary as [`QueueTicket::lapsed`], so a
+    /// query predicted to finish *exactly at* the deadline is dispatched.
+    pub fn predicted_late(&self, now: SimTime, estimate_ms: f64) -> bool {
+        now.as_millis() + estimate_ms > self.deadline_ms
+    }
+
+    /// Remaining deadline budget at `now` (virtual ms, possibly negative),
+    /// or `None` when the ticket carries no deadline.
+    pub fn remaining_budget_ms(&self, now: SimTime) -> Option<f64> {
+        if self.deadline_ms.is_finite() {
+            Some(self.deadline_ms - now.as_millis())
+        } else {
+            None
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -69,15 +105,17 @@ pub(crate) enum EnqueueOutcome {
 }
 
 impl ArrivalQueue {
-    /// Enqueue `sql` under `(class, template)`. A ticket (with a fresh
-    /// sequence number) is minted either way so shed events stay
-    /// journal-correlatable.
+    /// Enqueue `sql` under `(class, template)` with an absolute
+    /// `deadline_ms`. A ticket (with a fresh sequence number) is minted
+    /// either way so shed events stay journal-correlatable.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn enqueue(
         &self,
         sql: &str,
         template: &str,
         class: PriorityClass,
         now: SimTime,
+        deadline_ms: f64,
         weight: f64,
         max_depth: usize,
     ) -> EnqueueOutcome {
@@ -90,6 +128,7 @@ impl ArrivalQueue {
             template: template.to_string(),
             class,
             enqueued_at: now,
+            deadline_ms,
         };
         if max_depth > 0 && state.depth >= max_depth {
             return EnqueueOutcome::Full(ticket);
@@ -106,21 +145,30 @@ impl ArrivalQueue {
         EnqueueOutcome::Queued(ticket, state.depth)
     }
 
-    /// Dequeue the next query per the WFQ discipline, or `None` if empty.
+    /// Dequeue the next query per the EDF-over-WFQ discipline, or `None`
+    /// if empty: within the highest nonempty class, the head with the
+    /// earliest deadline wins; equal deadlines fall back to the WFQ finish
+    /// tag; equal tags to the lexicographically-first template.
     pub(crate) fn pop(&self) -> Option<QueueTicket> {
         let mut state = self.state.lock();
-        let mut picked: Option<(PriorityClass, String, f64)> = None;
+        let mut picked: Option<(PriorityClass, String, f64, f64)> = None;
         for (class, class_state) in &state.classes {
             for (template, sub) in &class_state.templates {
-                if let Some((_, tag)) = sub.entries.front() {
+                if let Some((head, tag)) = sub.entries.front() {
                     // Strictly-less keeps the lexicographically-first
-                    // template on ties (BTreeMap iterates in name order).
+                    // template on full ties (BTreeMap iterates name order).
                     let better = match &picked {
                         None => true,
-                        Some((_, _, best)) => *tag < *best,
+                        Some((_, _, best_deadline, best_tag)) => {
+                            match head.deadline_ms.total_cmp(best_deadline) {
+                                Ordering::Less => true,
+                                Ordering::Greater => false,
+                                Ordering::Equal => *tag < *best_tag,
+                            }
+                        }
                     };
                     if better {
-                        picked = Some((*class, template.clone(), *tag));
+                        picked = Some((*class, template.clone(), head.deadline_ms, *tag));
                     }
                 }
             }
@@ -128,7 +176,7 @@ impl ArrivalQueue {
                 break; // strict priority: never look past the first nonempty class
             }
         }
-        let (class, template, tag) = picked?;
+        let (class, template, _, tag) = picked?;
         let class_state = state.classes.get_mut(&class)?;
         class_state.virtual_time = class_state.virtual_time.max(tag);
         let ticket = class_state
@@ -143,5 +191,88 @@ impl ArrivalQueue {
     /// Current queue depth.
     pub(crate) fn depth(&self) -> usize {
         self.state.lock().depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enqueue(q: &ArrivalQueue, template: &str, at: f64, deadline: f64) -> u64 {
+        match q.enqueue(
+            "SELECT 1",
+            template,
+            PriorityClass::Normal,
+            SimTime::from_millis(at),
+            deadline,
+            1.0,
+            0,
+        ) {
+            EnqueueOutcome::Queued(t, _) => t.seq,
+            EnqueueOutcome::Full(_) => unreachable!("unbounded queue refused an arrival"),
+        }
+    }
+
+    /// Pin the deadline boundary: a ticket whose age exactly equals its
+    /// budget is *not* late — both `lapsed` and `predicted_late` use the
+    /// same strictly-greater comparison, so the enqueue and dequeue sides
+    /// can never disagree about an exactly-at-deadline query.
+    #[test]
+    fn exact_deadline_age_is_still_admissible() {
+        let q = ArrivalQueue::default();
+        enqueue(&q, "QT1", 0.0, 40.0); // budget 40ms, arrival at t=0
+        let ticket = q.pop().expect("queued");
+        let exactly_at = SimTime::from_millis(40.0);
+        assert!(
+            !ticket.lapsed(exactly_at),
+            "age == deadline must stay admissible"
+        );
+        assert!(
+            !ticket.predicted_late(exactly_at, 0.0),
+            "predicted finish == deadline must stay admissible"
+        );
+        assert_eq!(ticket.remaining_budget_ms(exactly_at), Some(0.0));
+        let just_past = SimTime::from_millis(40.0 + 1e-9);
+        assert!(ticket.lapsed(just_past), "age > deadline has lapsed");
+        assert!(
+            ticket.predicted_late(exactly_at, 1e-9),
+            "any predicted overshoot is late"
+        );
+    }
+
+    #[test]
+    fn infinite_deadline_never_lapses() {
+        let q = ArrivalQueue::default();
+        enqueue(&q, "QT1", 0.0, f64::INFINITY);
+        let ticket = q.pop().expect("queued");
+        let far = SimTime::from_millis(1e12);
+        assert!(!ticket.lapsed(far));
+        assert!(!ticket.predicted_late(far, 1e12));
+        assert_eq!(ticket.remaining_budget_ms(far), None);
+    }
+
+    #[test]
+    fn earliest_deadline_first_across_templates_within_class() {
+        let q = ArrivalQueue::default();
+        // QT2 arrives first but with a later deadline than QT1.
+        let late = enqueue(&q, "QT2", 0.0, 500.0);
+        let tight = enqueue(&q, "QT1", 1.0, 100.0);
+        assert_eq!(
+            q.pop().map(|t| t.seq),
+            Some(tight),
+            "earliest deadline first"
+        );
+        assert_eq!(q.pop().map(|t| t.seq), Some(late));
+    }
+
+    #[test]
+    fn equal_deadlines_fall_back_to_finish_tags() {
+        let q = ArrivalQueue::default();
+        // Same arrival instant, same budget: deadlines tie, so the WFQ
+        // finish tags (equal weights ⇒ template name order) decide.
+        let b = enqueue(&q, "QTb", 0.0, 200.0);
+        let a = enqueue(&q, "QTa", 0.0, 200.0);
+        assert_eq!(q.pop().map(|t| t.seq), Some(a), "tag tie-break by name");
+        assert_eq!(q.pop().map(|t| t.seq), Some(b));
     }
 }

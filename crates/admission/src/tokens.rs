@@ -68,4 +68,42 @@ impl TokenPool {
         let total: u64 = caps.values().map(|c| u64::from(*c)).sum();
         total.max(1) as usize
     }
+
+    /// Deadline-aware token release order: one slot per token handed out
+    /// this round, highest-capacity (healthiest) servers first, cycling
+    /// token by token until `n` slots are produced. Because the dequeue
+    /// side releases tickets earliest-deadline-first, slot `i` pairs with
+    /// the `i`-th most urgent query — when capacity is scarce, the
+    /// short-deadline work gets the strong servers and the long-deadline
+    /// tail absorbs the degraded ones. Ties break by server id; empty when
+    /// no server has tokens (callers fall back to round-robin placement).
+    pub(crate) fn slot_plan(&self, n: usize) -> Vec<ServerId> {
+        let caps = self.caps.lock();
+        let mut servers: Vec<(&ServerId, u32)> = caps
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .map(|(s, c)| (s, *c))
+            .collect();
+        if servers.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        servers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let max_cap = servers[0].1;
+        let mut slots = Vec::with_capacity(n);
+        'fill: loop {
+            // One pass per token index: servers with at least `round + 1`
+            // tokens contribute a slot; wrap when every token is spent.
+            for round in 0..max_cap {
+                for (server, cap) in &servers {
+                    if round < *cap {
+                        slots.push((*server).clone());
+                        if slots.len() == n {
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+        }
+        slots
+    }
 }

@@ -409,7 +409,7 @@ impl Federation {
         let submitted = self.clock.now();
         let qid = self.patroller.record_submit(sql, submitted);
         let mut effects = Deferred::new();
-        let result = self.run(qid, sql, &self.clock, &mut effects);
+        let result = self.run(qid, sql, &self.clock, &mut effects, None);
         effects.apply();
         match result {
             Ok(outcome) => {
@@ -437,6 +437,21 @@ impl Federation {
     /// adaptation happens at batch granularity, and the outcomes are
     /// byte-identical for any `threads` setting, including 1.
     pub fn submit_batch(&self, sqls: &[String]) -> Vec<Result<QueryOutcome>> {
+        self.submit_batch_with_budgets(sqls, &[])
+    }
+
+    /// [`Federation::submit_batch`] with an optional remaining deadline
+    /// budget per query (virtual ms from dispatch, as handed out by the
+    /// admission queue). A query's effective execution deadline is the
+    /// smaller of the configured `exec_deadline_ms` and its budget, so a
+    /// ticket that spent most of its budget queueing gets a proportionally
+    /// tighter retry/hedge horizon. `budgets` may be empty (no budgets) or
+    /// must match `sqls` in length; `None` entries mean "no budget".
+    pub fn submit_batch_with_budgets(
+        &self,
+        sqls: &[String],
+        budgets: &[Option<f64>],
+    ) -> Vec<Result<QueryOutcome>> {
         let t0 = self.clock.now();
         let qids: Vec<QueryId> = sqls
             .iter()
@@ -445,7 +460,8 @@ impl Federation {
         let outcomes = scatter_indexed(sqls.len(), self.config.threads, |i| {
             let clock = SimClock::at(t0);
             let mut local = Deferred::new();
-            let result = self.run(qids[i], &sqls[i], &clock, &mut local);
+            let budget = budgets.get(i).copied().flatten();
+            let result = self.run(qids[i], &sqls[i], &clock, &mut local, budget);
             (result, local, clock.now())
         });
         let mut latest = t0;
@@ -471,6 +487,7 @@ impl Federation {
         sql: &str,
         clock: &SimClock,
         effects: &mut Deferred,
+        budget_ms: Option<f64>,
     ) -> Result<QueryOutcome> {
         let submitted = clock.now();
         let (decomposed, mut candidates) = self.compile(qid, sql, clock, effects)?;
@@ -478,11 +495,27 @@ impl Federation {
             return Err(QccError::NoViablePlan("no global candidates".into()));
         }
         let mut banned: BTreeSet<ServerId> = BTreeSet::new();
-        let exec_deadline_ms = self
+        // Effective execution deadline: the configured per-dispatch limit,
+        // tightened by whatever remains of the ticket's arrival-relative
+        // budget. A ticket dispatched with (almost) nothing left keeps a
+        // hair of budget so the deadline machinery stays armed rather than
+        // reading 0.0 as "disabled".
+        let configured = self
             .admission
             .as_ref()
             .map(|a| a.config().exec_deadline_ms)
             .unwrap_or(0.0);
+        let exec_deadline_ms = match budget_ms {
+            Some(budget) => {
+                let budget = budget.max(0.001);
+                if configured > 0.0 {
+                    configured.min(budget)
+                } else {
+                    budget
+                }
+            }
+            None => configured,
+        };
 
         // The retry *budget*: up to `retry_limit` re-routes, but the
         // execution deadline can forfeit whatever budget remains.
@@ -579,7 +612,41 @@ impl Federation {
                 .lock()
                 .insert(decomposed.template_signature.clone(), chosen.signature());
 
-            match self.execute_global(qid, &decomposed, chosen, clock, effects) {
+            // Hedged dispatch: when the remaining deadline budget is
+            // nearly exhausted relative to a fragment's calibrated
+            // estimate, line up a second within-band replica for that
+            // fragment. Both run concurrently; the faster result wins and
+            // the loser is suppressed at the merge.
+            let hedges = self.plan_hedges(chosen, &candidates, &banned, exec_deadline_ms, {
+                clock.now().since(submitted).as_millis()
+            });
+            for (slot, alt) in &hedges {
+                self.obs
+                    .counter_inc("hedges_total", &[("server", alt.plan.server.as_str())]);
+                if self.obs.is_enabled() {
+                    let obs = self.obs.clone();
+                    let at = clock.now();
+                    let primary = chosen.fragments[*slot].plan.server.to_string();
+                    let hedge = alt.plan.server.to_string();
+                    let est = chosen.fragments[*slot].effective_cost.total();
+                    let slot = *slot;
+                    effects.defer(move || {
+                        obs.event(
+                            at,
+                            "hedge",
+                            vec![
+                                ("query", qid.0.into()),
+                                ("fragment", slot.into()),
+                                ("primary", primary.into()),
+                                ("hedge", hedge.into()),
+                                ("est_ms", est.into()),
+                            ],
+                        );
+                    });
+                }
+            }
+
+            match self.execute_global(qid, &decomposed, chosen, &hedges, clock, effects) {
                 Ok((rows, fragment_times)) => {
                     let response_ms = clock.now().since(submitted).as_millis();
                     if exec_deadline_ms > 0.0 && response_ms > exec_deadline_ms {
@@ -671,21 +738,103 @@ impl Federation {
         )))
     }
 
+    /// Choose a hedge replica for every pressured fragment of `chosen`:
+    /// one whose remaining deadline budget (`exec_deadline_ms` minus
+    /// `elapsed_ms`) is below `hedge_slack_factor ×` its calibrated cost.
+    /// The replica is the cheapest alternate plan for the same fragment
+    /// slot from the enumerated candidate `pool` that sits on a different,
+    /// unbanned server with token capacity, within `hedge_band ×` the
+    /// primary's cost (ties broken by server id — fully deterministic
+    /// against the frozen admission snapshot).
+    fn plan_hedges(
+        &self,
+        chosen: &GlobalCandidate,
+        pool: &[GlobalCandidate],
+        banned: &BTreeSet<ServerId>,
+        exec_deadline_ms: f64,
+        elapsed_ms: f64,
+    ) -> BTreeMap<usize, FragmentCandidate> {
+        let mut hedges = BTreeMap::new();
+        let Some(admission) = &self.admission else {
+            return hedges;
+        };
+        let slack = admission.config().hedge_slack_factor;
+        if slack <= 0.0 || exec_deadline_ms <= 0.0 {
+            return hedges;
+        }
+        let remaining = exec_deadline_ms - elapsed_ms;
+        let band = admission.config().hedge_band.max(1.0);
+        for (slot, primary) in chosen.fragments.iter().enumerate() {
+            let est = primary.effective_cost.total();
+            if est <= 0.0 || remaining >= slack * est {
+                continue;
+            }
+            let limit = est * band;
+            let mut best: Option<&FragmentCandidate> = None;
+            for cand in pool {
+                let Some(alt) = cand.fragments.get(slot) else {
+                    continue;
+                };
+                if alt.plan.server == primary.plan.server
+                    || banned.contains(&alt.plan.server)
+                    || admission.capacity(&alt.plan.server) == 0
+                    || alt.effective_cost.total() > limit
+                {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => match alt
+                        .effective_cost
+                        .total()
+                        .total_cmp(&b.effective_cost.total())
+                    {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        std::cmp::Ordering::Equal => alt.plan.server < b.plan.server,
+                    },
+                };
+                if better {
+                    best = Some(alt);
+                }
+            }
+            if let Some(alt) = best {
+                hedges.insert(slot, alt.clone());
+            }
+        }
+        hedges
+    }
+
     /// Execute the fragments of a chosen global plan in parallel worker
-    /// threads — every fragment stamped with the shared `start` snapshot,
-    /// results gathered in fragment-index order, one coordinator-side
-    /// clock advance by the slowest fragment — then merge.
+    /// threads — every fragment (and every hedge replica) stamped with the
+    /// shared `start` snapshot, results gathered in task-index order
+    /// (primaries first, then hedges), one coordinator-side clock advance
+    /// by the slowest *winning* fragment — then merge. Where a hedge ran,
+    /// the faster success wins its slot (ties favour the primary), the
+    /// loser's rows are suppressed at the merge, and a hedge that succeeds
+    /// where its primary failed rescues the query without burning a retry.
     fn execute_global(
         &self,
         qid: QueryId,
         decomposed: &DecomposedQuery,
         chosen: &GlobalCandidate,
+        hedges: &BTreeMap<usize, FragmentCandidate>,
         clock: &SimClock,
         effects: &mut Deferred,
     ) -> Result<(Vec<Row>, FragmentTimes)> {
         let start = clock.now();
-        let outcomes = scatter_indexed(chosen.fragments.len(), self.config.threads, |i| {
-            let cand = &chosen.fragments[i];
+        let n = chosen.fragments.len();
+        let hedge_tasks: Vec<(usize, &FragmentCandidate)> =
+            hedges.iter().map(|(slot, cand)| (*slot, cand)).collect();
+        let task_candidate = |i: usize| -> &FragmentCandidate {
+            if i < n {
+                &chosen.fragments[i]
+            } else {
+                hedge_tasks[i - n].1
+            }
+        };
+        let outcomes = scatter_indexed(n + hedge_tasks.len(), self.config.threads, |i| {
+            let cand = task_candidate(i);
             let mut local = Deferred::new();
             let result = self.wrapper(&cand.plan.server).and_then(|wrapper| {
                 self.middleware.execute_fragment(
@@ -700,20 +849,19 @@ impl Federation {
             (result, local)
         });
 
-        // Gather barrier: every fragment ran, so every fragment's
-        // observations are merged (in index order) before the first error
-        // — if any — is surfaced.
-        let mut results = Vec::with_capacity(chosen.fragments.len());
-        let mut slowest = SimDuration::ZERO;
-        let mut fragment_times = Vec::new();
-        let mut first_err = None;
-        for (cand, (result, local)) in chosen.fragments.iter().zip(outcomes) {
+        // Gather barrier: every task ran, so every task's observations are
+        // merged (in index order: primaries, then hedges) before the first
+        // error — if any — is surfaced. Per slot the winner is the fastest
+        // success among primary and hedge.
+        let mut primary: Vec<Option<qcc_wrapper::WrapperResult>> = (0..n).map(|_| None).collect();
+        let mut hedge: Vec<Option<qcc_wrapper::WrapperResult>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<(usize, QccError)> = None;
+        for (i, (result, local)) in outcomes.into_iter().enumerate() {
             effects.merge(local);
+            let cand = task_candidate(i);
+            let slot = if i < n { i } else { hedge_tasks[i - n].0 };
             match result {
                 Ok(result) => {
-                    slowest = slowest.max(result.response_time);
-                    fragment_times
-                        .push((cand.plan.server.clone(), result.response_time.as_millis()));
                     self.obs
                         .counter_inc("fragments_total", &[("server", cand.plan.server.as_str())]);
                     if self.obs.is_enabled() {
@@ -734,17 +882,88 @@ impl Federation {
                             );
                         });
                     }
-                    results.push(result);
+                    if i < n {
+                        primary[slot] = Some(result);
+                    } else {
+                        hedge[slot] = Some(result);
+                    }
                 }
                 Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+                    // A failed primary may still be rescued by its hedge;
+                    // remember the earliest-slot primary error in case not.
+                    let rank = if i < n { slot } else { n + slot };
+                    if first_err.as_ref().map(|(r, _)| rank < *r).unwrap_or(true) {
+                        first_err = Some((rank, e));
                     }
                 }
             }
         }
-        if let Some(e) = first_err {
-            return Err(e);
+
+        let mut results = Vec::with_capacity(n);
+        let mut slowest = SimDuration::ZERO;
+        let mut fragment_times = Vec::new();
+        for slot in 0..n {
+            let p = primary[slot].take();
+            let h = hedge[slot].take();
+            let had_both = p.is_some() && h.is_some();
+            let (winner, hedged) = match (p, h) {
+                (Some(p), Some(h)) => {
+                    // Tie favours the primary: the hedge is insurance, not
+                    // a reroute.
+                    if h.response_time < p.response_time {
+                        (h, true)
+                    } else {
+                        (p, false)
+                    }
+                }
+                (Some(p), None) => (p, false),
+                (None, Some(h)) => (h, true),
+                (None, None) => {
+                    let (_, e) = first_err.take().unwrap_or((
+                        0,
+                        QccError::Execution(format!("fragment {slot} produced no result")),
+                    ));
+                    return Err(e);
+                }
+            };
+            let winner_server = if hedged {
+                hedges[&slot].plan.server.clone()
+            } else {
+                chosen.fragments[slot].plan.server.clone()
+            };
+            if hedged {
+                self.obs.counter_inc("hedge_wins_total", &[]);
+            }
+            if had_both {
+                // Duplicate suppression: exactly one of the two results
+                // feeds the merge; journal which replica was dropped.
+                self.obs
+                    .counter_inc("hedge_duplicates_suppressed_total", &[]);
+                if self.obs.is_enabled() {
+                    let obs = self.obs.clone();
+                    let winner = winner_server.to_string();
+                    let suppressed = if hedged {
+                        chosen.fragments[slot].plan.server.to_string()
+                    } else {
+                        hedges[&slot].plan.server.to_string()
+                    };
+                    effects.defer(move || {
+                        obs.event(
+                            start,
+                            "hedge_result",
+                            vec![
+                                ("query", qid.0.into()),
+                                ("fragment", slot.into()),
+                                ("winner", winner.into()),
+                                ("suppressed", suppressed.into()),
+                            ],
+                        );
+                    });
+                }
+            }
+            slowest = slowest.max(winner.response_time);
+            fragment_times.push((winner_server, winner.response_time.as_millis()));
+            results.push(winner);
         }
         clock.advance(slowest);
 
@@ -1086,5 +1305,47 @@ mod tests {
         assert_eq!(merges.len(), 1);
         assert!(merges[0].field("ms").is_some());
         assert_eq!(fed.obs().events_of("fragment").len(), 2);
+    }
+
+    #[test]
+    fn pressured_fragment_hedges_to_replica_and_suppresses_duplicate() {
+        let mut fed = setup();
+        fed.set_obs(Obs::new());
+        // A slack factor this large marks every fragment of a
+        // finite-deadline query as pressured, so the replicated nickname
+        // must hedge to its second host.
+        let admission = Arc::new(AdmissionController::new(qcc_admission::AdmissionConfig {
+            exec_deadline_ms: 50.0,
+            hedge_slack_factor: 1_000_000.0,
+            hedge_band: 10.0,
+            ..Default::default()
+        }));
+        admission.set_capacity(&ServerId::new("S1"), 2, SimTime::ZERO);
+        admission.set_capacity(&ServerId::new("S2"), 2, SimTime::ZERO);
+        fed.set_admission(Arc::clone(&admission));
+
+        let out = fed.submit("SELECT COUNT(*) FROM branches").unwrap();
+        assert_eq!(
+            out.rows[0].get(0),
+            &Value::Int(10),
+            "one merged result; the losing replica's rows are suppressed"
+        );
+        let hedges = fed.obs().events_of("hedge");
+        assert_eq!(hedges.len(), 1, "single-fragment plan hedges exactly once");
+        assert!(hedges[0].field("primary").is_some());
+        assert_ne!(
+            hedges[0].field("primary"),
+            hedges[0].field("hedge"),
+            "the hedge replica must sit on a different server"
+        );
+        let results = fed.obs().events_of("hedge_result");
+        assert_eq!(results.len(), 1);
+        assert!(results[0].field("winner").is_some());
+        assert_eq!(
+            fed.obs()
+                .counter_value("hedge_duplicates_suppressed_total", &[]),
+            1,
+            "healthy world: both replicas answer, exactly one duplicate suppressed"
+        );
     }
 }

@@ -16,6 +16,7 @@ use crate::world::build;
 use qcc_admission::{AdmissionConfig, AdmissionController, AdmissionCounts};
 use qcc_common::{Event, Obs, QccError, ServerId, SimDuration, SimTime};
 use qcc_core::AvailabilityDaemon;
+use qcc_workload::{run_open_loop, AdmissionMode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -65,6 +66,28 @@ pub struct RunArtifacts {
     pub retry_limit: usize,
     /// The run's observability handle (counter lookups for oracles).
     pub obs: Obs,
+    /// Arrival-relative deadline budget used for goodput accounting
+    /// (queue + exec components of the admission config).
+    pub deadline_budget_ms: f64,
+    /// Completions within the deadline budget, admission on.
+    pub admitted_goodput: usize,
+    /// p99 arrival→completion response (nearest rank), admission on.
+    pub admitted_p99_ms: f64,
+    /// Completions within the same budget for the paired unprotected
+    /// baseline (same world, same arrivals, fixed-width FIFO pool).
+    pub baseline_goodput: usize,
+    /// p99 arrival→completion response of the baseline.
+    pub baseline_p99_ms: f64,
+}
+
+/// Nearest-rank percentile of arrival→completion times.
+fn percentile(times: &mut [f64], p: f64) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    times.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * times.len() as f64).ceil() as usize;
+    times[rank.saturating_sub(1).min(times.len() - 1)]
 }
 
 /// Admission shape used for every simulated run: deadlines loose enough
@@ -103,6 +126,7 @@ pub fn run(config: &SimConfig, threads: usize, bug: &BugSwitches) -> RunArtifact
     let mut shed = 0usize;
     let mut failed = 0usize;
     let mut completion_tick = 0u64;
+    let mut responses: Vec<f64> = Vec::new();
     let mut next = 0usize;
     loop {
         daemon.run_due_probes();
@@ -130,22 +154,43 @@ pub fn run(config: &SimConfig, threads: usize, bug: &BugSwitches) -> RunArtifact
         if batch.admitted.is_empty() {
             continue;
         }
+        // Deadline-aware token placement: EDF-ordered tickets ride the
+        // slot plan (healthiest servers first); round-robin before the
+        // first capacity refresh.
+        let slots = admission.dispatch_slots(batch.admitted.len());
+        let server_index: BTreeMap<&str, usize> = scenario
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id().as_str(), i))
+            .collect();
         let guards: Vec<_> = batch
             .admitted
             .iter()
             .enumerate()
             .map(|(i, _)| {
-                scenario.servers[i % scenario.servers.len()]
-                    .load()
-                    .begin_query()
+                let idx = slots
+                    .get(i)
+                    .and_then(|sid| server_index.get(sid.as_str()).copied())
+                    .unwrap_or(i % scenario.servers.len());
+                scenario.servers[idx].load().begin_query()
             })
             .collect();
         let sqls: Vec<String> = batch.admitted.iter().map(|t| t.sql.clone()).collect();
-        let outcomes = scenario.federation.submit_batch(&sqls);
+        let budgets: Vec<Option<f64>> = batch
+            .admitted
+            .iter()
+            .map(|t| t.remaining_budget_ms(now))
+            .collect();
+        let outcomes = scenario
+            .federation
+            .submit_batch_with_budgets(&sqls, &budgets);
         drop(guards);
-        for outcome in outcomes {
+        for (ticket, outcome) in batch.admitted.iter().zip(outcomes) {
             match outcome {
-                Ok(_) => {
+                Ok(out) => {
+                    admission.record_exec(&ticket.template, out.response_ms);
+                    responses.push(now.since(ticket.enqueued_at).as_millis() + out.response_ms);
                     completion_tick += 1;
                     if bug.drop_completion && completion_tick % 3 == 0 {
                         // Injected accounting bug: the completion is lost.
@@ -175,6 +220,25 @@ pub fn run(config: &SimConfig, threads: usize, bug: &BugSwitches) -> RunArtifact
         extra += 1;
     }
 
+    // Paired unprotected baseline: the same config builds a fresh world
+    // (identical arrivals, faults, and seeds) driven through a fixed-width
+    // FIFO pool with no admission, no deadlines, and no probe daemon. Its
+    // goodput/p99 against the same deadline budget is what the
+    // `goodput_dominance` oracle holds the admitted run to. The baseline
+    // has its own Obs, so the admitted run's journal stays untouched.
+    let deadline_budget_ms = admission_config()
+        .deadline_budget_ms()
+        .unwrap_or(f64::INFINITY);
+    let baseline_world = build(config, threads);
+    let width = baseline_world.scenario.servers.len() * admission_config().base_tokens as usize;
+    let baseline = run_open_loop(
+        &baseline_world.scenario,
+        AdmissionMode::Unprotected {
+            width: width.max(1),
+        },
+        &baseline_world.arrivals,
+    );
+
     RunArtifacts {
         total: arrivals.len(),
         completed,
@@ -189,6 +253,14 @@ pub fn run(config: &SimConfig, threads: usize, bug: &BugSwitches) -> RunArtifact
         server_ids,
         retry_limit: config.retry_limit,
         obs: scenario.obs.clone(),
+        deadline_budget_ms,
+        admitted_goodput: responses
+            .iter()
+            .filter(|r| **r <= deadline_budget_ms)
+            .count(),
+        admitted_p99_ms: percentile(&mut responses, 99.0),
+        baseline_goodput: baseline.goodput(deadline_budget_ms),
+        baseline_p99_ms: baseline.response_percentile(99.0),
     }
 }
 

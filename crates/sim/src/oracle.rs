@@ -57,6 +57,7 @@ pub fn check_all(a: &RunArtifacts, config: &SimConfig) -> Vec<Violation> {
     no_route_to_banned(a, &mut v);
     calibration_sanity(a, config, &mut v);
     bounded_retries(a, &mut v);
+    goodput_dominance(a, config, &mut v);
     v
 }
 
@@ -320,6 +321,46 @@ fn calibration_sanity(a: &RunArtifacts, config: &SimConfig, out: &mut Vec<Violat
                 });
             }
         }
+    }
+}
+
+/// Goodput dominance under load surges: the whole point of admission
+/// control is that protecting the system must not cost useful work.
+/// Whenever the fault schedule injects a surge (the scenario class the
+/// policy exists for), the admitted run must complete at least as many
+/// queries within the deadline budget as the paired unprotected baseline
+/// (same world, same arrivals, fixed-width FIFO pool), and its p99
+/// arrival→completion response must not exceed the worse of the baseline's
+/// p99 and the budget itself — i.e. admission may never *create* a tail
+/// the unprotected system didn't have. Gated on surge evidence: a faultless
+/// or crash-only run proves nothing about shedding policy and is not
+/// flagged.
+fn goodput_dominance(a: &RunArtifacts, config: &SimConfig, out: &mut Vec<Violation>) {
+    let surged = config
+        .faults
+        .iter()
+        .any(|f| matches!(f, FaultSpec::Surge { .. }));
+    if !surged {
+        return;
+    }
+    if a.admitted_goodput < a.baseline_goodput {
+        out.push(Violation {
+            oracle: "goodput_dominance",
+            detail: format!(
+                "admission-on goodput {} < admission-off {} (budget {:.1}ms)",
+                a.admitted_goodput, a.baseline_goodput, a.deadline_budget_ms
+            ),
+        });
+    }
+    let p99_cap = a.baseline_p99_ms.max(a.deadline_budget_ms);
+    if a.admitted_p99_ms > p99_cap {
+        out.push(Violation {
+            oracle: "goodput_dominance",
+            detail: format!(
+                "admission-on p99 {:.3}ms exceeds max(baseline p99 {:.3}ms, budget {:.1}ms)",
+                a.admitted_p99_ms, a.baseline_p99_ms, a.deadline_budget_ms
+            ),
+        });
     }
 }
 

@@ -22,7 +22,7 @@ use crate::querytypes::{QueryType, ALL_QUERY_TYPES};
 use crate::scenario::Scenario;
 use qcc_admission::{AdmissionController, PriorityClass, QueueTicket};
 use qcc_common::{Pcg32, QccError, SimTime};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One scheduled arrival of the open-loop process.
 #[derive(Debug, Clone)]
@@ -201,9 +201,9 @@ fn run_admitted(
         let batch = admission.dequeue_batch(now);
         report.shed += batch.shed.len() as u64;
         if batch.admitted.is_empty() {
-            continue; // everything popped this round was stale; queue shrank
+            continue; // everything popped this round was doomed; queue shrank
         }
-        dispatch_round(scenario, &batch.admitted, now, &mut report);
+        dispatch_round(scenario, Some(admission), &batch.admitted, now, &mut report);
     }
     report
 }
@@ -224,6 +224,7 @@ fn run_unprotected(scenario: &Scenario, arrivals: &[ArrivalEvent], width: usize)
                 template: a.qt.to_string(),
                 class: a.class,
                 enqueued_at: a.at,
+                deadline_ms: f64::INFINITY, // unprotected: nothing has a deadline
             });
             seq += 1;
             next += 1;
@@ -239,30 +240,59 @@ fn run_unprotected(scenario: &Scenario, arrivals: &[ArrivalEvent], width: usize)
         // rest wait for the pool — nothing is ever refused.
         let take = width.min(pending.len());
         let round: Vec<QueueTicket> = pending.drain(..take).collect();
-        dispatch_round(scenario, &round, now, &mut report);
+        dispatch_round(scenario, None, &round, now, &mut report);
     }
     report
 }
 
 /// Dispatch one round as a single `submit_batch`, holding an inflight
-/// guard per query (round-robin across servers) for the round's duration.
+/// guard per query for the round's duration. With admission attached the
+/// guards follow the deadline-aware token slot plan (earliest-deadline
+/// tickets ride the healthiest servers, and each server carries at most
+/// its token capacity per cycle); without one — or before the first
+/// capacity refresh — placement is round-robin. Each admitted ticket also
+/// hands the federation its remaining deadline budget, and completed
+/// outcomes feed the per-template execution estimator back.
 fn dispatch_round(
     scenario: &Scenario,
+    admission: Option<&AdmissionController>,
     tickets: &[QueueTicket],
     dispatched_at: SimTime,
     report: &mut OpenLoopReport,
 ) {
+    let slots = admission
+        .map(|a| a.dispatch_slots(tickets.len()))
+        .unwrap_or_default();
+    let server_index: BTreeMap<&str, usize> = scenario
+        .servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id().as_str(), i))
+        .collect();
     let guards: Vec<_> = tickets
         .iter()
         .enumerate()
         .map(|(i, _)| {
-            scenario.servers[i % scenario.servers.len()]
-                .load()
-                .begin_query()
+            let idx = slots
+                .get(i)
+                .and_then(|sid| server_index.get(sid.as_str()).copied())
+                .unwrap_or(i % scenario.servers.len());
+            scenario.servers[idx].load().begin_query()
         })
         .collect();
     let sqls: Vec<String> = tickets.iter().map(|t| t.sql.clone()).collect();
-    let outcomes = scenario.federation.submit_batch(&sqls);
+    let outcomes = match admission {
+        Some(_) => {
+            let budgets: Vec<Option<f64>> = tickets
+                .iter()
+                .map(|t| t.remaining_budget_ms(dispatched_at))
+                .collect();
+            scenario
+                .federation
+                .submit_batch_with_budgets(&sqls, &budgets)
+        }
+        None => scenario.federation.submit_batch(&sqls),
+    };
     drop(guards);
     let wait_ms: Vec<f64> = tickets
         .iter()
@@ -273,6 +303,9 @@ fn dispatch_round(
     for ((ticket, outcome), wait) in tickets.iter().zip(outcomes).zip(wait_ms) {
         match outcome {
             Ok(out) => {
+                if let Some(admission) = admission {
+                    admission.record_exec(&ticket.template, out.response_ms);
+                }
                 let response_ms = wait + out.response_ms;
                 round_sum += response_ms;
                 round_n += 1;

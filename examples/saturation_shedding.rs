@@ -20,16 +20,20 @@ fn main() {
             queue_deadline_ms: 40.0,
             exec_deadline_ms: 120.0,
             base_tokens: 4,
-            max_queue_depth: 32,
+            // Deep queue: bursts wait under EDF; shed-on-dispatch drops
+            // only work that can no longer meet its deadline.
+            max_queue_depth: 1024,
             ..AdmissionConfig::default()
         },
         scenario.obs.clone(),
     ));
     scenario.federation.set_admission(Arc::clone(&admission));
 
-    // ~2x the tiny scenario's service capacity: the queue fills, the WFQ
-    // spreads what fits across templates, the rest sheds.
-    let arrivals = poisson_arrivals(6.0, 400, 0xfeed);
+    // ~2x the tiny scenario's service capacity, sustained long enough
+    // that the backlog outgrows the deadline budget: the queue holds it
+    // under EDF, viable work drains, and provably-late work sheds at
+    // dispatch (a short burst would drain entirely, shedding nothing).
+    let arrivals = poisson_arrivals(6.0, 1200, 0xfeed);
     let report = run_open_loop(&scenario, AdmissionMode::Admitted(&admission), &arrivals);
 
     println!("== saturation run ==");

@@ -16,6 +16,12 @@
 //! 3. **Drain order is invariant under arrival-batch chunking** — the
 //!    concatenated admitted order is the same whether the queue is
 //!    drained one ticket, two, five, or sixteen tickets per round.
+//! 4. **EDF within a class** — with deadlines enabled and monotone
+//!    arrival times, a ticket is never dequeued after one with a strictly
+//!    later deadline in the same class; equal deadlines fall back to the
+//!    WFQ finish-tag order (identical drain to a deadline-free run); and
+//!    the EDF drain order is itself invariant under dispatch-quota
+//!    chunking.
 
 use load_aware_federation::admission::{AdmissionConfig, AdmissionController, PriorityClass};
 use load_aware_federation::common::{Pcg32, ServerId, SimTime};
@@ -82,6 +88,48 @@ fn drain_with_quota(
         );
         for t in batch.admitted {
             out.push((t.seq, t.template, t.class));
+        }
+    }
+    out
+}
+
+/// A controller with a finite deadline budget so EDF is active, but one
+/// large enough (1e6 ms) that nothing can shed during a drain.
+fn edf_controller(weights: BTreeMap<String, f64>) -> AdmissionController {
+    AdmissionController::new(AdmissionConfig {
+        queue_deadline_ms: 1_000_000.0,
+        exec_deadline_ms: 0.0,
+        max_queue_depth: 0,
+        template_weights: weights,
+        ..AdmissionConfig::default()
+    })
+}
+
+/// Enqueue arrivals at staggered times (`i` ms apart, so deadlines are
+/// monotone in arrival order), then drain with `quota` tickets per round
+/// starting at the last arrival time. Returns `(seq, template, class,
+/// deadline_ms)` in admitted order.
+fn drain_staggered_with_quota(
+    arrivals: &[(String, PriorityClass)],
+    weights: &BTreeMap<String, f64>,
+    quota: u32,
+) -> Vec<(u64, String, PriorityClass, f64)> {
+    let ctl = edf_controller(weights.clone());
+    assert!(!ctl.set_capacity(&ServerId::new("s0"), quota, SimTime::ZERO));
+    for (i, (template, class)) in arrivals.iter().enumerate() {
+        ctl.enqueue("SELECT 1", template, *class, SimTime::from_millis(i as f64))
+            .expect("depth bound disabled; enqueue cannot shed");
+    }
+    let now = SimTime::from_millis(arrivals.len() as f64);
+    let mut out = Vec::with_capacity(arrivals.len());
+    while ctl.queue_depth() > 0 {
+        let batch = ctl.dequeue_batch(now);
+        assert!(
+            batch.shed.is_empty(),
+            "budget is 1e6 ms; nothing may shed during the drain"
+        );
+        for t in batch.admitted {
+            out.push((t.seq, t.template, t.class, t.deadline_ms));
         }
     }
     out
@@ -220,6 +268,87 @@ fn drain_order_is_invariant_under_quota_chunking() {
             assert_eq!(
                 reference, chunked,
                 "seed {seed}: drain order changed under quota {quota}"
+            );
+        }
+    }
+}
+
+#[test]
+fn edf_never_dequeues_a_later_deadline_before_an_earlier_one_within_a_class() {
+    let templates = ["QT1", "QT2", "QT3", "QT4"];
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from(0xEDF0_0001 ^ seed);
+        let arrivals = random_arrivals(&mut rng, &templates);
+        let drained = drain_staggered_with_quota(&arrivals, &BTreeMap::new(), 1);
+        assert_eq!(drained.len(), arrivals.len());
+        // Within each class the drain must be sorted by deadline: arrival
+        // times are strictly increasing, so per-template FIFOs hold
+        // increasing deadlines and an EDF pop merges them in order.
+        let mut last_by_class: BTreeMap<PriorityClass, f64> = BTreeMap::new();
+        for (seq, template, class, deadline) in drained {
+            if let Some(prev) = last_by_class.get(&class) {
+                assert!(
+                    deadline >= *prev,
+                    "seed {seed}: seq {seq} ({template}, {class}) with deadline \
+                     {deadline} dequeued after deadline {prev} in the same class"
+                );
+            }
+            last_by_class.insert(class, deadline);
+        }
+    }
+}
+
+#[test]
+fn equal_deadline_ties_follow_wfq_finish_tag_order() {
+    let templates = ["QT1", "QT2", "QT3"];
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from(0xEDF0_0002 ^ seed);
+        let mut weights = BTreeMap::new();
+        for t in &templates {
+            weights.insert((*t).to_string(), *rng.choose(&[1.0, 2.0, 4.0]));
+        }
+        let arrivals = random_arrivals(&mut rng, &templates);
+        // All enqueued at t=0: with the budget enabled every ticket gets
+        // the *same* finite deadline, so EDF is pure tie-break territory
+        // and the drain must match the deadline-free WFQ reference.
+        let reference = drain_with_quota(&arrivals, &weights, 1);
+        let ctl = edf_controller(weights.clone());
+        assert!(!ctl.set_capacity(&ServerId::new("s0"), 1, SimTime::ZERO));
+        for (template, class) in &arrivals {
+            ctl.enqueue("SELECT 1", template, *class, SimTime::ZERO)
+                .expect("depth bound disabled; enqueue cannot shed");
+        }
+        let mut tied = Vec::with_capacity(arrivals.len());
+        while ctl.queue_depth() > 0 {
+            let batch = ctl.dequeue_batch(SimTime::ZERO);
+            assert!(batch.shed.is_empty());
+            for t in batch.admitted {
+                tied.push((t.seq, t.template, t.class));
+            }
+        }
+        assert_eq!(
+            reference, tied,
+            "seed {seed}: equal finite deadlines must drain in WFQ finish-tag order"
+        );
+    }
+}
+
+#[test]
+fn edf_drain_order_is_invariant_under_quota_chunking() {
+    let templates = ["QT1", "QT2", "QT3", "QT4", "QT5"];
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from(0xEDF0_0003 ^ seed);
+        let mut weights = BTreeMap::new();
+        for t in &templates {
+            weights.insert((*t).to_string(), *rng.choose(&[1.0, 2.0, 3.0]));
+        }
+        let arrivals = random_arrivals(&mut rng, &templates);
+        let reference = drain_staggered_with_quota(&arrivals, &weights, 1);
+        for quota in [2u32, 5, 16] {
+            let chunked = drain_staggered_with_quota(&arrivals, &weights, quota);
+            assert_eq!(
+                reference, chunked,
+                "seed {seed}: EDF drain order changed under quota {quota}"
             );
         }
     }
