@@ -48,6 +48,16 @@ cmp /tmp/qcc-sim-t1.out /tmp/qcc-sim-t8.out
 echo "==> sim corpus replay"
 cargo xtask sim --replay-corpus tests/corpus
 
+echo "==> sim fleet-scale replay (hundreds of servers, QCC_THREADS=1 vs 8 byte-compared)"
+# The corpus replay above already runs this pinned scenario (1-vs-8
+# scatter threads are byte-compared internally by the thread_determinism
+# oracle); running it under both QCC_THREADS values additionally pins
+# the explorer's *report* output at fleet scale.
+FLEET_LINE='sim(seed: 901, servers: [], large_rows: 80, small_rows: 16, arrivals: 12, rate_per_ms: 0.08, retry_limit: 2, fleet: 120, replication: 3, faults: [crash(7, 40.0, 120.0)])'
+QCC_THREADS=1 cargo xtask sim --replay "$FLEET_LINE" > /tmp/qcc-fleet-t1.out
+QCC_THREADS=8 cargo xtask sim --replay "$FLEET_LINE" > /tmp/qcc-fleet-t8.out
+cmp /tmp/qcc-fleet-t1.out /tmp/qcc-fleet-t8.out
+
 echo "==> bench smoke: scatter_speedup (tiny scale)"
 QCC_LARGE_ROWS=2000 QCC_SMALL_ROWS=100 QCC_INSTANCES=2 QCC_WARMUP=1 \
     cargo bench -q --offline -p qcc-bench --bench scatter_speedup
@@ -72,6 +82,15 @@ if grep -q "goodput dominance: VIOLATED" /tmp/qcc-admission.out; then
     exit 1
 fi
 grep -q "goodput dominance: OK" /tmp/qcc-admission.out
+
+echo "==> bench smoke: federation_scale (pruned fan-out within bound, winners identical)"
+QCC_FLEETS=50,250 cargo bench -q --offline -p qcc-bench --bench federation_scale \
+    | tee /tmp/qcc-fedscale.out
+if grep -q "scale pruning: VIOLATED" /tmp/qcc-fedscale.out; then
+    echo "federation_scale: source-selection pruning verdict violated" >&2
+    exit 1
+fi
+grep -q "scale pruning: OK" /tmp/qcc-fedscale.out
 
 echo "==> cargo fmt --check"
 cargo fmt --check

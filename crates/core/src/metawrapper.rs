@@ -234,8 +234,10 @@ impl MetaWrapper {
             if unreachable {
                 qcc.reliability.record_unreachable(&server, at);
                 // While unreachable the server's catalog may change;
-                // cached plans for it are no longer trustworthy.
-                qcc.plan_cache.invalidate_server(&server);
+                // cached plans routing through its fragments are no
+                // longer trustworthy (scoped by the replica catalog
+                // when one is attached).
+                qcc.invalidate_down_plans(&server);
             } else if fault {
                 qcc.reliability.record_fault(&server);
             }

@@ -103,6 +103,18 @@ impl<'a> PlacementAdvisor<'a> {
                 if hosts.contains(server.id()) {
                     continue;
                 }
+                // The replica catalog may know of replicas the nickname
+                // catalog does not (registered out-of-band); recommending
+                // a copy that already exists is never useful.
+                if let Some(catalog) = self.qcc.catalog() {
+                    if catalog
+                        .replicas(nickname)
+                        .iter()
+                        .any(|r| &r.server == server.id())
+                    {
+                        continue;
+                    }
+                }
                 // What-if: same world plus a virtual replica of `nickname`
                 // (origin statistics, no data) on `server`.
                 let mut nick2 = self.nicknames.clone();

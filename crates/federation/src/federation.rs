@@ -7,6 +7,7 @@ use crate::nickname::NicknameCatalog;
 use crate::patroller::QueryPatroller;
 use parking_lot::Mutex;
 use qcc_admission::AdmissionController;
+use qcc_catalog::ReplicaCatalog;
 use qcc_common::{
     scatter_indexed, Cost, FragmentId, Obs, QccError, QueryId, Result, Row, ServerId, SimDuration,
 };
@@ -94,6 +95,11 @@ pub struct Federation {
     /// between batches, so every query in a batch gates against the same
     /// snapshot regardless of thread count.
     admission: Option<Arc<AdmissionController>>,
+    /// Replica catalog (absent unless [`Federation::set_catalog`] is
+    /// called). When attached, `compile` runs source selection against it
+    /// *before* the EXPLAIN fan-out, pruning dominated replicas so the
+    /// fan-out stays O(relevant replicas) instead of O(servers).
+    catalog: Option<Arc<ReplicaCatalog>>,
 }
 
 impl Federation {
@@ -115,6 +121,7 @@ impl Federation {
             explain_table: Mutex::new(BTreeMap::new()),
             obs: Obs::off(),
             admission: None,
+            catalog: None,
         }
     }
 
@@ -127,6 +134,18 @@ impl Federation {
     /// The attached admission controller, if any.
     pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
         self.admission.as_ref()
+    }
+
+    /// Attach a replica catalog; `compile` will prune each fragment's
+    /// candidate servers through [`ReplicaCatalog::select_sources`] before
+    /// dispatching the EXPLAIN fan-out.
+    pub fn set_catalog(&mut self, catalog: Arc<ReplicaCatalog>) {
+        self.catalog = Some(catalog);
+    }
+
+    /// The attached replica catalog, if any.
+    pub fn catalog(&self) -> Option<&Arc<ReplicaCatalog>> {
+        self.catalog.as_ref()
     }
 
     /// Attach an observability handle; the patroller journals through the
@@ -204,6 +223,51 @@ impl Federation {
     ) -> Result<CompiledGlobal> {
         let decomposed = decompose(sql, &self.nicknames)?;
 
+        // Source selection: when a replica catalog is attached, prune each
+        // fragment's candidate set *before* the EXPLAIN fan-out — dominated
+        // replicas (strictly worse calibrated cost AND reliability band
+        // than a surviving sibling) never win the cost race, so consulting
+        // them is pure network waste. Selection preserves candidate order
+        // and fails open on unregistered fragments, so a world without a
+        // catalog (or with an empty one) compiles exactly as before.
+        let selected: Vec<Vec<ServerId>> = decomposed
+            .fragments
+            .iter()
+            .map(|frag| match &self.catalog {
+                Some(catalog) => catalog.select_sources(&frag.nicknames, &frag.candidate_servers),
+                None => frag.candidate_servers.clone(),
+            })
+            .collect();
+        if self.catalog.is_some() {
+            let full: usize = decomposed
+                .fragments
+                .iter()
+                .map(|f| f.candidate_servers.len())
+                .sum();
+            let kept: usize = selected.iter().map(|s| s.len()).sum();
+            if kept < full {
+                // Commutative counter: safe inline on worker threads (L9).
+                self.obs
+                    .counter_add("catalog_candidates_pruned_total", &[], (full - kept) as u64);
+            }
+            if self.obs.is_enabled() {
+                let obs = self.obs.clone();
+                let at = clock.now();
+                effects.defer(move || {
+                    // Per-query candidate-set-size distribution (post-prune).
+                    obs.observe("catalog_candidate_set_size", &[], kept as f64);
+                    if kept < full {
+                        let mut fields: Vec<(&'static str, qcc_common::FieldValue)> = Vec::new();
+                        if qid.0 != u64::MAX {
+                            fields.push(("query", qid.0.into()));
+                        }
+                        fields.extend([("full", full.into()), ("kept", kept.into())]);
+                        obs.event(at, "catalog_prune", fields);
+                    }
+                });
+            }
+        }
+
         // Scatter: every (fragment, candidate server) EXPLAIN is
         // dispatched concurrently at one snapshot — the MW fans the
         // requests out, so virtual time advances by the slowest round
@@ -218,7 +282,7 @@ impl Federation {
         let mut tasks: Vec<ExplainTask<'_>> = Vec::new();
         for (slot, frag) in decomposed.fragments.iter().enumerate() {
             let fid = FragmentId::new(qid, frag.index);
-            for server in &frag.candidate_servers {
+            for server in &selected[slot] {
                 let Ok(wrapper) = self.wrapper(server) else {
                     continue;
                 };

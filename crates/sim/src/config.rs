@@ -113,6 +113,16 @@ pub struct SimConfig {
     pub rate_per_ms: f64,
     /// Per-query retry budget.
     pub retry_limit: usize,
+    /// Generated-fleet size. `0` = classic mode: the explicit `servers`
+    /// list is the world. When positive, `servers` must be empty and the
+    /// per-server specs are derived deterministically from `seed` in
+    /// `world::build`; fault indices range over the fleet.
+    pub fleet: usize,
+    /// Replica-catalog source-selection bound in fleet mode: how many
+    /// candidate servers survive per fragment after dominance pruning.
+    /// `0` = no catalog attached (the unpruned fleet). Ignored in
+    /// classic mode.
+    pub replication: usize,
     /// The fault schedule.
     pub faults: Vec<FaultSpec>,
 }
@@ -139,9 +149,17 @@ impl SimConfig {
         }
         let _ = write!(
             out,
-            "], large_rows: {}, small_rows: {}, arrivals: {}, rate_per_ms: {:?}, retry_limit: {}, faults: [",
+            "], large_rows: {}, small_rows: {}, arrivals: {}, rate_per_ms: {:?}, retry_limit: {}, ",
             self.large_rows, self.small_rows, self.arrivals, self.rate_per_ms, self.retry_limit
         );
+        if self.fleet > 0 {
+            let _ = write!(
+                out,
+                "fleet: {}, replication: {}, ",
+                self.fleet, self.replication
+            );
+        }
+        out.push_str("faults: [");
         for (i, f) in self.faults.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -255,6 +273,65 @@ pub fn generate(seed: u64) -> SimConfig {
         arrivals,
         rate_per_ms,
         retry_limit: 2,
+        fleet: 0,
+        replication: 0,
+        faults,
+    }
+}
+
+/// Salt separating the scale-scenario generation stream from the classic
+/// [`generate`] stream (the same seed must not alias both).
+const SCALE_SALT: u64 = 0x5ca1_ab1e_0000_0001;
+
+/// Draw a servers-in-the-hundreds scenario from `seed`: a generated
+/// fleet of 100–259 hosts with the replica catalog's source-selection
+/// bound at 3, tiny tables (the fleet exists to be routed over, not
+/// scanned hard), and a short fault schedule whose server indices range
+/// over the whole fleet.
+pub fn generate_scale(seed: u64) -> SimConfig {
+    let mut rng = Pcg32::seed_from(seed ^ SCALE_SALT);
+    let fleet = rng.range_u64(100, 260) as usize;
+    let large_rows = rng.range_u64(60, 120);
+    let small_rows = rng.range_u64(12, 24);
+    let arrivals = rng.range_u64(8, 16) as usize;
+    let rate_per_ms = rng.range_f64(0.05, 0.15);
+    let horizon = arrivals as f64 / rate_per_ms;
+    let n_faults = rng.range_u64(0, 3) as usize;
+    let mut faults = Vec::with_capacity(n_faults);
+    for _ in 0..n_faults {
+        let server = rng.range_u64(0, fleet as u64) as usize;
+        let from_ms = rng.range_f64(0.05, 0.60) * horizon;
+        let until_ms = from_ms + rng.range_f64(0.10, 0.35) * horizon;
+        faults.push(match rng.range_u64(0, 3) {
+            0 => FaultSpec::Crash {
+                server,
+                from_ms,
+                until_ms,
+            },
+            1 => FaultSpec::Flaky {
+                server,
+                from_ms,
+                until_ms,
+                rate: rng.range_f64(0.1, 0.9),
+            },
+            _ => FaultSpec::Surge {
+                server,
+                from_ms,
+                until_ms,
+                level: rng.range_f64(0.5, 0.9),
+            },
+        });
+    }
+    SimConfig {
+        seed,
+        servers: Vec::new(),
+        large_rows,
+        small_rows,
+        arrivals,
+        rate_per_ms,
+        retry_limit: 2,
+        fleet,
+        replication: 3,
         faults,
     }
 }
@@ -290,8 +367,27 @@ pub fn parse(s: &str) -> Result<SimConfig, String> {
     p.key("retry_limit")?;
     let retry_limit = p.u64()? as usize;
     p.tok(b',')?;
+    // Optional fleet block (scale mode); "fleet" vs "faults" diverge at
+    // the second byte, so a prefix peek is unambiguous.
+    let (fleet, replication) = if p.peek_tag("fleet") {
+        p.key("fleet")?;
+        let fleet = p.u64()? as usize;
+        if fleet == 0 {
+            return Err("fleet must be positive when given".to_string());
+        }
+        p.tok(b',')?;
+        p.key("replication")?;
+        let replication = p.u64()? as usize;
+        p.tok(b',')?;
+        (fleet, replication)
+    } else {
+        (0, 0)
+    };
+    if fleet > 0 && !servers.is_empty() {
+        return Err("fleet mode requires an empty servers list".to_string());
+    }
     p.key("faults")?;
-    let faults = p.fault_list(servers.len())?;
+    let faults = p.fault_list(if fleet > 0 { fleet } else { servers.len() })?;
     p.tok(b')')?;
     p.ws();
     if p.i != p.s.len() {
@@ -305,6 +401,8 @@ pub fn parse(s: &str) -> Result<SimConfig, String> {
         arrivals,
         rate_per_ms,
         retry_limit,
+        fleet,
+        replication,
         faults,
     })
 }
@@ -344,6 +442,11 @@ impl Parser<'_> {
     fn key(&mut self, k: &str) -> Result<(), String> {
         self.tag(k)?;
         self.tok(b':')
+    }
+
+    fn peek_tag(&mut self, t: &str) -> bool {
+        self.ws();
+        self.s[self.i..].starts_with(t.as_bytes())
     }
 
     fn ident(&mut self) -> String {
@@ -512,6 +615,55 @@ mod tests {
             assert!(f.server() < a.servers.len());
             assert!(f.until_ms() > 0.0);
         }
+    }
+
+    #[test]
+    fn scale_render_parse_round_trips() {
+        for seed in 0..32u64 {
+            let c = generate_scale(seed);
+            assert!(c.servers.is_empty(), "seed {seed}");
+            assert!((100..260).contains(&c.fleet), "seed {seed}");
+            assert_eq!(c.replication, 3, "seed {seed}");
+            for f in &c.faults {
+                assert!(f.server() < c.fleet, "seed {seed}");
+            }
+            let line = c.render();
+            assert!(line.contains("fleet:"), "seed {seed}: {line}");
+            let back = parse(&line).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{line}"));
+            assert_eq!(back, c, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parse_validates_fleet_mode() {
+        // Fault indices range over the fleet, not the (empty) servers list.
+        let ok = parse(
+            "sim(seed: 1, servers: [], large_rows: 60, small_rows: 12, arrivals: 4, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 50, replication: 3, \
+             faults: [crash(49, 1.0, 2.0)])",
+        )
+        .unwrap();
+        assert_eq!(ok.fleet, 50);
+        assert_eq!(ok.replication, 3);
+        // Fault index at or past the fleet size is rejected.
+        assert!(parse(
+            "sim(seed: 1, servers: [], large_rows: 60, small_rows: 12, arrivals: 4, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 50, replication: 3, \
+             faults: [crash(50, 1.0, 2.0)])"
+        )
+        .is_err());
+        // Explicit servers and a generated fleet are mutually exclusive.
+        assert!(parse(
+            "sim(seed: 1, servers: [(1.0, 0.1)], large_rows: 60, small_rows: 12, arrivals: 4, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 50, replication: 3, faults: [])"
+        )
+        .is_err());
+        // A zero fleet must simply be omitted.
+        assert!(parse(
+            "sim(seed: 1, servers: [], large_rows: 60, small_rows: 12, arrivals: 4, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 0, replication: 3, faults: [])"
+        )
+        .is_err());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use crate::config::{FaultSpec, SimConfig};
 use crate::driver::RunArtifacts;
+use crate::world::build;
 use qcc_common::{Event, FieldValue};
+use std::collections::BTreeSet;
 
 /// One oracle violation: which invariant broke and how.
 #[derive(Debug, Clone)]
@@ -58,6 +60,7 @@ pub fn check_all(a: &RunArtifacts, config: &SimConfig) -> Vec<Violation> {
     calibration_sanity(a, config, &mut v);
     bounded_retries(a, &mut v);
     goodput_dominance(a, config, &mut v);
+    prune_soundness(a, config, &mut v);
     v
 }
 
@@ -364,6 +367,97 @@ fn goodput_dominance(a: &RunArtifacts, config: &SimConfig, out: &mut Vec<Violati
     }
 }
 
+/// Replica-catalog pruning soundness (fleet mode only). Three layers:
+///
+/// * every journaled `catalog_prune` kept a nonempty strict subset of
+///   the full candidate set;
+/// * the `catalog_candidates_pruned_total` counter reconciles exactly
+///   with the journal's per-compile `full - kept` sums;
+/// * the core property — source selection never changes the *winner*: a
+///   fresh fault-free build of the same world compiles each distinct
+///   workload query to the same best plan (signature and cost) with the
+///   catalog attached and with pruning disabled. Compile-time behaviour
+///   does not depend on the fault schedule, so clearing it keeps every
+///   server answerable at t = 0 without weakening the check.
+fn prune_soundness(a: &RunArtifacts, config: &SimConfig, out: &mut Vec<Violation>) {
+    if config.fleet == 0 || config.replication == 0 {
+        return;
+    }
+    let mut pruned_sum = 0u64;
+    for e in &a.journal {
+        if e.kind != "catalog_prune" {
+            continue;
+        }
+        match (u64_field(e, "full"), u64_field(e, "kept")) {
+            (Some(full), Some(kept)) => {
+                if kept == 0 || kept >= full {
+                    out.push(Violation {
+                        oracle: "prune_soundness",
+                        detail: format!("prune event kept {kept} of {full} candidates"),
+                    });
+                }
+                pruned_sum += full.saturating_sub(kept);
+            }
+            _ => out.push(Violation {
+                oracle: "prune_soundness",
+                detail: "catalog_prune event missing full/kept fields".to_string(),
+            }),
+        }
+    }
+    let counter = a.obs.counter_value("catalog_candidates_pruned_total", &[]);
+    if counter != pruned_sum {
+        out.push(Violation {
+            oracle: "prune_soundness",
+            detail: format!(
+                "catalog_candidates_pruned_total {counter} != journaled prune sum {pruned_sum}"
+            ),
+        });
+    }
+    let mut healthy = config.clone();
+    healthy.faults.clear();
+    let mut unpruned = healthy.clone();
+    unpruned.replication = 0;
+    let pruned_world = build(&healthy, 1);
+    let full_world = build(&unpruned, 1);
+    let mut seen = BTreeSet::new();
+    for arrival in &pruned_world.arrivals {
+        if !seen.insert(arrival.sql.clone()) {
+            continue;
+        }
+        if seen.len() > 4 {
+            break;
+        }
+        let p = pruned_world
+            .scenario
+            .federation
+            .explain_global(&arrival.sql);
+        let f = full_world.scenario.federation.explain_global(&arrival.sql);
+        match (p, f) {
+            (Ok((_, pc)), Ok((_, fc))) if !pc.is_empty() && !fc.is_empty() => {
+                if pc[0].signature() != fc[0].signature()
+                    || (pc[0].total_cost() - fc[0].total_cost()).abs() > 1e-9
+                {
+                    out.push(Violation {
+                        oracle: "prune_soundness",
+                        detail: format!(
+                            "winner diverged under pruning for '{}': {} (cost {:.6}) vs {} (cost {:.6})",
+                            arrival.sql,
+                            pc[0].signature(),
+                            pc[0].total_cost(),
+                            fc[0].signature(),
+                            fc[0].total_cost()
+                        ),
+                    });
+                }
+            }
+            _ => out.push(Violation {
+                oracle: "prune_soundness",
+                detail: format!("explain failed for '{}'", arrival.sql),
+            }),
+        }
+    }
+}
+
 /// Retry budgets are bounded: no ban attempt exceeds the configured
 /// retry limit, and the aggregate retry counter fits under
 /// dispatched × limit.
@@ -424,6 +518,25 @@ mod tests {
         let a = run(&config, 1, &BugSwitches::none());
         let v = check_all(&a, &config);
         assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn fleet_run_passes_all_oracles_including_prune_soundness() {
+        let config = parse(
+            "sim(seed: 5, servers: [], large_rows: 60, small_rows: 12, arrivals: 8, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 20, replication: 3, faults: [])",
+        )
+        .expect("valid fleet config");
+        let a = run(&config, 1, &BugSwitches::none());
+        let v = check_all(&a, &config);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+        // The fleet actually exercised pruning: with 20 replicas per
+        // fragment and a bound of 3, every compile must have cut the
+        // candidate set.
+        assert!(
+            a.obs.counter_value("catalog_candidates_pruned_total", &[]) > 0,
+            "fleet run never pruned"
+        );
     }
 
     #[test]

@@ -65,6 +65,20 @@ pub fn shrink(config: &SimConfig, bug: &BugSwitches, budget: usize) -> Shrunk {
             }
         }
 
+        // Halve the generated fleet (fleet mode only), but only when
+        // every fault index survives in the smaller fleet.
+        if current.fleet > 16 && evaluated < budget {
+            let half = current.fleet / 2;
+            if current.faults.iter().all(|f| f.server() < half) {
+                let mut candidate = current.clone();
+                candidate.fleet = half;
+                if fails(&candidate, &mut evaluated) {
+                    current = candidate;
+                    reduced = true;
+                }
+            }
+        }
+
         // Drop the last server, but only when no fault references it
         // (removing a referenced server would change fault semantics,
         // not just scale).
@@ -127,6 +141,36 @@ mod tests {
         assert!(shrunk.config.arrivals <= 4);
         assert!(shrunk.config.servers.len() == 2);
         // The replay line round-trips.
+        let line = shrunk.config.render();
+        assert_eq!(crate::config::parse(&line).unwrap(), shrunk.config);
+    }
+
+    #[test]
+    fn shrink_halves_a_failing_fleet() {
+        let config = parse(
+            "sim(seed: 3, servers: [], large_rows: 60, small_rows: 12, arrivals: 8, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 24, replication: 3, faults: [])",
+        )
+        .expect("valid fleet config");
+        let bug = BugSwitches {
+            drop_completion: true,
+        };
+        assert!(
+            !crate::check_config(&config, &bug).violations.is_empty(),
+            "precondition: the injected bug must fail"
+        );
+        let shrunk = shrink(&config, &bug, 12);
+        assert!(
+            !crate::check_config(&shrunk.config, &bug)
+                .violations
+                .is_empty(),
+            "shrunk config must still fail"
+        );
+        assert!(
+            shrunk.config.fleet < 24,
+            "fleet was not reduced: {}",
+            shrunk.config.fleet
+        );
         let line = shrunk.config.render();
         assert_eq!(crate::config::parse(&line).unwrap(), shrunk.config);
     }

@@ -8,11 +8,15 @@ use qcc_common::SimTime;
 use qcc_core::QccConfig;
 use qcc_netsim::LoadProfile;
 use qcc_workload::openloop::{poisson_arrivals, ArrivalEvent};
-use qcc_workload::scenario::{Scenario, ScenarioConfig};
+use qcc_workload::scenario::{scale_server_specs, Scenario, ScenarioConfig};
 use std::collections::BTreeMap;
 
 /// Salt separating the arrival-process RNG stream from the data seed.
 const ARRIVAL_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Salt separating the generated fleet's server-spec stream from the
+/// data seed (fleet mode only).
+const FLEET_SALT: u64 = 0xf1ee_7000_5eed_0001;
 
 /// The assembled world, ready for the driver.
 pub struct SimWorld {
@@ -32,6 +36,17 @@ pub const EXPECTED_PING_MS: f64 = 0.05;
 /// Build the scenario for `config` with `threads` scatter workers and
 /// inject every fault.
 pub fn build(config: &SimConfig, threads: usize) -> SimWorld {
+    // Fleet mode derives the per-server specs from the seed instead of
+    // the explicit servers list, and attaches the replica catalog with
+    // the configured source-selection bound.
+    let (server_specs, replication_factor) = if config.fleet > 0 {
+        (
+            scale_server_specs(config.fleet, config.seed ^ FLEET_SALT),
+            config.replication,
+        )
+    } else {
+        (config.servers.clone(), 0)
+    };
     let scenario_config = ScenarioConfig {
         large_rows: config.large_rows,
         small_rows: config.small_rows,
@@ -41,7 +56,8 @@ pub fn build(config: &SimConfig, threads: usize) -> SimWorld {
         threads,
         obs_enabled: true,
         retry_limit: config.retry_limit,
-        server_specs: config.servers.clone(),
+        server_specs,
+        replication_factor,
     };
     let qcc_config = QccConfig {
         retry_limit: config.retry_limit,
@@ -196,6 +212,31 @@ mod tests {
             .faults()
             .is_flaky(SimTime::from_millis(20.0)));
         assert_eq!(world.arrivals.len(), 4);
+    }
+
+    #[test]
+    fn fleet_build_generates_servers_and_attaches_the_catalog() {
+        let config = crate::config::parse(
+            "sim(seed: 4, servers: [], large_rows: 60, small_rows: 12, arrivals: 3, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 24, replication: 3, faults: [])",
+        )
+        .unwrap();
+        let world = build(&config, 1);
+        assert_eq!(world.scenario.servers.len(), 24);
+        let catalog = world.scenario.catalog.as_ref().expect("catalog attached");
+        assert_eq!(catalog.bound(), 3);
+        // Every server registered every table (full replication), so each
+        // fragment has a fleet-sized replica set before pruning.
+        let replicas = catalog.replicas("small_s");
+        assert_eq!(replicas.len(), 24);
+        // Classic mode stays catalog-free: the pre-catalog path is
+        // byte-identical.
+        let classic = crate::config::parse(
+            "sim(seed: 4, servers: [(1.0, 0.2), (2.0, 0.1)], large_rows: 60, small_rows: 12, \
+             arrivals: 3, rate_per_ms: 0.1, retry_limit: 2, faults: [])",
+        )
+        .unwrap();
+        assert!(build(&classic, 1).scenario.catalog.is_none());
     }
 
     #[test]

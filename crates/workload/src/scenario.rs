@@ -16,7 +16,8 @@
 //! flatter.
 
 use crate::baselines::FixedRoutingMiddleware;
-use qcc_common::{Obs, ServerId};
+use qcc_catalog::ReplicaCatalog;
+use qcc_common::{Obs, Pcg32, ServerId, SimTime};
 use qcc_core::{LoadBalanceMode, Qcc, QccConfig};
 use qcc_federation::{
     Federation, FederationConfig, Middleware, NicknameCatalog, PassthroughMiddleware,
@@ -56,6 +57,14 @@ pub struct ScenarioConfig {
     /// (S1, S2, ...). Defaults to the paper's three-server mix
     /// [`SERVER_SPEEDS`]; the sim harness randomizes count and shape.
     pub server_specs: Vec<(f64, f64)>,
+    /// Source-selection replication bound. 0 (the default) attaches no
+    /// replica catalog — the pre-catalog compile path, byte-identical to
+    /// every existing golden. > 0 builds a [`ReplicaCatalog`] with this
+    /// bound, registers every (table, server) replica in it, and attaches
+    /// it to the federation (and the QCC when present), so each query's
+    /// EXPLAIN fan-out is pruned to at most this many replicas per
+    /// fragment set.
+    pub replication_factor: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -70,6 +79,7 @@ impl Default for ScenarioConfig {
             obs_enabled: true,
             retry_limit: FederationConfig::default().retry_limit,
             server_specs: SERVER_SPEEDS.to_vec(),
+            replication_factor: 0,
         }
     }
 }
@@ -85,6 +95,38 @@ impl ScenarioConfig {
             ..ScenarioConfig::default()
         }
     }
+
+    /// A servers-in-the-hundreds configuration: `n_servers` generated
+    /// hosts with deterministically varied (and pairwise distinct) speeds,
+    /// tiny tables (the fleet exists to be routed over, not scanned hard),
+    /// and the replica catalog attached with replication bound 3.
+    pub fn scale(n_servers: usize) -> Self {
+        ScenarioConfig {
+            large_rows: 200,
+            small_rows: 40,
+            link_rtt_ms: 0.2,
+            link_bandwidth: 500_000.0,
+            server_specs: scale_server_specs(n_servers, 0x5eed),
+            replication_factor: 3,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// Deterministic per-server `(speed, base load sensitivity)` specs for a
+/// generated fleet. Speeds are drawn from [0.8, 2.5) and nudged by a
+/// per-index epsilon so no two servers tie exactly — source selection and
+/// the cost race then have a unique winner, which is what makes
+/// pruned-vs-unpruned plan identity checkable at fleet scale.
+pub fn scale_server_specs(n_servers: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = Pcg32::new(seed, 0xf1ee7);
+    (0..n_servers)
+        .map(|i| {
+            let speed = rng.range_f64(0.8, 2.5) + i as f64 * 1e-6;
+            let sensitivity = rng.range_f64(0.05, 0.40);
+            (speed, sensitivity)
+        })
+        .collect()
 }
 
 /// How queries are routed — which middleware drives the federation.
@@ -120,6 +162,10 @@ pub struct Scenario {
     /// The scenario-wide observability handle (shared by the federation,
     /// its patroller, and the QCC when present).
     pub obs: Obs,
+    /// The replica catalog, when `replication_factor > 0` asked for one.
+    /// Shared by the federation (source selection) and the QCC (scoped
+    /// invalidation, epoch churn).
+    pub catalog: Option<Arc<ReplicaCatalog>>,
 }
 
 /// CPU speeds: S3 is the most powerful machine.
@@ -145,6 +191,7 @@ impl Scenario {
     /// bands, thresholds and balancing modes through this).
     pub fn build_with_qcc(qcc_config: QccConfig, config: ScenarioConfig) -> Scenario {
         let threads = config.threads;
+        let replication_factor = config.replication_factor;
         let obs = if config.obs_enabled {
             Obs::new()
         } else {
@@ -167,6 +214,14 @@ impl Scenario {
         federation.set_obs(obs.clone());
         for w in &scenario.wrappers {
             federation.add_wrapper(Arc::clone(w));
+        }
+        // Rebuild the replica catalog too: the baseline build bound its
+        // catalog to the obs handle this build discards, and journal
+        // events (registration, epoch churn) must land in the live one.
+        scenario.catalog = build_replica_catalog(replication_factor, &scenario.servers, &obs);
+        if let Some(catalog) = &scenario.catalog {
+            federation.set_catalog(Arc::clone(catalog));
+            qcc.set_catalog(Arc::clone(catalog));
         }
         scenario.federation = federation;
         scenario.qcc = Some(qcc);
@@ -274,6 +329,14 @@ impl Scenario {
             wrappers.push(w);
         }
 
+        let catalog = build_replica_catalog(config.replication_factor, &servers, &obs);
+        if let Some(catalog) = &catalog {
+            federation.set_catalog(Arc::clone(catalog));
+            if let Some(qcc) = &qcc {
+                qcc.set_catalog(Arc::clone(catalog));
+            }
+        }
+
         Scenario {
             servers,
             wrappers,
@@ -282,6 +345,7 @@ impl Scenario {
             clock,
             network,
             obs,
+            catalog,
         }
     }
 
@@ -292,6 +356,30 @@ impl Scenario {
             .find(|s| s.id().as_str() == id)
             .expect("known server id")
     }
+}
+
+/// Build the replica catalog for a fleet: every table on every server
+/// (the scenario keeps full replication; the bound caps *consultation*,
+/// not placement), cost hints of `1 / speed` — the same scaling the
+/// wrappers' raw EXPLAIN estimates carry, so the catalog's pre-EXPLAIN
+/// ranking agrees with the post-EXPLAIN cost race and the capped survivor
+/// set always contains the eventual winner.
+fn build_replica_catalog(
+    replication_factor: usize,
+    servers: &[Arc<RemoteServer>],
+    obs: &Obs,
+) -> Option<Arc<ReplicaCatalog>> {
+    if replication_factor == 0 {
+        return None;
+    }
+    let catalog = ReplicaCatalog::new(replication_factor).with_obs(obs.clone());
+    for s in servers {
+        let hint = 1.0 / s.profile().speed;
+        for table in s.engine().catalog().table_names() {
+            catalog.register(table, s.id().clone(), hint, SimTime::ZERO);
+        }
+    }
+    Some(Arc::new(catalog))
 }
 
 /// Re-derive the nickname catalog from an existing scenario's servers.
@@ -488,6 +576,83 @@ mod tests {
                 .submit(&qt.sql(0))
                 .unwrap_or_else(|e| panic!("{qt}: {e}"));
             assert!(out.response_ms > 0.0, "{qt}");
+        }
+    }
+
+    #[test]
+    fn default_build_attaches_no_catalog() {
+        // replication_factor 0 must leave the compile path exactly as it
+        // was pre-catalog: no catalog object, no catalog journal events.
+        let s = Scenario::tiny_for_tests();
+        assert!(s.catalog.is_none());
+        s.federation.submit("SELECT COUNT(*) FROM small_s").unwrap();
+        assert!(s.obs.events_of("catalog_register").is_empty());
+        assert!(s.obs.events_of("catalog_prune").is_empty());
+    }
+
+    #[test]
+    fn scale_build_prunes_explain_fan_out_to_the_replication_bound() {
+        let n = 20;
+        let config = ScenarioConfig::scale(n);
+        assert_eq!(config.server_specs.len(), n);
+        let s = Scenario::build_with(Routing::Qcc, config);
+        let catalog = s.catalog.as_ref().expect("scale build attaches a catalog");
+        assert_eq!(catalog.bound(), 3);
+        assert_eq!(catalog.replicas("big_a").len(), n, "full replication");
+
+        s.federation.submit("SELECT COUNT(*) FROM small_s").unwrap();
+        let spans = s.obs.events_of("compile");
+        assert_eq!(spans.len(), 1);
+        let tasks = spans[0].field("explain_tasks").expect("span field");
+        let tasks = match tasks {
+            qcc_common::FieldValue::U64(v) => *v as usize,
+            other => panic!("unexpected field {other:?}"),
+        };
+        assert!(
+            tasks <= 3,
+            "one fragment × bound 3: got {tasks} EXPLAIN tasks over {n} servers"
+        );
+        assert!(
+            s.obs.counter_value("catalog_candidates_pruned_total", &[]) as usize >= n - 3,
+            "pruned candidates are counted"
+        );
+        assert_eq!(s.obs.events_of("catalog_prune").len(), 1);
+    }
+
+    /// Pruning soundness (seeded property): across fleets and seeds, the
+    /// plan chosen over the pruned candidate set is the plan chosen over
+    /// the full set — same signature, same cost. Pruning may only change
+    /// how many servers are *consulted*, never which plan wins.
+    #[test]
+    fn pruned_and_unpruned_compiles_choose_identical_plans() {
+        for seed in [1u64, 7, 42] {
+            for n in [8usize, 17] {
+                let mut pruned_cfg = ScenarioConfig::scale(n);
+                pruned_cfg.seed = seed;
+                pruned_cfg.server_specs = scale_server_specs(n, seed);
+                let mut full_cfg = pruned_cfg.clone();
+                full_cfg.replication_factor = 0;
+                let pruned = Scenario::build_with(Routing::Qcc, pruned_cfg);
+                let full = Scenario::build_with(Routing::Qcc, full_cfg);
+                for sql in [
+                    "SELECT COUNT(*) FROM small_s",
+                    "SELECT a.sel, COUNT(*) AS n FROM big_a a WHERE a.sel < 500 \
+                     GROUP BY a.sel ORDER BY a.sel",
+                ] {
+                    let (_, pc) = pruned.federation.explain_global(sql).unwrap();
+                    let (_, fc) = full.federation.explain_global(sql).unwrap();
+                    assert!(pc.len() <= fc.len());
+                    assert_eq!(
+                        pc[0].signature(),
+                        fc[0].signature(),
+                        "winner diverged (seed {seed}, n {n}, {sql})"
+                    );
+                    assert!(
+                        (pc[0].total_cost() - fc[0].total_cost()).abs() < 1e-9,
+                        "winning cost diverged (seed {seed}, n {n}, {sql})"
+                    );
+                }
+            }
         }
     }
 

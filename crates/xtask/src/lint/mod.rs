@@ -232,6 +232,13 @@ pub const COVERAGE: &[CrateCoverage] = &[
         l10: Scope::AllSrc,
     },
     CrateCoverage {
+        dir: "crates/catalog",
+        l2: Scope::AllSrc,
+        l3: Scope::AllSrc,
+        l6: Scope::AllSrc,
+        l10: Scope::AllSrc,
+    },
+    CrateCoverage {
         dir: "crates/common",
         l2: Scope::Off, // obs/scatter use BTree already; rng needs none
         l3: Scope::Off, // error plumbing itself lives here
