@@ -58,6 +58,13 @@ QCC_THREADS=1 cargo xtask sim --replay "$FLEET_LINE" > /tmp/qcc-fleet-t1.out
 QCC_THREADS=8 cargo xtask sim --replay "$FLEET_LINE" > /tmp/qcc-fleet-t8.out
 cmp /tmp/qcc-fleet-t1.out /tmp/qcc-fleet-t8.out
 
+echo "==> mid-query reroute e2e (ban -> reroute -> resume -> merge, QCC_THREADS=1 vs 8)"
+QCC_THREADS=1 cargo test -q --offline --test midquery_reroute_e2e
+QCC_THREADS=8 cargo test -q --offline --test midquery_reroute_e2e
+
+echo "==> stream cancel/resume property (byte-identical rows + bit-exact Work)"
+cargo test -q --offline --test stream_resume_prop
+
 echo "==> bench smoke: scatter_speedup (tiny scale)"
 QCC_LARGE_ROWS=2000 QCC_SMALL_ROWS=100 QCC_INSTANCES=2 QCC_WARMUP=1 \
     cargo bench -q --offline -p qcc-bench --bench scatter_speedup
@@ -91,6 +98,15 @@ if grep -q "scale pruning: VIOLATED" /tmp/qcc-fedscale.out; then
     exit 1
 fi
 grep -q "scale pruning: OK" /tmp/qcc-fedscale.out
+
+echo "==> bench smoke: midquery_reroute (remainder re-dispatch recovers, baseline fails)"
+cargo bench -q --offline -p qcc-bench --bench midquery_reroute \
+    | tee /tmp/qcc-reroute.out
+if grep -q "reroute recovery: VIOLATED" /tmp/qcc-reroute.out; then
+    echo "midquery_reroute: recovery verdict violated" >&2
+    exit 1
+fi
+grep -q "reroute recovery: OK" /tmp/qcc-reroute.out
 
 echo "==> cargo fmt --check"
 cargo fmt --check

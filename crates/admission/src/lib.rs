@@ -312,6 +312,17 @@ impl AdmissionController {
         self.obs.counter_inc("sheds_total", &[("reason", reason)]);
     }
 
+    /// Record a mid-query remainder re-dispatch riding the token pool:
+    /// the rerouted fragment consults the frozen per-server capacity
+    /// (via [`AdmissionController::capacity`]) but consumes no extra
+    /// inflight token — the query's own admission slot covers its
+    /// remainder, so re-dispatch never double-counts against the pool.
+    /// Commutative counter only; safe inline from worker threads.
+    pub fn note_reroute_reuse(&self, server: &ServerId) {
+        self.obs
+            .counter_inc("reroute_token_reuses_total", &[("server", server.as_str())]);
+    }
+
     /// The attached observability handle (disabled if constructed via
     /// [`AdmissionController::new`]).
     pub fn obs_handle(&self) -> &Obs {
@@ -511,6 +522,27 @@ mod tests {
         // Token-by-token, highest capacity first, downed server excluded,
         // wrapping once the 4 real tokens are spent.
         assert_eq!(names, ["S2", "S1", "S2", "S2", "S2", "S1"]);
+    }
+
+    #[test]
+    fn reroute_reuse_never_double_counts_tokens() {
+        let ctl = controller(AdmissionConfig::default());
+        let s1 = ServerId::new("S1");
+        ctl.set_capacity(&s1, 2, SimTime::ZERO);
+        let quota_before = ctl.dispatch_quota();
+        // A remainder re-dispatch notes the reuse but must leave the
+        // frozen capacity snapshot and the dispatch quota untouched — the
+        // rerouted fragment rides the query's own admission slot.
+        ctl.note_reroute_reuse(&s1);
+        ctl.note_reroute_reuse(&s1);
+        assert_eq!(ctl.capacity(&s1), 2);
+        assert_eq!(ctl.dispatch_quota(), quota_before);
+        assert_eq!(
+            ctl.obs_handle()
+                .counter_value("reroute_token_reuses_total", &[("server", "S1")]),
+            2
+        );
+        assert_eq!(ctl.counts().shed, 0, "a reuse is not a shed");
     }
 
     #[test]

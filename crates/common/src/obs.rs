@@ -39,6 +39,27 @@ use std::sync::Arc;
 /// sub-millisecond pings up to multi-second phase queries.
 pub const HISTOGRAM_BOUNDS_MS: [f64; 8] = [0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0];
 
+/// Journal event kinds of the mid-query adaptivity machinery (streamed
+/// fragment execution: stall detection, remainder re-dispatch, resume,
+/// per-slot stream provenance). Shared between the federation (emitter)
+/// and the sim oracles (checker) so the two can never drift on a string.
+pub mod reroute_events {
+    /// Stall detector fired: a streamed fragment was cancelled, either
+    /// because its source died mid-stream (`reason = "interrupt"`) or
+    /// because it overran `stall_factor ×` its calibrated estimate
+    /// (`reason = "slow"`).
+    pub const FRAGMENT_STALL: &str = "fragment_stall";
+    /// The cancelled fragment's remainder (cursor position onward) was
+    /// re-dispatched to a within-band replica.
+    pub const REROUTE_DISPATCH: &str = "reroute_dispatch";
+    /// The remainder completed at the replica and rejoined the merge.
+    pub const FRAGMENT_RESUME: &str = "fragment_resume";
+    /// Cursor-range provenance of a slot served by more than one source
+    /// (`sources` field, e.g. `"S1:0..3+S2:3..7"`): the no-duplicate /
+    /// no-loss oracle replays these ranges against `total_chunks`.
+    pub const FRAGMENT_STREAM: &str = "fragment_stream";
+}
+
 /// One histogram: count/sum/min/max plus fixed cumulative-style buckets
 /// (each slot counts observations `<=` the matching bound; the last slot
 /// is the overflow).

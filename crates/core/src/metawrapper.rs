@@ -15,7 +15,7 @@ use crate::records::{ErrorRecord, FragmentCompileRecord, FragmentRunRecord};
 use crate::Qcc;
 use qcc_common::{Cost, FragmentId, QccError, QueryId, Result, ServerId, SimDuration, SimTime};
 use qcc_federation::{Deferred, FragmentCandidate, GlobalCandidate, Middleware, DEFAULT_UNCOSTED};
-use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
+use qcc_wrapper::{FragmentPlan, StreamOutcome, Wrapper, WrapperResult, WrapperStream};
 use std::sync::Arc;
 
 /// Middleware implementation binding a [`Qcc`] into the federation.
@@ -172,6 +172,94 @@ impl Middleware for MetaWrapper {
                 Err(e)
             }
         }
+    }
+
+    fn execute_fragment_stream(
+        &self,
+        wrapper: &dyn Wrapper,
+        _query: QueryId,
+        _fragment: FragmentId,
+        plan: &FragmentPlan,
+        at: SimTime,
+        cursor: usize,
+        effects: &mut Deferred,
+    ) -> Result<WrapperStream> {
+        let server = wrapper.server_id().clone();
+        match wrapper.execute_stream(plan, at, cursor, true) {
+            Ok(stream) => {
+                if let StreamOutcome::Interrupted { at: cut } = stream.outcome {
+                    // The source died mid-stream. Record the failure at
+                    // the transition instant — the time the integrator
+                    // observed it, inside the crash window — so the ban
+                    // and the `server_down` span line up with ground
+                    // truth. Success-side recording (reliability,
+                    // calibration) waits for `observe_fragment`: the
+                    // truncated response time must never skew factors.
+                    self.defer_failure(
+                        effects,
+                        &server,
+                        &QccError::ServerUnavailable(server.clone()),
+                        cut,
+                    );
+                }
+                Ok(stream)
+            }
+            Err(e) => {
+                self.defer_failure(effects, &server, &e, at);
+                Err(e)
+            }
+        }
+    }
+
+    fn observe_fragment(
+        &self,
+        query: QueryId,
+        fragment: FragmentId,
+        plan: &FragmentPlan,
+        observed_ms: f64,
+        at: SimTime,
+        effects: &mut Deferred,
+    ) {
+        // Same recording as a call-and-wait success: the coordinator only
+        // acknowledges full, uncancelled completions, so the observed
+        // time is an honest whole-fragment sample.
+        let est = plan.cost.map(|c| c.total()).unwrap_or(DEFAULT_UNCOSTED);
+        let run = FragmentRunRecord {
+            query,
+            fragment,
+            server: plan.server.clone(),
+            signature: plan.signature.clone(),
+            estimated_total: Some(est),
+            observed_ms,
+            at,
+        };
+        let qcc = self.qcc.clone();
+        effects.defer(move || {
+            qcc.reliability.record_success(&run.server);
+            qcc.calibration
+                .record_fragment(&run.server, &run.signature, est, observed_ms);
+            qcc.records.record_run(run);
+        });
+    }
+
+    fn observe_fragment_cancel(
+        &self,
+        _query: QueryId,
+        _fragment: FragmentId,
+        server: &ServerId,
+        _at: SimTime,
+        effects: &mut Deferred,
+    ) {
+        // A stall-cancel is soft evidence against the server: penalize
+        // its reliability factor (like a transient fault) so routing
+        // shifts away, but feed nothing into the calibration windows —
+        // the truncated time is not a valid sample.
+        self.qcc
+            .obs
+            .counter_inc("fragment_cancels_total", &[("server", server.as_str())]);
+        let qcc = self.qcc.clone();
+        let server = server.clone();
+        effects.defer(move || qcc.reliability.record_fault(&server));
     }
 
     fn calibrate_integration(&self, cost: Cost) -> Cost {

@@ -10,11 +10,12 @@ use qcc_admission::AdmissionController;
 use qcc_catalog::ReplicaCatalog;
 use qcc_common::{
     scatter_indexed, Cost, FragmentId, Obs, QccError, QueryId, Result, Row, ServerId, SimDuration,
+    SimTime,
 };
 use qcc_engine::Engine;
 use qcc_netsim::{slowdown, LoadProfile, ServerLoad, SimClock};
 use qcc_storage::{Catalog, ColumnStats, Table, TableStats};
-use qcc_wrapper::Wrapper;
+use qcc_wrapper::{StreamChunk, StreamOutcome, Wrapper, WrapperResult, WrapperStream};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -33,6 +34,24 @@ pub struct FederationConfig {
     /// byte-identical for any value ≥ 1; this only trades wall-clock time
     /// (see DESIGN.md "Threading model").
     pub threads: usize,
+    /// Mid-query adaptivity switch (DESIGN.md §15). `0.0` — the default
+    /// sentinel — disables it entirely: fragments execute call-and-wait
+    /// exactly as before, byte-identical journals included. Any positive
+    /// value enables streamed fragment execution with a stall detector:
+    /// a fragment still incomplete after `stall_factor ×` its calibrated
+    /// estimate (or whose source dies mid-stream) is cancelled and its
+    /// *remainder* re-dispatched to a within-band replica at the cursor.
+    pub stall_factor: f64,
+    /// Virtual-time lag between a mid-stream interrupt and the stall
+    /// detector noticing it (one probe interval).
+    pub reroute_probe_ms: f64,
+    /// How many remainder re-dispatches one fragment may attempt before
+    /// the failure surfaces to the whole-query retry loop.
+    pub reroute_limit: usize,
+    /// Replica selection band: a remainder only re-dispatches to an
+    /// alternate whose calibrated cost is within `reroute_band ×` the
+    /// cancelled primary's estimate.
+    pub reroute_band: f64,
 }
 
 impl Default for FederationConfig {
@@ -42,6 +61,10 @@ impl Default for FederationConfig {
             max_global_candidates: 64,
             retry_limit: 2,
             threads: qcc_common::default_threads(),
+            stall_factor: 0.0,
+            reroute_probe_ms: 1.0,
+            reroute_limit: 1,
+            reroute_band: 2.0,
         }
     }
 }
@@ -146,6 +169,13 @@ impl Federation {
     /// The attached replica catalog, if any.
     pub fn catalog(&self) -> Option<&Arc<ReplicaCatalog>> {
         self.catalog.as_ref()
+    }
+
+    /// Mutable access to the routing knobs. Benches and tests use this to
+    /// flip individual policies (e.g. `reroute_limit = 0` for a
+    /// no-recovery baseline) on an already-assembled federation.
+    pub fn config_mut(&mut self) -> &mut FederationConfig {
+        &mut self.config
     }
 
     /// Attach an observability handle; the patroller journals through the
@@ -710,7 +740,24 @@ impl Federation {
                 }
             }
 
-            match self.execute_global(qid, &decomposed, chosen, &hedges, clock, effects) {
+            // Adaptivity on: streamed execution with stall detection and
+            // remainder re-dispatch. Off (stall_factor == 0): the original
+            // call-and-wait path, byte-identical.
+            let executed = if self.config.stall_factor > 0.0 {
+                self.execute_global_streaming(
+                    qid,
+                    &decomposed,
+                    chosen,
+                    &hedges,
+                    &candidates,
+                    &banned,
+                    clock,
+                    effects,
+                )
+            } else {
+                self.execute_global(qid, &decomposed, chosen, &hedges, clock, effects)
+            };
+            match executed {
                 Ok((rows, fragment_times)) => {
                     let response_ms = clock.now().since(submitted).as_millis();
                     if exec_deadline_ms > 0.0 && response_ms > exec_deadline_ms {
@@ -1030,7 +1077,20 @@ impl Federation {
             results.push(winner);
         }
         clock.advance(slowest);
+        self.merge_global(qid, decomposed, results, fragment_times, clock, effects)
+    }
 
+    /// Merge gathered fragment results at the integrator (shared tail of
+    /// the call-and-wait and streaming execution paths).
+    fn merge_global(
+        &self,
+        qid: QueryId,
+        decomposed: &DecomposedQuery,
+        results: Vec<qcc_wrapper::WrapperResult>,
+        fragment_times: FragmentTimes,
+        clock: &SimClock,
+        effects: &mut Deferred,
+    ) -> Result<(Vec<Row>, FragmentTimes)> {
         match &decomposed.merge {
             MergeSpec::Passthrough => {
                 let rows = results
@@ -1073,6 +1133,719 @@ impl Federation {
             }
         }
     }
+
+    /// Streamed execution with mid-query adaptivity (DESIGN.md §15). The
+    /// scatter fans out cursor-0 streams for every fragment (and hedge
+    /// replica); the gather then resolves slots sequentially on the
+    /// coordinator. A stream that completed within `stall_factor ×` its
+    /// calibrated estimate is accepted as-is — the fast path matches the
+    /// call-and-wait semantics. Otherwise the stall detector cancels the
+    /// stream (at the threshold instant, or one probe interval after a
+    /// mid-stream interrupt) and re-dispatches the *remainder* — the
+    /// cursor position, not the whole fragment — to a within-band replica.
+    /// Duplicate rows are impossible by construction: each chunk index is
+    /// merged from exactly one source, and late chunks of a cancelled
+    /// stream are counted as suppressed, never merged.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_global_streaming(
+        &self,
+        qid: QueryId,
+        decomposed: &DecomposedQuery,
+        chosen: &GlobalCandidate,
+        hedges: &BTreeMap<usize, FragmentCandidate>,
+        pool: &[GlobalCandidate],
+        banned: &BTreeSet<ServerId>,
+        clock: &SimClock,
+        effects: &mut Deferred,
+    ) -> Result<(Vec<Row>, FragmentTimes)> {
+        let start = clock.now();
+        let n = chosen.fragments.len();
+        let hedge_tasks: Vec<(usize, &FragmentCandidate)> =
+            hedges.iter().map(|(slot, cand)| (*slot, cand)).collect();
+        let task_candidate = |i: usize| -> &FragmentCandidate {
+            if i < n {
+                &chosen.fragments[i]
+            } else {
+                hedge_tasks[i - n].1
+            }
+        };
+        let outcomes = scatter_indexed(n + hedge_tasks.len(), self.config.threads, |i| {
+            let cand = task_candidate(i);
+            let mut local = Deferred::new();
+            let result = self.wrapper(&cand.plan.server).and_then(|wrapper| {
+                self.middleware.execute_fragment_stream(
+                    wrapper.as_ref(),
+                    qid,
+                    cand.fragment,
+                    &cand.plan,
+                    start,
+                    0,
+                    &mut local,
+                )
+            });
+            (result, local)
+        });
+
+        // Gather barrier: merge every task's deferred observations in task
+        // order (primaries, then hedges) before any slot is resolved.
+        let mut primary: Vec<Option<WrapperStream>> = (0..n).map(|_| None).collect();
+        let mut hedge: Vec<Option<WrapperStream>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<(usize, QccError)> = None;
+        for (i, (result, local)) in outcomes.into_iter().enumerate() {
+            effects.merge(local);
+            let slot = if i < n { i } else { hedge_tasks[i - n].0 };
+            match result {
+                Ok(stream) => {
+                    if i < n {
+                        primary[slot] = Some(stream);
+                    } else {
+                        hedge[slot] = Some(stream);
+                    }
+                }
+                Err(e) => {
+                    let rank = if i < n { slot } else { n + slot };
+                    if first_err.as_ref().map(|(r, _)| rank < *r).unwrap_or(true) {
+                        first_err = Some((rank, e));
+                    }
+                }
+            }
+        }
+
+        // Slot resolution runs on the coordinator, in slot order — fully
+        // deterministic for any thread count (everything past the barrier
+        // is sequential).
+        let mut results: Vec<WrapperResult> = Vec::with_capacity(n);
+        let mut fragment_times: FragmentTimes = Vec::new();
+        let mut slowest = SimDuration::ZERO;
+        for slot in 0..n {
+            let primary_cand = &chosen.fragments[slot];
+            let est = primary_cand.effective_cost.total();
+            let threshold_ms = if est > 0.0 {
+                self.config.stall_factor * est
+            } else {
+                f64::INFINITY
+            };
+            let p = primary[slot].take();
+            let h = hedge[slot].take();
+            let clean = |s: &WrapperStream| {
+                s.outcome == StreamOutcome::Complete && s.response_time.as_millis() <= threshold_ms
+            };
+            // Classify the slot once: `Ok` carries the clean winner (plus
+            // the losing stream and whether the winner was the hedge),
+            // `Err` hands both streams to the stall path untouched.
+            let picked = match (p, h) {
+                (Some(pp), Some(hh)) => match (clean(&pp), clean(&hh)) {
+                    // PR 8's hedge race, now on streams: the fastest clean
+                    // completion wins its slot, ties favour the primary.
+                    (true, true) => {
+                        if hh.response_time < pp.response_time {
+                            Ok((hh, Some(pp), true))
+                        } else {
+                            Ok((pp, Some(hh), false))
+                        }
+                    }
+                    (true, false) => Ok((pp, Some(hh), false)),
+                    (false, true) => Ok((hh, Some(pp), true)),
+                    (false, false) => Err((Some(pp), Some(hh))),
+                },
+                (Some(pp), None) if clean(&pp) => Ok((pp, None, false)),
+                (None, Some(hh)) if clean(&hh) => Ok((hh, None, true)),
+                (pp, hh) => Err((pp, hh)),
+            };
+            match picked {
+                Ok((winner, loser, use_hedge)) => {
+                    let winner_cand = if use_hedge {
+                        &hedges[&slot]
+                    } else {
+                        primary_cand
+                    };
+                    if use_hedge {
+                        self.obs.counter_inc("hedge_wins_total", &[]);
+                    }
+                    self.note_complete_stream(qid, winner_cand, &winner, start, effects);
+                    if let Some(loser) = loser {
+                        if loser.outcome == StreamOutcome::Complete {
+                            // A full duplicate arrived; suppress it at the
+                            // merge, but keep its honest whole-fragment sample
+                            // for calibration (as the call-and-wait path did).
+                            let loser_cand = if use_hedge {
+                                primary_cand
+                            } else {
+                                &hedges[&slot]
+                            };
+                            self.note_complete_stream(qid, loser_cand, &loser, start, effects);
+                            self.defer_suppression(
+                                qid,
+                                slot,
+                                &winner_cand.plan.server,
+                                &loser_cand.plan.server,
+                                start,
+                                effects,
+                            );
+                        }
+                    }
+                    slowest = slowest.max(winner.response_time);
+                    fragment_times.push((
+                        winner_cand.plan.server.clone(),
+                        winner.response_time.as_millis(),
+                    ));
+                    results.push(stream_result(winner));
+                }
+                Err((p, h)) => {
+                    // No clean completion: pick the base stream the detector
+                    // acts on — a complete-but-slow stream first, then an
+                    // interrupted primary, then an interrupted hedge.
+                    let is_complete = |s: &Option<WrapperStream>| matches!(s, Some(s) if s.outcome == StreamOutcome::Complete);
+                    let p_complete = is_complete(&p);
+                    let h_complete = is_complete(&h);
+                    let (base_is_hedge, base, other) = match (p, h) {
+                        (Some(pp), hh) if p_complete => (false, pp, hh),
+                        (pp, Some(hh)) if h_complete => (true, hh, pp),
+                        (Some(pp), hh) => (false, pp, hh),
+                        (None, Some(hh)) => (true, hh, None),
+                        (None, None) => {
+                            let (_, e) = first_err.take().unwrap_or((
+                                0,
+                                QccError::Execution(format!("fragment {slot} produced no result")),
+                            ));
+                            return Err(e);
+                        }
+                    };
+                    let base_cand = if base_is_hedge {
+                        &hedges[&slot]
+                    } else {
+                        primary_cand
+                    };
+                    let other_server = other.as_ref().map(|_| {
+                        if base_is_hedge {
+                            primary_cand.plan.server.clone()
+                        } else {
+                            hedges[&slot].plan.server.clone()
+                        }
+                    });
+                    let other_complete = other
+                        .as_ref()
+                        .map(|s| s.outcome == StreamOutcome::Complete)
+                        .unwrap_or(false);
+                    let (result, server) = self.resolve_stall(
+                        qid,
+                        slot,
+                        decomposed,
+                        primary_cand,
+                        base_cand,
+                        base,
+                        other_server.clone(),
+                        pool,
+                        banned,
+                        threshold_ms,
+                        start,
+                        effects,
+                    )?;
+                    if other_complete {
+                        // The unused replica completed in full; its rows are
+                        // suppressed at the merge like any hedge duplicate.
+                        // (`other_complete` implies the replica stream exists,
+                        // so `other_server` was derived from it above.)
+                        if let Some(other_server) = other_server.as_ref() {
+                            self.defer_suppression(
+                                qid,
+                                slot,
+                                &server,
+                                other_server,
+                                start,
+                                effects,
+                            );
+                        }
+                    }
+                    slowest = slowest.max(result.response_time);
+                    fragment_times.push((server, result.response_time.as_millis()));
+                    results.push(result);
+                }
+            }
+        }
+        clock.advance(slowest);
+        self.merge_global(qid, decomposed, results, fragment_times, clock, effects)
+    }
+
+    /// Cancel a stalled (or interrupted) base stream and re-dispatch its
+    /// remainder — the chunks past the cursor — to within-band replicas,
+    /// chaining across further interrupts up to `reroute_limit` attempts.
+    /// Returns the stitched slot result and the server that finished it.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_stall(
+        &self,
+        qid: QueryId,
+        slot: usize,
+        decomposed: &DecomposedQuery,
+        primary_cand: &FragmentCandidate,
+        base_cand: &FragmentCandidate,
+        base: WrapperStream,
+        exclude_also: Option<ServerId>,
+        pool: &[GlobalCandidate],
+        banned: &BTreeSet<ServerId>,
+        threshold_ms: f64,
+        start: SimTime,
+        effects: &mut Deferred,
+    ) -> Result<(WrapperResult, ServerId)> {
+        use qcc_common::obs::reroute_events as ev;
+        let probe = SimDuration::from_millis(self.config.reroute_probe_ms.max(0.0));
+        let base_server = base_cand.plan.server.clone();
+        let mut excluded = banned.clone();
+        excluded.insert(base_server.clone());
+        if let Some(s) = exclude_also {
+            excluded.insert(s);
+        }
+
+        if base.outcome == StreamOutcome::Complete {
+            let cancel_at = start + SimDuration::from_millis(threshold_ms);
+            let tail_only = base.chunks.iter().all(|c| c.at <= cancel_at);
+            if tail_only
+                || self
+                    .pick_reroute_replica(slot, decomposed, primary_cand, pool, &excluded)
+                    .is_none()
+            {
+                // Every chunk beat the threshold (only the transfer tail
+                // overran), or no within-band replica exists: cancelling
+                // gains nothing, so the slow result is kept whole.
+                self.obs.counter_inc(
+                    "reroute_declined_total",
+                    &[("reason", if tail_only { "tail" } else { "no_replica" })],
+                );
+                self.note_complete_stream(qid, base_cand, &base, start, effects);
+                let server = base_cand.plan.server.clone();
+                return Ok((stream_result(base), server));
+            }
+        }
+
+        // The detection instant, the chunks the integrator keeps, and the
+        // late chunks it must suppress.
+        let (cancel_at, mut reason, kept, suppressed_late, mut fault_ms) = match base.outcome {
+            StreamOutcome::Interrupted { at } => {
+                // The source died mid-stream; every delivered chunk
+                // precedes the transition, and detection costs one probe
+                // interval.
+                (
+                    at + probe,
+                    "interrupt",
+                    base.chunks,
+                    0usize,
+                    Some(at.as_millis()),
+                )
+            }
+            StreamOutcome::Complete => {
+                let cancel_at = start + SimDuration::from_millis(threshold_ms);
+                let (kept, late): (Vec<StreamChunk>, Vec<StreamChunk>) =
+                    base.chunks.into_iter().partition(|c| c.at <= cancel_at);
+                (cancel_at, "slow", kept, late.len(), None)
+            }
+        };
+        let total_chunks = base.total_chunks;
+        self.defer_stall_event(
+            qid,
+            slot,
+            &base_server,
+            reason,
+            cancel_at,
+            start,
+            threshold_ms,
+            effects,
+        );
+        if reason == "slow" {
+            // A stall-cancel is soft reliability evidence; the interrupt
+            // case was already recorded (at the transition instant) by the
+            // middleware when the stream came back cut.
+            self.middleware.observe_fragment_cancel(
+                qid,
+                primary_cand.fragment,
+                &base_server,
+                cancel_at,
+                effects,
+            );
+        }
+        if suppressed_late > 0 {
+            self.obs.counter_add(
+                "reroute_chunks_suppressed_total",
+                &[],
+                suppressed_late as u64,
+            );
+        }
+
+        let mut kept = kept;
+        let mut sources: Vec<(ServerId, usize, usize)> = Vec::new();
+        if !kept.is_empty() {
+            sources.push((base_server.clone(), 0, kept.len()));
+        }
+        let mut cursor = kept.len();
+        let mut now = cancel_at;
+        let mut last_failed = base_server.clone();
+        for _attempt in 0..self.config.reroute_limit {
+            let Some(alt) =
+                self.pick_reroute_replica(slot, decomposed, primary_cand, pool, &excluded)
+            else {
+                break;
+            };
+            let alt_server = alt.plan.server.clone();
+            // The remainder rides the slot's admission token — consult the
+            // frozen capacity snapshot (inside the picker) but consume
+            // nothing, and journal the reuse.
+            if let Some(admission) = &self.admission {
+                admission.note_reroute_reuse(&alt_server);
+            }
+            self.obs.counter_inc(
+                "fragment_reroutes_total",
+                &[("server", alt_server.as_str())],
+            );
+            if self.obs.is_enabled() {
+                let obs = self.obs.clone();
+                let (from, to) = (last_failed.to_string(), alt_server.to_string());
+                let est = primary_cand.effective_cost.total();
+                let frag_start_ms = start.as_millis();
+                let fault = fault_ms;
+                let finite_threshold = threshold_ms.is_finite().then_some(threshold_ms);
+                effects.defer(move || {
+                    let mut fields: Vec<(&'static str, qcc_common::FieldValue)> = vec![
+                        ("query", qid.0.into()),
+                        ("fragment", slot.into()),
+                        ("from", from.into()),
+                        ("to", to.into()),
+                        ("cursor", cursor.into()),
+                        ("total_chunks", total_chunks.into()),
+                        ("reason", reason.into()),
+                        ("est_ms", est.into()),
+                        ("frag_start_ms", frag_start_ms.into()),
+                    ];
+                    if let Some(t) = finite_threshold {
+                        fields.push(("threshold_ms", t.into()));
+                    }
+                    if let Some(f) = fault {
+                        fields.push(("fault_ms", f.into()));
+                    }
+                    obs.event(now, ev::REROUTE_DISPATCH, fields);
+                });
+            }
+            let Ok(wrapper) = self.wrapper(&alt_server) else {
+                excluded.insert(alt_server.clone());
+                last_failed = alt_server;
+                continue;
+            };
+            match self.middleware.execute_fragment_stream(
+                wrapper.as_ref(),
+                qid,
+                primary_cand.fragment,
+                &alt.plan,
+                now,
+                cursor,
+                effects,
+            ) {
+                Ok(stream) if stream.outcome == StreamOutcome::Complete => {
+                    let end = now + stream.response_time;
+                    self.obs
+                        .counter_inc("fragments_total", &[("server", alt_server.as_str())]);
+                    self.obs
+                        .counter_inc("fragment_resumes_total", &[("server", alt_server.as_str())]);
+                    sources.push((alt_server.clone(), cursor, stream.next_cursor()));
+                    // Note: no `observe_fragment` for the remainder — a
+                    // partial run is not a valid calibration sample for
+                    // the whole-fragment estimate.
+                    if self.obs.is_enabled() {
+                        let obs = self.obs.clone();
+                        let server = alt_server.to_string();
+                        let signature = alt.plan.signature.clone();
+                        let ms = stream.response_time.as_millis();
+                        let delivered = stream.delivered();
+                        let provenance = sources
+                            .iter()
+                            .map(|(s, a, b)| format!("{s}:{a}..{b}"))
+                            .collect::<Vec<_>>()
+                            .join("+");
+                        let resume_cursor = cursor;
+                        effects.defer(move || {
+                            obs.event(
+                                now,
+                                "fragment",
+                                vec![
+                                    ("query", qid.0.into()),
+                                    ("server", server.clone().into()),
+                                    ("signature", signature.into()),
+                                    ("ms", ms.into()),
+                                ],
+                            );
+                            obs.event(
+                                end,
+                                ev::FRAGMENT_RESUME,
+                                vec![
+                                    ("query", qid.0.into()),
+                                    ("fragment", slot.into()),
+                                    ("server", server.into()),
+                                    ("cursor", resume_cursor.into()),
+                                    ("chunks", delivered.into()),
+                                    ("ms", ms.into()),
+                                ],
+                            );
+                            obs.event(
+                                end,
+                                ev::FRAGMENT_STREAM,
+                                vec![
+                                    ("query", qid.0.into()),
+                                    ("fragment", slot.into()),
+                                    ("sources", provenance.into()),
+                                    ("total_chunks", total_chunks.into()),
+                                ],
+                            );
+                        });
+                    }
+                    kept.extend(stream.chunks);
+                    let response_time = end.since(start);
+                    let bytes = kept.iter().map(|c| c.batch.byte_size()).sum();
+                    let batches = kept.into_iter().map(|c| c.batch).collect();
+                    return Ok((
+                        WrapperResult {
+                            batches,
+                            response_time,
+                            bytes,
+                        },
+                        alt_server,
+                    ));
+                }
+                Ok(stream) => {
+                    // The replica died mid-remainder too: keep its chunks,
+                    // advance the cursor, and chain the reroute.
+                    let StreamOutcome::Interrupted { at } = stream.outcome else {
+                        unreachable!("complete streams are handled above");
+                    };
+                    if stream.delivered() > 0 {
+                        sources.push((alt_server.clone(), cursor, stream.next_cursor()));
+                    }
+                    cursor = stream.next_cursor();
+                    kept.extend(stream.chunks);
+                    reason = "interrupt";
+                    fault_ms = Some(at.as_millis());
+                    now = at + probe;
+                    self.defer_stall_event(
+                        qid,
+                        slot,
+                        &alt_server,
+                        "interrupt",
+                        now,
+                        start,
+                        threshold_ms,
+                        effects,
+                    );
+                    excluded.insert(alt_server.clone());
+                    last_failed = alt_server;
+                }
+                Err(QccError::ServerUnavailable(_)) | Err(QccError::ServerFault { .. }) => {
+                    // Dead on arrival (recorded by the middleware): try
+                    // the next replica from the detection instant.
+                    excluded.insert(alt_server.clone());
+                    last_failed = alt_server;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Out of replicas or attempts: surface the failure to the
+        // whole-query retry loop, which bans the server and re-plans.
+        self.obs.counter_inc("reroute_exhausted_total", &[]);
+        Err(QccError::ServerUnavailable(last_failed))
+    }
+
+    /// The replica a cancelled fragment's remainder re-dispatches to: the
+    /// cheapest alternate plan for the same slot, on a different unbanned
+    /// server with token capacity, with the *same plan signature and SQL*
+    /// (so the cursor protocol's chunk schedule lines up), within
+    /// `reroute_band ×` the primary's estimate; when a replica catalog is
+    /// attached the alternate must also be a registered sibling on every
+    /// nickname the fragment scans (fail open for unregistered fragments,
+    /// as compile does). Ties break by server id.
+    fn pick_reroute_replica(
+        &self,
+        slot: usize,
+        decomposed: &DecomposedQuery,
+        primary: &FragmentCandidate,
+        pool: &[GlobalCandidate],
+        excluded: &BTreeSet<ServerId>,
+    ) -> Option<FragmentCandidate> {
+        let est = primary.effective_cost.total();
+        let limit = if est > 0.0 {
+            est * self.config.reroute_band.max(1.0)
+        } else {
+            f64::INFINITY
+        };
+        let empty: &[String] = &[];
+        let nicknames = decomposed
+            .fragments
+            .get(slot)
+            .map(|f| f.nicknames.as_slice())
+            .unwrap_or(empty);
+        let mut best: Option<&FragmentCandidate> = None;
+        for cand in pool {
+            let Some(alt) = cand.fragments.get(slot) else {
+                continue;
+            };
+            if excluded.contains(&alt.plan.server)
+                || alt.plan.signature != primary.plan.signature
+                || alt.plan.sql != primary.plan.sql
+                || alt.effective_cost.total() > limit
+            {
+                continue;
+            }
+            if let Some(admission) = &self.admission {
+                if admission.capacity(&alt.plan.server) == 0 {
+                    continue;
+                }
+            }
+            if let Some(catalog) = &self.catalog {
+                let sibling_ok = nicknames.iter().all(|nn| {
+                    catalog.replicas(nn).is_empty()
+                        || catalog
+                            .siblings(nn, &primary.plan.server)
+                            .contains(&alt.plan.server)
+                });
+                if !sibling_ok {
+                    continue;
+                }
+            }
+            let better = match best {
+                None => true,
+                Some(b) => match alt
+                    .effective_cost
+                    .total()
+                    .total_cmp(&b.effective_cost.total())
+                {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => alt.plan.server < b.plan.server,
+                },
+            };
+            if better {
+                best = Some(alt);
+            }
+        }
+        best.cloned()
+    }
+
+    /// Accept a fully-completed stream into the merge: count it, journal
+    /// the fragment span, and acknowledge it to the middleware — the only
+    /// place streamed successes feed reliability and calibration.
+    fn note_complete_stream(
+        &self,
+        qid: QueryId,
+        cand: &FragmentCandidate,
+        stream: &WrapperStream,
+        start: SimTime,
+        effects: &mut Deferred,
+    ) {
+        self.obs
+            .counter_inc("fragments_total", &[("server", cand.plan.server.as_str())]);
+        if self.obs.is_enabled() {
+            let obs = self.obs.clone();
+            let server = cand.plan.server.to_string();
+            let signature = cand.plan.signature.clone();
+            let ms = stream.response_time.as_millis();
+            effects.defer(move || {
+                obs.event(
+                    start,
+                    "fragment",
+                    vec![
+                        ("query", qid.0.into()),
+                        ("server", server.into()),
+                        ("signature", signature.into()),
+                        ("ms", ms.into()),
+                    ],
+                );
+            });
+        }
+        self.middleware.observe_fragment(
+            qid,
+            cand.fragment,
+            &cand.plan,
+            stream.response_time.as_millis(),
+            start,
+            effects,
+        );
+    }
+
+    /// Journal a stall-detector cancellation.
+    #[allow(clippy::too_many_arguments)]
+    fn defer_stall_event(
+        &self,
+        qid: QueryId,
+        slot: usize,
+        server: &ServerId,
+        reason: &'static str,
+        cancel_at: SimTime,
+        start: SimTime,
+        threshold_ms: f64,
+        effects: &mut Deferred,
+    ) {
+        self.obs.counter_inc(
+            "fragment_stalls_total",
+            &[("server", server.as_str()), ("reason", reason)],
+        );
+        if self.obs.is_enabled() {
+            let obs = self.obs.clone();
+            let server = server.to_string();
+            let elapsed_ms = cancel_at.since(start).as_millis();
+            let finite_threshold = threshold_ms.is_finite().then_some(threshold_ms);
+            effects.defer(move || {
+                let mut fields: Vec<(&'static str, qcc_common::FieldValue)> = vec![
+                    ("query", qid.0.into()),
+                    ("fragment", slot.into()),
+                    ("server", server.into()),
+                    ("reason", reason.into()),
+                    ("elapsed_ms", elapsed_ms.into()),
+                ];
+                if let Some(t) = finite_threshold {
+                    fields.push(("threshold_ms", t.into()));
+                }
+                obs.event(
+                    cancel_at,
+                    qcc_common::obs::reroute_events::FRAGMENT_STALL,
+                    fields,
+                );
+            });
+        }
+    }
+
+    /// Count and journal a suppressed duplicate slot result.
+    fn defer_suppression(
+        &self,
+        qid: QueryId,
+        slot: usize,
+        winner: &ServerId,
+        suppressed: &ServerId,
+        start: SimTime,
+        effects: &mut Deferred,
+    ) {
+        self.obs
+            .counter_inc("hedge_duplicates_suppressed_total", &[]);
+        if self.obs.is_enabled() {
+            let obs = self.obs.clone();
+            let winner = winner.to_string();
+            let suppressed = suppressed.to_string();
+            effects.defer(move || {
+                obs.event(
+                    start,
+                    "hedge_result",
+                    vec![
+                        ("query", qid.0.into()),
+                        ("fragment", slot.into()),
+                        ("winner", winner.into()),
+                        ("suppressed", suppressed.into()),
+                    ],
+                );
+            });
+        }
+    }
+}
+
+/// A completed stream's chunks as a call-and-wait style result.
+fn stream_result(stream: WrapperStream) -> WrapperResult {
+    WrapperResult {
+        bytes: stream.bytes,
+        response_time: stream.response_time,
+        batches: stream.chunks.into_iter().map(|c| c.batch).collect(),
+    }
 }
 
 /// Comma-joined server names (sets iterate sorted, so this is stable).
@@ -1093,7 +1866,7 @@ impl std::fmt::Debug for Federation {
 mod tests {
     use super::*;
     use crate::middleware::PassthroughMiddleware;
-    use qcc_common::{Column, DataType, Schema, SimTime, Value};
+    use qcc_common::{Column, DataType, FieldValue, Schema, SimTime, Value};
     use qcc_netsim::{Link, Network};
     use qcc_remote::{RemoteServer, ServerProfile};
     use qcc_wrapper::RelationalWrapper;
@@ -1259,6 +2032,142 @@ mod tests {
         let out = fed.submit("SELECT COUNT(*) FROM branches").unwrap();
         assert_eq!(out.rows[0].get(0), &Value::Int(10));
         assert!(out.servers.contains(&ServerId::new("S2")));
+    }
+
+    /// Two servers, each holding a full replica of a 5000-row `branches`
+    /// table (multi-chunk at BATCH_ROWS=1024), journal enabled, streaming
+    /// adaptivity at the given `stall_factor`.
+    fn streaming_fixture(stall_factor: f64) -> (Federation, Arc<RemoteServer>) {
+        let branches_schema = Schema::new(vec![Column::new("id", DataType::Int)]);
+        let mut branches = Table::new("branches", branches_schema.clone());
+        for i in 0..5000i64 {
+            branches.insert(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        let mut cat1 = Catalog::new();
+        cat1.register(branches.clone());
+        let mut cat2 = Catalog::new();
+        cat2.register(branches);
+        let s1 = RemoteServer::new(ServerProfile::new(ServerId::new("S1")), cat1);
+        let s2 = RemoteServer::new(ServerProfile::new(ServerId::new("S2")), cat2);
+        let mut net = Network::new();
+        net.add_link(ServerId::new("S1"), Link::lan());
+        net.add_link(ServerId::new("S2"), Link::lan());
+        let net = Arc::new(net);
+        let mut nicknames = NicknameCatalog::new();
+        nicknames.define("branches", branches_schema);
+        nicknames
+            .add_source("branches", ServerId::new("S1"), "branches")
+            .unwrap();
+        nicknames
+            .add_source("branches", ServerId::new("S2"), "branches")
+            .unwrap();
+        let mut fed = Federation::new(
+            nicknames,
+            SimClock::new(),
+            Arc::new(PassthroughMiddleware::default()),
+            FederationConfig {
+                stall_factor,
+                ..FederationConfig::default()
+            },
+        );
+        fed.set_obs(Obs::new());
+        fed.add_wrapper(Arc::new(RelationalWrapper::new(
+            Arc::clone(&s1),
+            Arc::clone(&net),
+        )));
+        fed.add_wrapper(Arc::new(RelationalWrapper::new(s2, net)));
+        (fed, s1)
+    }
+
+    fn sorted_ids(rows: &[Row]) -> Vec<i64> {
+        let mut ids: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.get(0) {
+                Value::Int(i) => *i,
+                v => panic!("unexpected value {v:?}"),
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn streaming_clean_path_matches_call_and_wait_exactly() {
+        // With no stalls and no faults the streamed path must reproduce
+        // the call-and-wait outcome bit for bit (same rows, same floats).
+        let (off, _) = streaming_fixture(0.0);
+        let (on, _) = streaming_fixture(1e6);
+        let a = off.submit("SELECT id FROM branches").unwrap();
+        let b = on.submit("SELECT id FROM branches").unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.response_ms.to_bits(), b.response_ms.to_bits());
+        assert_eq!(a.fragment_times, b.fragment_times);
+    }
+
+    #[test]
+    fn midquery_interrupt_reroutes_remainder_without_duplicates() {
+        // Dry run on a healthy fleet to learn when the fragment executes
+        // and how long it takes (all virtual time, fully deterministic).
+        let (dry, _) = streaming_fixture(1e6);
+        dry.submit("SELECT id FROM branches").unwrap();
+        let frag = &dry.obs().events_of("fragment")[0];
+        let t0 = frag.at.as_millis();
+        let Some(FieldValue::F64(ms)) = frag.field("ms") else {
+            panic!("fragment event lacks ms");
+        };
+
+        // Fresh identical world where the serving replica crashes 30% of
+        // the way into the fragment: the stream is cut mid-service and the
+        // remainder must resume on the sibling at the cursor.
+        let (fed, s1) = streaming_fixture(1e6);
+        s1.availability().add_outage(
+            SimTime::from_millis(t0 + 0.3 * ms),
+            SimTime::from_millis(1e12),
+        );
+        let out = fed.submit("SELECT id FROM branches").unwrap();
+        assert_eq!(
+            sorted_ids(&out.rows),
+            (0..5000).collect::<Vec<_>>(),
+            "every row exactly once: no duplicates, no loss"
+        );
+        let obs = fed.obs();
+        assert_eq!(obs.events_of("fragment_stall").len(), 1);
+        let stall = &obs.events_of("fragment_stall")[0];
+        assert_eq!(stall.str_field("reason"), Some("interrupt"));
+        assert_eq!(obs.events_of("reroute_dispatch").len(), 1);
+        assert_eq!(obs.events_of("fragment_resume").len(), 1);
+        let stream = &obs.events_of("fragment_stream")[0];
+        let sources = stream.str_field("sources").unwrap();
+        assert!(
+            sources.starts_with("S1:0..") && sources.contains("+S2:"),
+            "stitched provenance, got {sources}"
+        );
+        assert_eq!(out.fragment_times[0].0, ServerId::new("S2"));
+        assert_eq!(
+            obs.counter_value("fragment_reroutes_total", &[("server", "S2")]),
+            1
+        );
+        // The interrupt was detected mid-query, not burned as a whole-query
+        // retry.
+        assert_eq!(obs.counter_value("retries_total", &[]), 0);
+    }
+
+    #[test]
+    fn stalled_fragment_cancels_and_reroutes_to_fast_replica() {
+        // S1 is crushed by background load (the estimate is load-blind,
+        // so its stream overruns stall_factor × estimate); S2 idles. The
+        // detector must cancel S1 at the threshold and finish on S2.
+        let (fed, s1) = streaming_fixture(3.0);
+        s1.load().set_background(LoadProfile::Constant(0.95));
+        let out = fed.submit("SELECT id FROM branches").unwrap();
+        assert_eq!(sorted_ids(&out.rows), (0..5000).collect::<Vec<_>>());
+        let obs = fed.obs();
+        let stall = &obs.events_of("fragment_stall")[0];
+        assert_eq!(stall.str_field("reason"), Some("slow"));
+        assert_eq!(obs.events_of("reroute_dispatch").len(), 1);
+        assert_eq!(out.fragment_times[0].0, ServerId::new("S2"));
+        // A slow-cancel feeds the reliability penalty hook, not a retry.
+        assert_eq!(obs.counter_value("retries_total", &[]), 0);
     }
 
     #[test]

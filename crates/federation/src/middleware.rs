@@ -12,7 +12,7 @@
 //! provides the calibrating implementation.
 
 use qcc_common::{Cost, FragmentId, QueryId, Result, ServerId, SimDuration, SimTime};
-use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult};
+use qcc_wrapper::{FragmentPlan, Wrapper, WrapperResult, WrapperStream};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -165,6 +165,58 @@ pub trait Middleware: Send + Sync {
         at: SimTime,
         effects: &mut Deferred,
     ) -> Result<WrapperResult>;
+
+    /// Runtime: forward a resumable streamed EXECUTE to a wrapper (the
+    /// cursor protocol; see `Wrapper::execute_stream`). Unlike
+    /// [`Middleware::execute_fragment`], implementations must NOT record
+    /// success-side observations here: a stream the coordinator later
+    /// cancels must not feed its truncated response time into
+    /// calibration. The coordinator reports accepted completions through
+    /// [`Middleware::observe_fragment`] and mid-flight cancellations
+    /// through [`Middleware::observe_fragment_cancel`]. Failures
+    /// (including mid-stream interrupts) are still recorded here, at the
+    /// time the integrator observes them.
+    fn execute_fragment_stream(
+        &self,
+        wrapper: &dyn Wrapper,
+        _query: QueryId,
+        _fragment: FragmentId,
+        plan: &FragmentPlan,
+        at: SimTime,
+        cursor: usize,
+        _effects: &mut Deferred,
+    ) -> Result<WrapperStream> {
+        wrapper.execute_stream(plan, at, cursor, true)
+    }
+
+    /// Coordinator acknowledgement that a streamed fragment ran to
+    /// completion and its result was accepted into the merge. Feeds the
+    /// reliability and calibration windows exactly as a call-and-wait
+    /// success would. No-op by default.
+    fn observe_fragment(
+        &self,
+        _query: QueryId,
+        _fragment: FragmentId,
+        _plan: &FragmentPlan,
+        _observed_ms: f64,
+        _at: SimTime,
+        _effects: &mut Deferred,
+    ) {
+    }
+
+    /// Coordinator notice that a streamed fragment was cancelled
+    /// mid-flight (stall detector fired). Implementations may penalize
+    /// the server's reliability factor; they must NOT feed the truncated
+    /// response time into calibration. No-op by default.
+    fn observe_fragment_cancel(
+        &self,
+        _query: QueryId,
+        _fragment: FragmentId,
+        _server: &ServerId,
+        _at: SimTime,
+        _effects: &mut Deferred,
+    ) {
+    }
 
     /// Calibrate the integrator-side merge cost (the paper's workload cost
     /// calibration factor, §3.2). Identity by default. Read-only.

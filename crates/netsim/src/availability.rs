@@ -38,6 +38,21 @@ impl AvailabilitySchedule {
             .any(|(from, until)| t >= *from && t < *until)
     }
 
+    /// The earliest outage start strictly inside `(from, until)`, if any.
+    ///
+    /// Streaming fragment execution uses this to find the first
+    /// down-transition that would interrupt an in-flight request: the
+    /// caller has already verified the server is up at `from` (so no
+    /// window covers it), and a request that finishes exactly at a
+    /// window start counts as completed — both bounds are strict.
+    pub fn next_down_within(&self, from: SimTime, until: SimTime) -> Option<SimTime> {
+        self.windows
+            .lock()
+            .iter()
+            .map(|(start, _)| *start)
+            .find(|start| *start > from && *start < until)
+    }
+
     /// The next time at or after `t` when the server is up (useful for
     /// retry logic in tests and examples).
     pub fn next_up(&self, t: SimTime) -> SimTime {
@@ -81,6 +96,37 @@ mod tests {
         a.add_outage(SimTime::from_millis(200.0), SimTime::from_millis(300.0));
         assert_eq!(a.next_up(SimTime::from_millis(150.0)).as_millis(), 300.0);
         assert_eq!(a.next_up(SimTime::from_millis(50.0)).as_millis(), 50.0);
+    }
+
+    #[test]
+    fn next_down_within_is_strict_on_both_bounds() {
+        let a = AvailabilitySchedule::always_up();
+        a.add_outage(SimTime::from_millis(100.0), SimTime::from_millis(200.0));
+        // Window start strictly inside the span is found.
+        assert_eq!(
+            a.next_down_within(SimTime::from_millis(50.0), SimTime::from_millis(150.0))
+                .map(SimTime::as_millis),
+            Some(100.0)
+        );
+        // A request finishing exactly at the window start completes.
+        assert_eq!(
+            a.next_down_within(SimTime::from_millis(50.0), SimTime::from_millis(100.0)),
+            None
+        );
+        // A request issued exactly at the window start was already
+        // rejected by the arrival liveness check; the transition at
+        // `from` itself does not count.
+        assert_eq!(
+            a.next_down_within(SimTime::from_millis(100.0), SimTime::from_millis(300.0)),
+            None
+        );
+        // Earliest of several windows wins.
+        a.add_outage(SimTime::from_millis(60.0), SimTime::from_millis(70.0));
+        assert_eq!(
+            a.next_down_within(SimTime::from_millis(50.0), SimTime::from_millis(150.0))
+                .map(SimTime::as_millis),
+            Some(60.0)
+        );
     }
 
     #[test]

@@ -12,10 +12,18 @@
 //!   work into a virtual service time: `work / speed × slowdown(ρ, s)`,
 //!   where `ρ` is current utilization and the sensitivity `s` includes
 //!   per-table contention from the update workload hammering the server.
+//! * [`RemoteServer::execute_stream`] — the resumable form of `execute`:
+//!   the result streams back as columnar chunks with interior service-time
+//!   offsets, a crash window opening mid-service interrupts the stream at
+//!   the transition instant, and a cursor lets any identical replica
+//!   resume the remainder without replaying delivered chunks.
 //!
 //! Availability and transient faults are simulated per the server's
 //! schedule and fault rate (feeding the QCC's reliability factor, §3.3).
 
 pub mod server;
 
-pub use server::{RemotePlan, RemoteResult, RemoteServer, ServerProfile};
+pub use server::{
+    RemotePlan, RemoteResult, RemoteServer, RemoteStream, RemoteStreamChunk, RemoteStreamStatus,
+    ServerProfile,
+};

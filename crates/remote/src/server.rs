@@ -2,7 +2,7 @@
 
 use parking_lot::Mutex;
 use qcc_common::{ColumnBatch, Cost, Pcg32, QccError, Result, Row, ServerId, SimDuration, SimTime};
-use qcc_engine::{Engine, PlanNode};
+use qcc_engine::{Engine, PlanNode, Work};
 use qcc_netsim::{slowdown, AvailabilitySchedule, FaultSchedule, LoadProfile, ServerLoad};
 use qcc_storage::Catalog;
 use std::collections::BTreeMap;
@@ -72,6 +72,68 @@ impl RemoteResult {
     /// Total result rows across batches.
     pub fn n_rows(&self) -> usize {
         self.batches.iter().map(ColumnBatch::n_rows).sum()
+    }
+}
+
+/// One chunk of a streamed fragment result: a column batch plus the
+/// service-time offset (from request arrival) at which it left the server.
+#[derive(Debug, Clone)]
+pub struct RemoteStreamChunk {
+    /// The chunk payload (one of the plan's result batches).
+    pub batch: ColumnBatch,
+    /// Service-time offset from request arrival at which this chunk was
+    /// produced. Offsets are interior interpolations of the one-shot
+    /// service time, proportional to cumulative rows; the last chunk of a
+    /// complete stream lands exactly at the one-shot service time.
+    pub offset: SimDuration,
+}
+
+/// Terminal status of a streamed execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteStreamStatus {
+    /// Every requested chunk was produced.
+    Complete,
+    /// The server went down mid-service at `at` (absolute virtual time):
+    /// chunks produced strictly before `at` were delivered, the rest
+    /// never left the server.
+    Interrupted { at: SimTime },
+}
+
+/// The outcome of a resumable streamed execution (the cursor protocol).
+///
+/// A request with `cursor = c` asks for chunks `c..total_chunks` of the
+/// plan's result. Chunk indices are positions in the plan's batch list,
+/// which is deterministic per plan shape, so any server holding an
+/// identical replica can resume another server's stream at its cursor.
+#[derive(Debug, Clone)]
+pub struct RemoteStream {
+    /// Delivered chunks, in order. The first has absolute index `cursor`.
+    pub chunks: Vec<RemoteStreamChunk>,
+    /// Whether the stream ran to completion or was cut by an outage.
+    pub status: RemoteStreamStatus,
+    /// Absolute index of the first chunk requested.
+    pub cursor: usize,
+    /// Total chunks in the full (cursor-0) result.
+    pub total_chunks: usize,
+    /// Virtual service time at the server for the delivered portion.
+    pub elapsed: SimDuration,
+    /// Bytes of the delivered chunks (for transfer costing).
+    pub result_bytes: u64,
+    /// Execution work for the full plan, independent of the cursor (the
+    /// equivalence gates compare this against the row-at-a-time
+    /// reference).
+    pub work: Work,
+}
+
+impl RemoteStream {
+    /// Number of chunks delivered by this call.
+    pub fn delivered(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Materialize the delivered chunks as rows.
+    pub fn rows(&self) -> Vec<Row> {
+        self.chunks.iter().flat_map(|c| c.batch.to_rows()).collect()
     }
 }
 
@@ -181,7 +243,39 @@ impl RemoteServer {
     /// Execute a plan at virtual time `at`, returning rows and the virtual
     /// service time. May fail with [`QccError::ServerUnavailable`] (down)
     /// or [`QccError::ServerFault`] (transient fault, per `fault_rate`).
+    ///
+    /// This is the call-and-wait view over [`RemoteServer::execute_stream`]
+    /// with cursor 0 and no mid-service interruption; the service-time
+    /// arithmetic is float-identical to the pre-streaming implementation.
     pub fn execute(&self, descriptor: &PlanNode, at: SimTime) -> Result<RemoteResult> {
+        let stream = self.execute_stream(descriptor, at, 0, false)?;
+        Ok(RemoteResult {
+            result_bytes: stream.result_bytes,
+            batches: stream.chunks.into_iter().map(|c| c.batch).collect(),
+            elapsed: stream.elapsed,
+        })
+    }
+
+    /// Execute chunks `cursor..` of a plan at virtual time `at`, streaming
+    /// resumable chunks (the cursor protocol).
+    ///
+    /// The timing model is the one-shot service time with interior chunk
+    /// boundaries interpolated proportionally to cumulative result rows; a
+    /// cursor-`c` request is charged the proportional remainder, so
+    /// resuming never replays already-delivered work. When `interruptible`
+    /// is set, an availability window opening strictly inside the service
+    /// interval cuts the stream: chunks produced strictly before the
+    /// down-transition are delivered, the status reports
+    /// [`RemoteStreamStatus::Interrupted`] at the transition instant, and
+    /// the caller may resume the remainder elsewhere. (Only crash windows
+    /// interrupt; flaky windows stay arrival-sampled, as before.)
+    pub fn execute_stream(
+        &self,
+        descriptor: &PlanNode,
+        at: SimTime,
+        cursor: usize,
+        interruptible: bool,
+    ) -> Result<RemoteStream> {
         self.check_up(at)?;
         if self.profile.fault_rate > 0.0 {
             let roll = self.rng.lock().next_f64();
@@ -196,12 +290,17 @@ impl RemoteServer {
         // `submit_batch` fragments execute on worker threads in
         // nondeterministic order, so the decision is a stateless hash of
         // the request identity (server, plan shape, virtual time) — the
-        // same request faults the same way for any `QCC_THREADS`.
+        // same request faults the same way for any `QCC_THREADS`. Resumed
+        // requests (cursor > 0) mix the cursor in so a remainder rolls its
+        // own fate; cursor-0 requests hash exactly as before.
         let window_rate = self.faults.rate_at(at);
         if window_rate > 0.0 {
             let mut h = fnv1a(0xcbf29ce484222325, self.profile.id.as_str().as_bytes());
             h = fnv1a(h, descriptor.signature().as_bytes());
             h = fnv1a(h, &at.as_millis().to_bits().to_le_bytes());
+            if cursor > 0 {
+                h = fnv1a(h, &(cursor as u64).to_le_bytes());
+            }
             let roll = (h >> 11) as f64 / (1u64 << 53) as f64;
             if roll < window_rate {
                 return Err(QccError::ServerFault {
@@ -216,10 +315,88 @@ impl RemoteServer {
         let sensitivity = self.effective_sensitivity(descriptor);
         let (batches, work) = self.engine.execute_plan_batches(descriptor)?;
         let service_ms = work.cpu_units / self.profile.speed * slowdown(rho, sensitivity);
-        Ok(RemoteResult {
-            result_bytes: work.result_bytes,
-            batches,
-            elapsed: SimDuration::from_millis(service_ms),
+        let total_chunks = batches.len();
+        if cursor > total_chunks {
+            return Err(QccError::Execution(format!(
+                "stream cursor {cursor} past end ({total_chunks} chunks) at {}",
+                self.profile.id
+            )));
+        }
+        // Chunk boundary offsets over the one-shot service time,
+        // proportional to cumulative rows (even spacing when the result
+        // is empty). `boundary(i)` is the offset at which chunk `i-1`
+        // completes; boundary(total_chunks) is exactly `service_ms`.
+        let total_rows: usize = batches.iter().map(ColumnBatch::n_rows).sum();
+        let mut cum = 0usize;
+        let mut boundaries = Vec::with_capacity(total_chunks);
+        for (i, b) in batches.iter().enumerate() {
+            cum += b.n_rows();
+            let frac = if total_rows > 0 {
+                cum as f64 / total_rows as f64
+            } else {
+                (i + 1) as f64 / total_chunks as f64
+            };
+            boundaries.push(if cum == total_rows && i + 1 == total_chunks {
+                service_ms
+            } else {
+                service_ms * frac
+            });
+        }
+        let base_ms = if cursor == 0 {
+            0.0
+        } else {
+            boundaries[cursor - 1]
+        };
+        let full_elapsed_ms = service_ms - base_ms;
+        // First down-transition strictly inside the service interval (the
+        // arrival liveness check already passed, so no window covers
+        // `at`; finishing exactly at a window start counts as complete).
+        let interrupt = if interruptible {
+            self.availability
+                .next_down_within(at, at + SimDuration::from_millis(full_elapsed_ms))
+        } else {
+            None
+        };
+        let mut chunks = Vec::new();
+        let mut result_bytes = 0u64;
+        for (i, batch) in batches.into_iter().enumerate().skip(cursor) {
+            let offset_ms = boundaries[i] - base_ms;
+            if let Some(down_at) = interrupt {
+                // A chunk completing exactly at the down-transition never
+                // left the server.
+                if at + SimDuration::from_millis(offset_ms) >= down_at {
+                    break;
+                }
+            }
+            result_bytes += batch.byte_size();
+            chunks.push(RemoteStreamChunk {
+                batch,
+                offset: SimDuration::from_millis(offset_ms),
+            });
+        }
+        let (status, elapsed) = match interrupt {
+            Some(down_at) => (
+                RemoteStreamStatus::Interrupted { at: down_at },
+                down_at - at,
+            ),
+            None => (
+                RemoteStreamStatus::Complete,
+                SimDuration::from_millis(full_elapsed_ms),
+            ),
+        };
+        // A complete cursor-0 stream reports the full result size
+        // verbatim (byte-identical to the call-and-wait path).
+        if cursor == 0 && status == RemoteStreamStatus::Complete {
+            result_bytes = work.result_bytes;
+        }
+        Ok(RemoteStream {
+            chunks,
+            status,
+            cursor,
+            total_chunks,
+            elapsed,
+            result_bytes,
+            work,
         })
     }
 
@@ -409,6 +586,110 @@ mod tests {
             }
         }
         assert!((60..140).contains(&faults), "got {faults} faults of 200");
+    }
+
+    #[test]
+    fn stream_matches_execute_bit_for_bit() {
+        let s = server(1.0);
+        s.load().set_background(LoadProfile::Constant(0.4));
+        let plans = s
+            .explain("SELECT * FROM items WHERE v < 5", SimTime::ZERO)
+            .unwrap();
+        let one_shot = s.execute(&plans[0].descriptor, SimTime::ZERO).unwrap();
+        let stream = s
+            .execute_stream(&plans[0].descriptor, SimTime::ZERO, 0, true)
+            .unwrap();
+        assert_eq!(stream.status, RemoteStreamStatus::Complete);
+        assert_eq!(stream.cursor, 0);
+        assert_eq!(stream.total_chunks, one_shot.batches.len());
+        assert_eq!(
+            stream.elapsed.as_millis().to_bits(),
+            one_shot.elapsed.as_millis().to_bits()
+        );
+        assert_eq!(stream.result_bytes, one_shot.result_bytes);
+        assert_eq!(stream.rows(), one_shot.rows());
+        // The last chunk lands exactly at the one-shot service time and
+        // offsets are nondecreasing.
+        let last = stream.chunks.last().unwrap();
+        assert_eq!(
+            last.offset.as_millis().to_bits(),
+            one_shot.elapsed.as_millis().to_bits()
+        );
+        for w in stream.chunks.windows(2) {
+            assert!(w[0].offset.as_millis() <= w[1].offset.as_millis());
+        }
+    }
+
+    #[test]
+    fn resume_covers_exactly_the_remainder() {
+        let s = server(1.0);
+        let plans = s
+            .explain("SELECT * FROM items WHERE v < 5", SimTime::ZERO)
+            .unwrap();
+        let full = s
+            .execute_stream(&plans[0].descriptor, SimTime::ZERO, 0, false)
+            .unwrap();
+        assert!(full.total_chunks >= 2, "need a multi-chunk result");
+        for cursor in 0..=full.total_chunks {
+            let rest = s
+                .execute_stream(&plans[0].descriptor, SimTime::ZERO, cursor, false)
+                .unwrap();
+            assert_eq!(rest.status, RemoteStreamStatus::Complete);
+            assert_eq!(rest.delivered(), full.total_chunks - cursor);
+            let mut expect: Vec<Row> = Vec::new();
+            for c in &full.chunks[cursor..] {
+                expect.extend(c.batch.to_rows());
+            }
+            assert_eq!(rest.rows(), expect);
+            // Proportionally less service time remains as the cursor
+            // advances; delivered bytes sum to the full size.
+            assert!(rest.elapsed.as_millis() <= full.elapsed.as_millis() + 1e-9);
+            let prefix: u64 = full.chunks[..cursor]
+                .iter()
+                .map(|c| c.batch.byte_size())
+                .sum();
+            assert_eq!(prefix + rest.result_bytes, full.result_bytes);
+        }
+    }
+
+    #[test]
+    fn midservice_outage_interrupts_the_stream() {
+        let s = server(1.0);
+        let plans = s
+            .explain("SELECT * FROM items WHERE v < 5", SimTime::ZERO)
+            .unwrap();
+        let full = s
+            .execute_stream(&plans[0].descriptor, SimTime::ZERO, 0, true)
+            .unwrap();
+        assert!(full.total_chunks >= 2);
+        // Open a crash window halfway through the service interval.
+        let mid = SimTime::from_millis(full.elapsed.as_millis() / 2.0);
+        s.availability()
+            .add_outage(mid, mid + SimDuration::from_millis(1e6));
+        let cut = s
+            .execute_stream(&plans[0].descriptor, SimTime::ZERO, 0, true)
+            .unwrap();
+        assert_eq!(cut.status, RemoteStreamStatus::Interrupted { at: mid });
+        assert!(cut.delivered() < full.total_chunks);
+        assert_eq!(cut.elapsed.as_millis(), mid.as_millis());
+        for c in &cut.chunks {
+            assert!(SimTime::ZERO + c.offset < mid);
+        }
+        // The non-interruptible path still sees only arrival liveness
+        // (the pre-streaming contract).
+        let blind = s
+            .execute_stream(&plans[0].descriptor, SimTime::ZERO, 0, false)
+            .unwrap();
+        assert_eq!(blind.status, RemoteStreamStatus::Complete);
+        // A replica (same data, no outage) resumes the remainder.
+        let replica = server(1.0);
+        let rest = replica
+            .execute_stream(&plans[0].descriptor, mid, cut.delivered(), true)
+            .unwrap();
+        assert_eq!(rest.status, RemoteStreamStatus::Complete);
+        let mut rows = cut.rows();
+        rows.extend(rest.rows());
+        assert_eq!(rows, full.rows());
     }
 
     #[test]

@@ -123,6 +123,11 @@ pub struct SimConfig {
     /// `0` = no catalog attached (the unpruned fleet). Ignored in
     /// classic mode.
     pub replication: usize,
+    /// Mid-query adaptivity: the federation's `stall_factor`. `0.0` (also
+    /// the value replay lines omit) keeps call-and-wait execution and
+    /// byte-identical legacy journals; > 0 streams fragments with
+    /// stall-cancel and remainder reroute (DESIGN.md §15).
+    pub reroute: f64,
     /// The fault schedule.
     pub faults: Vec<FaultSpec>,
 }
@@ -158,6 +163,11 @@ impl SimConfig {
                 "fleet: {}, replication: {}, ",
                 self.fleet, self.replication
             );
+        }
+        // The disabled sentinel is omitted so pre-adaptivity replay lines
+        // and their renders stay byte-identical.
+        if self.reroute > 0.0 {
+            let _ = write!(out, "reroute: {:?}, ", self.reroute);
         }
         out.push_str("faults: [");
         for (i, f) in self.faults.iter().enumerate() {
@@ -265,6 +275,13 @@ pub fn generate(seed: u64) -> SimConfig {
             },
         });
     }
+    // Drawn last so every pre-adaptivity field keeps its value for a
+    // given seed: about half the scenarios run with mid-query reroute on.
+    let reroute = if rng.range_u64(0, 2) == 1 {
+        rng.range_f64(2.0, 6.0)
+    } else {
+        0.0
+    };
     SimConfig {
         seed,
         servers,
@@ -275,6 +292,7 @@ pub fn generate(seed: u64) -> SimConfig {
         retry_limit: 2,
         fleet: 0,
         replication: 0,
+        reroute,
         faults,
     }
 }
@@ -322,6 +340,12 @@ pub fn generate_scale(seed: u64) -> SimConfig {
             },
         });
     }
+    // Drawn last, as in `generate`, to keep earlier fields seed-stable.
+    let reroute = if rng.range_u64(0, 2) == 1 {
+        rng.range_f64(2.0, 6.0)
+    } else {
+        0.0
+    };
     SimConfig {
         seed,
         servers: Vec::new(),
@@ -332,6 +356,7 @@ pub fn generate_scale(seed: u64) -> SimConfig {
         retry_limit: 2,
         fleet,
         replication: 3,
+        reroute,
         faults,
     }
 }
@@ -386,6 +411,19 @@ pub fn parse(s: &str) -> Result<SimConfig, String> {
     if fleet > 0 && !servers.is_empty() {
         return Err("fleet mode requires an empty servers list".to_string());
     }
+    // Optional reroute knob; absent (every pre-adaptivity line) means the
+    // disabled sentinel. "reroute" vs "faults" diverge at the first byte.
+    let reroute = if p.peek_tag("reroute") {
+        p.key("reroute")?;
+        let reroute = p.f64()?;
+        if reroute <= 0.0 {
+            return Err("reroute must be positive when given".to_string());
+        }
+        p.tok(b',')?;
+        reroute
+    } else {
+        0.0
+    };
     p.key("faults")?;
     let faults = p.fault_list(if fleet > 0 { fleet } else { servers.len() })?;
     p.tok(b')')?;
@@ -403,6 +441,7 @@ pub fn parse(s: &str) -> Result<SimConfig, String> {
         retry_limit,
         fleet,
         replication,
+        reroute,
         faults,
     })
 }
@@ -664,6 +703,35 @@ mod tests {
              rate_per_ms: 0.1, retry_limit: 2, fleet: 0, replication: 3, faults: [])"
         )
         .is_err());
+    }
+
+    #[test]
+    fn reroute_knob_round_trips_and_defaults_off() {
+        // Legacy lines (no reroute key) parse to the disabled sentinel and
+        // render back without it.
+        let legacy = "sim(seed: 1, servers: [(1.0, 0.1)], large_rows: 10, small_rows: 5, \
+             arrivals: 2, rate_per_ms: 0.1, retry_limit: 1, faults: [])";
+        let c = parse(legacy).unwrap();
+        assert_eq!(c.reroute, 0.0);
+        assert!(!c.render().contains("reroute"));
+        // An enabled knob round-trips, in classic and fleet mode alike.
+        let on = parse(
+            "sim(seed: 1, servers: [], large_rows: 60, small_rows: 12, arrivals: 4, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 50, replication: 3, reroute: 3.5, \
+             faults: [crash(7, 1.0, 2.0)])",
+        )
+        .unwrap();
+        assert_eq!(on.reroute, 3.5);
+        assert_eq!(parse(&on.render()).unwrap(), on);
+        // A non-positive knob must simply be omitted.
+        assert!(parse(
+            "sim(seed: 1, servers: [(1.0, 0.1)], large_rows: 10, small_rows: 5, \
+             arrivals: 2, rate_per_ms: 0.1, retry_limit: 1, reroute: 0.0, faults: [])"
+        )
+        .is_err());
+        // Generation covers both sides of the coin flip.
+        assert!((0..32).any(|s| generate(s).reroute > 0.0));
+        assert!((0..32).any(|s| generate(s).reroute == 0.0));
     }
 
     #[test]

@@ -44,6 +44,18 @@ pub fn shrink(config: &SimConfig, bug: &BugSwitches, budget: usize) -> Shrunk {
             }
         }
 
+        // Disable mid-query adaptivity: if the failure reproduces with
+        // reroute off, the stall/reroute machinery is not implicated and
+        // the replay line shrinks to the legacy call-and-wait path.
+        if current.reroute > 0.0 && evaluated < budget {
+            let mut candidate = current.clone();
+            candidate.reroute = 0.0;
+            if fails(&candidate, &mut evaluated) {
+                current = candidate;
+                reduced = true;
+            }
+        }
+
         // Halve the workload.
         if current.arrivals > 4 && evaluated < budget {
             let mut candidate = current.clone();
@@ -141,6 +153,36 @@ mod tests {
         assert!(shrunk.config.arrivals <= 4);
         assert!(shrunk.config.servers.len() == 2);
         // The replay line round-trips.
+        let line = shrunk.config.render();
+        assert_eq!(crate::config::parse(&line).unwrap(), shrunk.config);
+    }
+
+    #[test]
+    fn shrink_disables_reroute_when_not_implicated() {
+        // drop_completion fails regardless of adaptivity, so the shrinker
+        // must turn the reroute knob off (the shrunk replay line then
+        // exercises the legacy call-and-wait path).
+        let config = parse(
+            "sim(seed: 3, servers: [], large_rows: 60, small_rows: 12, arrivals: 8, \
+             rate_per_ms: 0.1, retry_limit: 2, fleet: 24, replication: 3, reroute: 3.0, \
+             faults: [])",
+        )
+        .expect("valid reroute config");
+        let bug = BugSwitches {
+            drop_completion: true,
+        };
+        assert!(
+            !crate::check_config(&config, &bug).violations.is_empty(),
+            "precondition: the injected bug must fail"
+        );
+        let shrunk = shrink(&config, &bug, 20);
+        assert!(
+            !crate::check_config(&shrunk.config, &bug)
+                .violations
+                .is_empty(),
+            "shrunk config must still fail"
+        );
+        assert_eq!(shrunk.config.reroute, 0.0, "reroute knob was not shed");
         let line = shrunk.config.render();
         assert_eq!(crate::config::parse(&line).unwrap(), shrunk.config);
     }

@@ -58,6 +58,7 @@ pub fn build(config: &SimConfig, threads: usize) -> SimWorld {
         retry_limit: config.retry_limit,
         server_specs,
         replication_factor,
+        stall_factor: config.reroute,
     };
     let qcc_config = QccConfig {
         retry_limit: config.retry_limit,

@@ -65,6 +65,12 @@ pub struct ScenarioConfig {
     /// EXPLAIN fan-out is pruned to at most this many replicas per
     /// fragment set.
     pub replication_factor: usize,
+    /// Mid-query adaptivity knob handed to
+    /// `FederationConfig::stall_factor`. 0.0 (the default sentinel) keeps
+    /// the call-and-wait execution path and byte-identical goldens; > 0
+    /// enables streamed fragments with stall-cancel and remainder reroute
+    /// (DESIGN.md §15).
+    pub stall_factor: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -80,6 +86,7 @@ impl Default for ScenarioConfig {
             retry_limit: FederationConfig::default().retry_limit,
             server_specs: SERVER_SPEEDS.to_vec(),
             replication_factor: 0,
+            stall_factor: FederationConfig::default().stall_factor,
         }
     }
 }
@@ -192,6 +199,7 @@ impl Scenario {
     pub fn build_with_qcc(qcc_config: QccConfig, config: ScenarioConfig) -> Scenario {
         let threads = config.threads;
         let replication_factor = config.replication_factor;
+        let stall_factor = config.stall_factor;
         let obs = if config.obs_enabled {
             Obs::new()
         } else {
@@ -208,6 +216,7 @@ impl Scenario {
             FederationConfig {
                 threads,
                 retry_limit: qcc.config.retry_limit,
+                stall_factor,
                 ..FederationConfig::default()
             },
         );
@@ -317,6 +326,7 @@ impl Scenario {
             FederationConfig {
                 threads: config.threads,
                 retry_limit: config.retry_limit,
+                stall_factor: config.stall_factor,
                 ..FederationConfig::default()
             },
         );

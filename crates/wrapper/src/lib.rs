@@ -13,4 +13,6 @@ pub mod traits;
 
 pub use file::FileWrapper;
 pub use relational::RelationalWrapper;
-pub use traits::{FragmentPlan, Wrapper, WrapperKind, WrapperResult};
+pub use traits::{
+    FragmentPlan, StreamChunk, StreamOutcome, Wrapper, WrapperKind, WrapperResult, WrapperStream,
+};

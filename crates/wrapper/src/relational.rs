@@ -1,9 +1,11 @@
 //! Relational wrapper over a simulated remote DBMS.
 
-use crate::traits::{FragmentPlan, Wrapper, WrapperKind, WrapperResult};
+use crate::traits::{
+    FragmentPlan, StreamChunk, StreamOutcome, Wrapper, WrapperKind, WrapperResult, WrapperStream,
+};
 use qcc_common::{QccError, Result, ServerId, SimDuration, SimTime};
 use qcc_netsim::Network;
-use qcc_remote::RemoteServer;
+use qcc_remote::{RemoteServer, RemoteStreamStatus};
 use std::sync::Arc;
 
 /// Approximate size of a request message (fragment SQL + descriptor id).
@@ -92,6 +94,57 @@ impl Wrapper for RelationalWrapper {
         })
     }
 
+    fn execute_stream(
+        &self,
+        plan: &FragmentPlan,
+        at: SimTime,
+        cursor: usize,
+        interruptible: bool,
+    ) -> Result<WrapperStream> {
+        let descriptor = plan.descriptor.as_ref().ok_or_else(|| {
+            QccError::Execution("relational fragment plan without descriptor".into())
+        })?;
+        let id = self.server.id().clone();
+        let request = self.network.transfer_time(&id, REQUEST_BYTES, at)?;
+        let arrived = at + request;
+        let stream = self
+            .server
+            .execute_stream(descriptor, arrived, cursor, interruptible)?;
+        let chunks: Vec<StreamChunk> = stream
+            .chunks
+            .into_iter()
+            .map(|c| StreamChunk {
+                batch: c.batch,
+                at: arrived + c.offset,
+            })
+            .collect();
+        let (outcome, response_time) = match stream.status {
+            RemoteStreamStatus::Complete => {
+                // Same charge as the call-and-wait path: one result
+                // transfer for the delivered bytes, issued at service end.
+                let served = arrived + stream.elapsed;
+                let response = self
+                    .network
+                    .transfer_time(&id, stream.result_bytes, served)?;
+                (StreamOutcome::Complete, request + stream.elapsed + response)
+            }
+            RemoteStreamStatus::Interrupted { at: down_at } => {
+                // The interrupt surfaces at the integrator at the
+                // down-transition instant; detection latency on top of
+                // that is the coordinator's stall-probe interval.
+                (StreamOutcome::Interrupted { at: down_at }, down_at - at)
+            }
+        };
+        Ok(WrapperStream {
+            chunks,
+            outcome,
+            cursor,
+            total_chunks: stream.total_chunks,
+            response_time,
+            bytes: stream.result_bytes,
+        })
+    }
+
     fn ping(&self, at: SimTime) -> Result<SimDuration> {
         let id = self.server.id().clone();
         let request = self.network.transfer_time(&id, 64, at)?;
@@ -113,7 +166,7 @@ mod tests {
 
     fn setup(rtt: f64) -> RelationalWrapper {
         let mut t = Table::new("t", Schema::new(vec![Column::new("a", DataType::Int)]));
-        for i in 0..1000i64 {
+        for i in 0..5000i64 {
             t.insert(Row::new(vec![Value::Int(i)])).unwrap();
         }
         let mut c = Catalog::new();
@@ -167,6 +220,45 @@ mod tests {
         let rl = w.execute(&large[0], SimTime::ZERO).unwrap();
         assert!(rl.bytes > rs.bytes * 50);
         assert!(rl.response_time > rs.response_time);
+    }
+
+    #[test]
+    fn stream_totals_match_execute_and_interrupt_surfaces_at_transition() {
+        let w = setup(1.0);
+        let (plans, _) = w
+            .plan("SELECT * FROM t WHERE a > 100", SimTime::ZERO)
+            .unwrap();
+        let one_shot = w.execute(&plans[0], SimTime::ZERO).unwrap();
+        let stream = w.execute_stream(&plans[0], SimTime::ZERO, 0, true).unwrap();
+        assert_eq!(stream.outcome, StreamOutcome::Complete);
+        assert_eq!(
+            stream.response_time.as_millis().to_bits(),
+            one_shot.response_time.as_millis().to_bits()
+        );
+        assert_eq!(stream.bytes, one_shot.bytes);
+        assert_eq!(stream.rows(), one_shot.rows());
+        assert!(stream.total_chunks >= 2, "need a multi-chunk result");
+
+        // Cut the stream mid-service and check the interrupt instant.
+        let mid_chunk = &stream.chunks[stream.total_chunks / 2];
+        let cut_at = mid_chunk.at;
+        w.server()
+            .availability()
+            .add_outage(cut_at, cut_at + SimDuration::from_millis(1e6));
+        let cut = w.execute_stream(&plans[0], SimTime::ZERO, 0, true).unwrap();
+        assert_eq!(cut.outcome, StreamOutcome::Interrupted { at: cut_at });
+        assert!(cut.delivered() < stream.total_chunks);
+        assert!(cut.chunks.iter().all(|c| c.at < cut_at));
+        // Resume elsewhere (fresh identical source): remainder rows equal
+        // the one-shot suffix.
+        let fresh = setup(1.0);
+        let rest = fresh
+            .execute_stream(&plans[0], cut_at, cut.next_cursor(), true)
+            .unwrap();
+        assert_eq!(rest.outcome, StreamOutcome::Complete);
+        let mut rows = cut.rows();
+        rows.extend(rest.rows());
+        assert_eq!(rows, one_shot.rows());
     }
 
     #[test]

@@ -57,6 +57,68 @@ impl WrapperResult {
     }
 }
 
+/// One chunk of a streamed fragment as seen at the integrator: the payload
+/// plus the absolute virtual time the source produced it. Interior chunks
+/// pipeline with execution; the transfer of the full result is charged
+/// once, in the stream's `response_time`.
+#[derive(Debug, Clone)]
+pub struct StreamChunk {
+    /// The chunk payload (one result batch).
+    pub batch: ColumnBatch,
+    /// Absolute virtual time the chunk left the source.
+    pub at: SimTime,
+}
+
+/// Terminal outcome of a streamed fragment execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOutcome {
+    /// Every requested chunk arrived.
+    Complete,
+    /// The source went down mid-stream at `at` (absolute virtual time).
+    /// Chunks produced strictly before `at` were delivered; the caller
+    /// may resume the remainder at `cursor + delivered` on a replica.
+    Interrupted { at: SimTime },
+}
+
+/// A resumable fragment result stream (the integrator-side view of the
+/// cursor protocol).
+#[derive(Debug, Clone)]
+pub struct WrapperStream {
+    /// Delivered chunks in order; the first has absolute index `cursor`.
+    pub chunks: Vec<StreamChunk>,
+    /// Complete, or cut by an outage.
+    pub outcome: StreamOutcome,
+    /// Absolute index of the first chunk requested.
+    pub cursor: usize,
+    /// Total chunks in the full (cursor-0) result.
+    pub total_chunks: usize,
+    /// For a complete stream: end-to-end response time (request transfer
+    /// + remaining service + result transfer), identical to the
+    /// call-and-wait path when `cursor` is 0. For an interrupted stream:
+    /// time until the interrupt surfaced at the integrator.
+    pub response_time: SimDuration,
+    /// Bytes of the delivered chunks.
+    pub bytes: u64,
+}
+
+impl WrapperStream {
+    /// Number of chunks delivered by this call.
+    pub fn delivered(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The absolute cursor position after this call (first undelivered
+    /// chunk index).
+    pub fn next_cursor(&self) -> usize {
+        self.cursor + self.chunks.len()
+    }
+
+    /// Materialize the delivered chunks as rows.
+    pub fn rows(&self) -> Vec<Row> {
+        self.chunks.iter().flat_map(|c| c.batch.to_rows()).collect()
+    }
+}
+
 /// A source wrapper: the integrator's only interface to a remote source.
 pub trait Wrapper: Send + Sync + std::fmt::Debug {
     /// The wrapped source's server id.
@@ -74,6 +136,52 @@ pub trait Wrapper: Send + Sync + std::fmt::Debug {
 
     /// Runtime: execute a fragment plan.
     fn execute(&self, plan: &FragmentPlan, at: SimTime) -> Result<WrapperResult>;
+
+    /// Runtime: execute chunks `cursor..` of a fragment plan as a
+    /// resumable stream. When `interruptible` is set, a source crash
+    /// opening mid-service cuts the stream instead of going unnoticed
+    /// until the next arrival-time liveness check.
+    ///
+    /// The default delegates to [`Wrapper::execute`] (one shot, all
+    /// chunks land when the full result does) so non-streaming sources
+    /// — e.g. file wrappers, which re-scan wholesale — still satisfy the
+    /// cursor protocol.
+    fn execute_stream(
+        &self,
+        plan: &FragmentPlan,
+        at: SimTime,
+        cursor: usize,
+        _interruptible: bool,
+    ) -> Result<WrapperStream> {
+        let result = self.execute(plan, at)?;
+        let total_chunks = result.batches.len();
+        if cursor > total_chunks {
+            return Err(qcc_common::QccError::Execution(format!(
+                "stream cursor {cursor} past end ({total_chunks} chunks) at {}",
+                self.server_id()
+            )));
+        }
+        let done = at + result.response_time;
+        let chunks: Vec<StreamChunk> = result
+            .batches
+            .into_iter()
+            .skip(cursor)
+            .map(|batch| StreamChunk { batch, at: done })
+            .collect();
+        let bytes = if cursor == 0 {
+            result.bytes
+        } else {
+            chunks.iter().map(|c| c.batch.byte_size()).sum()
+        };
+        Ok(WrapperStream {
+            chunks,
+            outcome: StreamOutcome::Complete,
+            cursor,
+            total_chunks,
+            response_time: result.response_time,
+            bytes,
+        })
+    }
 
     /// Liveness probe (QCC availability daemons call this through the
     /// meta-wrapper). Returns round-trip time.
